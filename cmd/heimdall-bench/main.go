@@ -1,0 +1,204 @@
+// Command heimdall-bench regenerates the paper's tables and figures. Each
+// subcommand runs one experiment and prints its result table; `all` runs
+// everything in order.
+//
+// Usage:
+//
+//	heimdall-bench [-scale small|medium|full] [-seed N] [-datasets N]
+//	               [-experiments N] [-dur D] <experiment>
+//
+// Experiments: fig5a fig5b fig7a fig7b fig7c fig7d fig8 fig9a fig9b fig9c
+// fig9d fig9e fig10 fig11 fig12 fig13 fig14 fig15a fig15b fig15c fig16
+// fig17 fig18 train-time loc all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var runners = map[string]func(experiments.Scale) experiments.Table{
+	"fig5a":      experiments.Fig5a,
+	"fig5b":      experiments.Fig5b,
+	"fig7a":      experiments.Fig7a,
+	"fig7b":      experiments.Fig7b,
+	"fig7c":      experiments.Fig7c,
+	"fig7d":      experiments.Fig7d,
+	"fig8":       experiments.Fig8,
+	"fig9a":      experiments.Fig9a,
+	"fig9b":      experiments.Fig9b,
+	"fig9c":      experiments.Fig9c,
+	"fig9d":      experiments.Fig9d,
+	"fig9e":      experiments.Fig9e,
+	"fig10":      experiments.Fig10,
+	"fig11":      experiments.Fig11,
+	"fig12":      experiments.Fig12,
+	"fig13":      experiments.Fig13,
+	"fig14":      experiments.Fig14,
+	"fig15a":     experiments.Fig15a,
+	"fig15b":     experiments.Fig15b,
+	"fig15c":     experiments.Fig15c,
+	"fig16":      experiments.Fig16,
+	"fig17":      experiments.Fig17,
+	"fig17ext":   experiments.Fig17Ext,
+	"fig18":      experiments.Fig18,
+	"train-time": experiments.TrainTime,
+	"ablation":   experiments.Ablation,
+}
+
+func main() {
+	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
+	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the scale default)")
+	datasets := flag.Int("datasets", 0, "override the dataset count")
+	exps := flag.Int("experiments", 0, "override the replay-experiment count")
+	dur := flag.Duration("dur", 0, "override the trace window duration")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "medium":
+		scale = experiments.MediumScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *datasets != 0 {
+		scale.Datasets = *datasets
+	}
+	if *exps != 0 {
+		scale.Experiments = *exps
+	}
+	if *dur != 0 {
+		scale.TraceDur = *dur
+	}
+
+	switch name {
+	case "loc":
+		printLOC()
+		return
+	case "all":
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			run(n, scale)
+		}
+		return
+	}
+	r, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+	_ = r
+	run(name, scale)
+}
+
+func run(name string, scale experiments.Scale) {
+	start := time.Now()
+	table := runners[name](scale)
+	fmt.Println(table.String())
+	fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: heimdall-bench [flags] <experiment>\n\nexperiments:\n")
+	names := make([]string, 0, len(runners)+2)
+	for n := range runners {
+		names = append(names, n)
+	}
+	names = append(names, "loc", "all")
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "  %s\n\nflags:\n", strings.Join(names, " "))
+	flag.PrintDefaults()
+}
+
+// printLOC counts Go lines in the repository — the Table 1 analogue.
+func printLOC() {
+	type bucket struct {
+		name  string
+		match func(path string) bool
+	}
+	buckets := []bucket{
+		{"core pipeline (core,label,filter,feature,nn)", func(p string) bool {
+			return strings.Contains(p, "internal/core") || strings.Contains(p, "internal/label") ||
+				strings.Contains(p, "internal/filter") || strings.Contains(p, "internal/feature") ||
+				strings.Contains(p, "internal/nn")
+		}},
+		{"substrates (ssd,trace,iolog,metrics)", func(p string) bool {
+			return strings.Contains(p, "internal/ssd") || strings.Contains(p, "internal/trace") ||
+				strings.Contains(p, "internal/iolog") || strings.Contains(p, "internal/metrics")
+		}},
+		{"baselines (linnos,policy,models,automl)", func(p string) bool {
+			return strings.Contains(p, "internal/linnos") || strings.Contains(p, "internal/policy") ||
+				strings.Contains(p, "internal/models") || strings.Contains(p, "internal/automl")
+		}},
+		{"integration (replay,cluster,experiments)", func(p string) bool {
+			return strings.Contains(p, "internal/replay") || strings.Contains(p, "internal/cluster") ||
+				strings.Contains(p, "internal/experiments")
+		}},
+		{"tools & examples (cmd,examples,root)", func(p string) bool { return true }},
+	}
+	counts := make([]int, len(buckets))
+	testCounts := make([]int, len(buckets))
+	root := "."
+	if _, err := os.Stat("go.mod"); err != nil {
+		root = filepath.Dir(os.Args[0])
+	}
+	total, testTotal := 0, 0
+	_ = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		lines := strings.Count(string(data), "\n")
+		total += lines
+		isTest := strings.HasSuffix(path, "_test.go")
+		if isTest {
+			testTotal += lines
+		}
+		for i, b := range buckets {
+			if b.match(path) {
+				if isTest {
+					testCounts[i] += lines
+				} else {
+					counts[i] += lines
+				}
+				break
+			}
+		}
+		return nil
+	})
+	fmt.Println("## Table 1 analogue — implementation scale (Go lines)")
+	for i, b := range buckets {
+		fmt.Printf("%-48s %6d  (+%d test)\n", b.name, counts[i], testCounts[i])
+	}
+	fmt.Printf("%-48s %6d  (+%d test)\n", "total", total-testTotal, testTotal)
+}

@@ -1,0 +1,158 @@
+// Command heimdall-train is the operator-facing training tool: it takes a
+// block trace (CSV, as produced by tracegen -csv, or a built-in synthetic
+// style), replays it against a simulated device to collect the I/O log,
+// runs the full Heimdall pipeline, and writes the deployable artifacts —
+// a serialized model and, optionally, the generated C source (§4.1).
+//
+// Usage:
+//
+//	heimdall-train -trace trace.csv -device 970pro -out model.bin [-cout model.c]
+//	heimdall-train -style msr -dur 20s -out model.bin
+//	heimdall-train -load model.bin -eval-style msr   # evaluate a saved model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "CSV trace file (arrival_ns,op,offset,size)")
+	style := flag.String("style", "", "synthetic style instead of -trace: msr, alibaba, tencent")
+	dur := flag.Duration("dur", 15*time.Second, "synthetic trace duration")
+	device := flag.String("device", "970pro", "device model: 970pro, s3610, pm961, femu")
+	seed := flag.Int64("seed", 1, "training seed")
+	out := flag.String("out", "", "write the serialized model here")
+	cout := flag.String("cout", "", "also write generated C source here")
+	joint := flag.Int("joint", 1, "joint-inference granularity P")
+	load := flag.String("load", "", "load a saved model instead of training")
+	evalStyle := flag.String("eval-style", "", "evaluate against a synthetic style after training/loading")
+	flag.Parse()
+
+	devCfg, err := deviceByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	var model *core.Model
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded model: %d-deep features, joint=%d, threshold %.3f\n",
+			model.Spec().Depth, model.JointSize(), model.Threshold())
+	default:
+		tr, err := loadTrace(*tracePath, *style, *seed, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d requests over %v\n", tr.Len(), tr.Duration().Round(time.Millisecond))
+
+		dev := ssd.New(devCfg, *seed)
+		log := iolog.Collect(tr, dev)
+		cfg := core.DefaultConfig(*seed)
+		cfg.JointSize = *joint
+		start := time.Now()
+		model, err = core.Train(log, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rep := model.Report()
+		fmt.Printf("trained in %v: %d reads, kept %d, slow fraction %.1f%%, threshold %.3f\n",
+			time.Since(start).Round(time.Millisecond), rep.Samples, rep.Kept,
+			rep.SlowFraction*100, model.Threshold())
+	}
+
+	if *evalStyle != "" {
+		evalTr, err := loadTrace("", *evalStyle, *seed+1, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		dev := ssd.New(devCfg, *seed+1)
+		reads := iolog.Reads(iolog.Collect(evalTr, dev))
+		rep := model.Evaluate(reads, iolog.GroundTruth(reads))
+		fmt.Printf("evaluation vs simulator ground truth: ROC-AUC %.3f PR-AUC %.3f F1 %.3f FNR %.3f FPR %.3f\n",
+			rep.ROCAUC, rep.PRAUC, rep.F1, rep.FNR, rep.FPR)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		info, _ := os.Stat(*out)
+		fmt.Printf("model written to %s (%d bytes)\n", *out, info.Size())
+	}
+	if *cout != "" {
+		f, err := os.Create(*cout)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.ExportC(f, "heimdall"); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("C source written to %s\n", *cout)
+	}
+}
+
+func deviceByName(name string) (ssd.Config, error) {
+	switch name {
+	case "970pro":
+		return ssd.Samsung970Pro(), nil
+	case "s3610":
+		return ssd.IntelDCS3610(), nil
+	case "pm961":
+		return ssd.SamsungPM961(), nil
+	case "femu":
+		return ssd.FEMUEmulated(), nil
+	}
+	return ssd.Config{}, fmt.Errorf("unknown device %q", name)
+}
+
+func loadTrace(path, style string, seed int64, dur time.Duration) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadCSV(f, path)
+	}
+	switch style {
+	case "msr", "":
+		return trace.Generate(trace.MSRStyle(seed, dur)), nil
+	case "alibaba":
+		return trace.Generate(trace.AlibabaStyle(seed, dur)), nil
+	case "tencent":
+		return trace.Generate(trace.TencentStyle(seed, dur)), nil
+	}
+	return nil, fmt.Errorf("unknown style %q", style)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heimdall-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command replay runs one end-to-end 2-replica experiment: it generates a
+// light-heavy trace pair, trains Heimdall and LinnOS per device on the first
+// half, replays the second half under every policy, and prints the read
+// latency comparison — a single-command version of the paper's §6.1 loop.
+//
+// Usage:
+//
+//	replay [-seed N] [-dur D] [-device 970pro|s3610|pm961] [-hetero]
+//	       [-policies baseline,random,c3,hedging,linnos,heimdall]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linnos"
+	"repro/internal/policy"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	dur := flag.Duration("dur", 10*time.Second, "trace duration (split 50:50 train/test)")
+	device := flag.String("device", "970pro", "device model: 970pro, s3610, pm961")
+	hetero := flag.Bool("hetero", false, "use the heterogeneous §6.2 pair (S3610 + PM961)")
+	policies := flag.String("policies", "baseline,random,c3,hedging,linnos,heimdall", "comma-separated policies")
+	flag.Parse()
+
+	var devCfg ssd.Config
+	switch *device {
+	case "970pro":
+		devCfg = ssd.Samsung970Pro()
+	case "s3610":
+		devCfg = ssd.IntelDCS3610()
+	case "pm961":
+		devCfg = ssd.SamsungPM961()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	devices := []ssd.Config{devCfg, devCfg}
+	if *hetero {
+		devices = []ssd.Config{ssd.IntelDCS3610(), ssd.SamsungPM961()}
+	}
+
+	styles := trace.Styles(*seed, *dur)
+	heavyCfg := styles[0]
+	heavyCfg.BurstSeed = *seed + 7717
+	lightCfg := heavyCfg
+	lightCfg.Seed += 5
+	lightCfg.MeanIOPS *= 0.85
+	heavy := trace.Generate(heavyCfg)
+	light := trace.Generate(lightCfg)
+	heavyTrain, heavyTest := heavy.SplitHalf()
+	lightTrain, lightTest := light.SplitHalf()
+
+	fmt.Printf("devices: %s + %s\n", devices[0].Name, devices[1].Name)
+	fmt.Printf("heavy: %d reqs, light: %d reqs\n\n", heavy.Len(), light.Len())
+
+	fmt.Println("training per-device models on the first halves...")
+	trainHalves := []*trace.Trace{heavyTrain, lightTrain}
+	heimModels := make([]*core.Model, 2)
+	linModels := make([]*linnos.Model, 2)
+	for d := 0; d < 2; d++ {
+		_, log := replay.CollectLog(trainHalves[d], devices[d], *seed+int64(d))
+		m, err := core.Train(log, core.DefaultConfig(*seed+int64(d)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heimdall training on device %d: %v\n", d, err)
+			os.Exit(1)
+		}
+		heimModels[d] = m
+		l, err := linnos.Train(log, *seed+int64(d))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linnos training on device %d: %v\n", d, err)
+			os.Exit(1)
+		}
+		linModels[d] = l
+		rep := m.Report()
+		fmt.Printf("  device %d (%s): %d reads, slow fraction %.3f, %v preprocess + %v train\n",
+			d, devices[d].Name, rep.Samples, rep.SlowFraction,
+			rep.PreprocessTime.Round(time.Millisecond), rep.TrainTime.Round(time.Millisecond))
+	}
+
+	available := map[string]policy.Selector{
+		"baseline": policy.Baseline{},
+		"random":   policy.NewRandom(*seed),
+		"c3":       policy.C3{},
+		"ams":      policy.AMS{},
+		"heron":    &policy.Heron{},
+		"hedging":  policy.NewHedging(2 * time.Millisecond),
+		"linnos":   &policy.LinnOS{Models: linModels},
+		"heimdall": &policy.Heimdall{Models: heimModels},
+	}
+
+	fmt.Printf("\n%-10s %10s %10s %10s %10s %10s %9s %7s %11s\n",
+		"policy", "avg", "p50", "p95", "p99", "p99.9", "reroutes", "hedges", "busy-dodge")
+	for _, name := range strings.Split(*policies, ",") {
+		sel, ok := available[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", name)
+			os.Exit(2)
+		}
+		res := replay.Run([]*trace.Trace{heavyTest, lightTest}, replay.Options{
+			Devices: devices, Seed: *seed + 999, Selector: sel,
+		})
+		dodge := 0.0
+		if res.BusyPrimary > 0 {
+			dodge = float64(res.BusyAvoided) / float64(res.BusyPrimary) * 100
+		}
+		fmt.Printf("%-10s %10v %10v %10v %10v %10v %9d %7d %10.1f%%\n",
+			res.Policy,
+			res.ReadLat.Mean.Round(time.Microsecond),
+			res.ReadLat.P50.Round(time.Microsecond),
+			res.ReadLat.P95.Round(time.Microsecond),
+			res.ReadLat.P99.Round(time.Microsecond),
+			res.ReadLat.P999.Round(time.Microsecond),
+			res.Reroutes, res.Hedges, dodge)
+	}
+}

@@ -1,0 +1,85 @@
+// Command tracegen generates a synthetic block trace in one of the three
+// production styles, optionally augmented, and either prints its workload
+// statistics or dumps it as CSV (arrival_ns,op,offset,size).
+//
+// Usage:
+//
+//	tracegen [-style msr|alibaba|tencent] [-seed N] [-dur D]
+//	         [-augment name] [-csv] [-windows D]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	style := flag.String("style", "msr", "trace style: msr, alibaba, or tencent")
+	seed := flag.Int64("seed", 42, "generator seed")
+	dur := flag.Duration("dur", 30*time.Second, "trace duration")
+	augment := flag.String("augment", "", "augmentation: rerate-0.1x rerate-0.5x rerate-2x resize-2x resize-4x")
+	csv := flag.Bool("csv", false, "dump the trace as CSV to stdout")
+	windows := flag.Duration("windows", 0, "also report per-window stats at this window size")
+	flag.Parse()
+
+	var cfg trace.GenConfig
+	switch *style {
+	case "msr":
+		cfg = trace.MSRStyle(*seed, *dur)
+	case "alibaba":
+		cfg = trace.AlibabaStyle(*seed, *dur)
+	case "tencent":
+		cfg = trace.TencentStyle(*seed, *dur)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown style %q\n", *style)
+		os.Exit(2)
+	}
+	t := trace.Generate(cfg)
+
+	if *augment != "" {
+		found := false
+		for _, a := range trace.StandardAugmentations() {
+			if a.Name == *augment {
+				t = a.Apply(t)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown augmentation %q\n", *augment)
+			os.Exit(2)
+		}
+	}
+
+	if *csv {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		fmt.Fprintln(w, "arrival_ns,op,offset,size")
+		for _, r := range t.Reqs {
+			fmt.Fprintf(w, "%d,%s,%d,%d\n", r.Arrival, r.Op, r.Offset, r.Size)
+		}
+		return
+	}
+
+	s := trace.Measure(t)
+	fmt.Printf("trace %s: %d requests over %v\n", t.Name, s.Requests, s.Duration.Round(time.Millisecond))
+	fmt.Printf("  reads %d (%.1f%%)  writes %d\n", s.Reads, s.ReadRatio*100, s.Writes)
+	fmt.Printf("  IOPS %.0f  mean size %.1fKB  p50 size %.1fKB  max %dKB\n",
+		s.IOPS, s.MeanSize/1024, s.P50Size/1024, s.MaxSize/1024)
+	fmt.Printf("  read BW %.1fMB/s  write BW %.1fMB/s  randomness %.2f  rank %.0f\n",
+		s.ReadBW/(1<<20), s.WriteBW/(1<<20), s.Randomness, s.Rank())
+
+	if *windows > 0 {
+		fmt.Printf("\nper-window stats (%v windows):\n", *windows)
+		for i, w := range trace.Windows(t, *windows, 1) {
+			ws := trace.Measure(w)
+			fmt.Printf("  w%02d: %6d reqs  %7.0f IOPS  read %.2f  rand %.2f\n",
+				i, ws.Requests, ws.IOPS, ws.ReadRatio, ws.Randomness)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Cephlike: the §6.3 wide-scale setting — a Ceph-RADOS-like cluster of 10
+// nodes x 2 OSDs with noisy neighbours, comparing primary-only, random, and
+// Heimdall routing under fan-out scaling factors (Tail at Scale).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heimdall "repro"
+)
+
+func main() {
+	cfg := heimdall.DefaultClusterConfig(3)
+	cfg.Duration = 6 * time.Second
+
+	fmt.Printf("cluster: %d nodes x %d OSDs, %d clients, %d noise injectors\n",
+		cfg.Nodes, cfg.OSDsPerNode, cfg.Clients, cfg.NoiseInjectors)
+
+	fmt.Println("training the shared OSD admission model on a warmup run...")
+	model, err := heimdall.TrainClusterModel(cfg)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	for _, sf := range []int{1, 10} {
+		c := cfg
+		c.SF = sf
+		c.RequestRate = cfg.RequestRate / float64(sf) // hold sub-request load constant
+		fmt.Printf("\nscaling factor SF=%d (each user request fans out to %d OSD reads):\n", sf, sf)
+		fmt.Printf("%-10s %10s %10s %10s %10s %9s %9s\n", "policy", "avg", "p75", "p95", "p99", "reroutes", "busy-hit")
+		for _, pol := range []heimdall.ClusterPolicy{
+			heimdall.ClusterBaseline, heimdall.ClusterRandom, heimdall.ClusterHeimdall,
+		} {
+			res := heimdall.RunCluster(c, pol, model)
+			fmt.Printf("%-10s %10v %10v %10v %10v %9d %9d\n",
+				res.Policy,
+				res.UserLat.Mean.Round(time.Microsecond),
+				res.UserLat.Percentile(75).Round(time.Microsecond),
+				res.UserLat.P95.Round(time.Microsecond),
+				res.UserLat.P99.Round(time.Microsecond),
+				res.Reroute, res.BusyHit)
+		}
+	}
+	fmt.Println("\nexpected shape: fan-out amplifies the tail (SF=10 medians exceed SF=1),")
+	fmt.Println("and Heimdall cuts the amplified tail that baseline routing suffers.")
+}

@@ -1,0 +1,108 @@
+// Deployment: the operator workflow around the model — train once, persist
+// the model artifact, regenerate the C source for an in-kernel build
+// (§4.1), size the joint-inference granularity for the observed load
+// (§4.2), and stand up a label-free input-drift monitor for the long run
+// (§7).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	heimdall "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "heimdall-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Train on the collected log. ---
+	tr := heimdall.Generate(heimdall.MSRStyle(19, 6*time.Second))
+	dev := heimdall.NewDevice(heimdall.Samsung970Pro(), 19)
+	iolog := heimdall.Collect(tr, dev)
+	cfg := heimdall.DefaultConfig(19)
+	cfg.Epochs = 12
+	cfg.MaxTrainSamples = 15000
+	model, err := heimdall.Train(iolog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: slow fraction %.1f%%, threshold %.3f\n",
+		model.Report().SlowFraction*100, model.Threshold())
+
+	// --- Persist and reload (ship to the storage node). ---
+	modelPath := filepath.Join(dir, "model.bin")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	f, err = os.Open(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := heimdall.LoadModel(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(modelPath)
+	fmt.Printf("persisted %d bytes; reloaded model threshold %.3f\n", info.Size(), loaded.Threshold())
+
+	// --- Generate the C source (the in-kernel build input). ---
+	var csrc bytes.Buffer
+	if err := loaded.ExportC(&csrc, "heimdall"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d bytes of C (heimdall_score / heimdall_admit)\n", csrc.Len())
+
+	// --- Size joint inference for the expected load. ---
+	costs := map[int]float64{}
+	for _, p := range []int{1, 3, 5, 9} {
+		// Input-layer width grows with joint size; model the cost from the
+		// multiply count at ~1ns per multiply (measure on your hardware for
+		// production).
+		costs[p] = float64(128*(10+p) + 128*16 + 16)
+	}
+	jc := heimdall.NewJointController(costs, 0.5)
+	for _, iops := range []float64{100_000, 500_000, 2_000_000} {
+		fmt.Printf("at %.0fk IOPS -> joint size %d\n", iops/1000, jc.Pick(iops))
+	}
+
+	// --- Arm the input-drift monitor (no labels needed). ---
+	rows := make([][]float64, 0, 4096)
+	hist := heimdall.NewFeatureWindow(loaded.Spec().Depth)
+	for _, r := range heimdall.Reads(iolog) {
+		rows = append(rows, loaded.Spec().Online(r.QueueLen, r.Size, r.Arrival, 0, hist))
+		hist.Push(heimdall.HistEntry{
+			Latency: float64(r.Latency), QueueLen: float64(r.QueueLen), Thpt: r.ThroughputMBps(),
+		})
+	}
+	det := heimdall.NewInputDriftDetector(rows, 10)
+
+	// Same workload: stable. A write-heavy tencent shift: drift.
+	feed := func(style heimdall.GenConfig, seed int64) bool {
+		d := heimdall.NewDevice(heimdall.Samsung970Pro(), seed)
+		h := heimdall.NewFeatureWindow(loaded.Spec().Depth)
+		for _, r := range heimdall.Reads(heimdall.Collect(heimdall.Generate(style), d)) {
+			det.Observe(loaded.Spec().Online(r.QueueLen, r.Size, r.Arrival, 0, h))
+			h.Push(heimdall.HistEntry{
+				Latency: float64(r.Latency), QueueLen: float64(r.QueueLen), Thpt: r.ThroughputMBps(),
+			})
+		}
+		return det.Drifted()
+	}
+	fmt.Printf("same workload drifted?    %v\n", feed(heimdall.MSRStyle(20, 2*time.Second), 20))
+	fmt.Printf("shifted workload drifted? %v\n", feed(heimdall.TencentStyle(21, 2*time.Second), 21))
+	fmt.Println("\non drift: retrain on the freshest window (model.Retrain) and re-ship.")
+}

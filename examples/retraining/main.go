@@ -1,0 +1,86 @@
+// Retraining: the §7 long-deployment scenario — a drifting write-heavy
+// workload erodes a train-once model's accuracy over time; an
+// accuracy-monitored retraining policy (retrain on the last window when
+// windowed accuracy drops below 80%) holds it up.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	heimdall "repro"
+)
+
+func main() {
+	const windows = 20
+	const window = 4 * time.Second
+	seed := int64(5)
+
+	// A Tencent-style workload (writes ~2x reads -> frequent GC) whose mix
+	// drifts over time.
+	gen := heimdall.TencentStyle(seed, window*(windows+1))
+	gen.DriftPeriod = window * (windows + 1) / 3
+	long := heimdall.Generate(gen)
+	dev := heimdall.NewDevice(heimdall.Samsung970Pro(), seed)
+	iolog := heimdall.Collect(long, dev)
+	fmt.Printf("long run: %d I/Os across %d monitoring windows\n\n", len(iolog), windows)
+
+	// Chop the continuous log into monitoring windows.
+	wins := make([][]heimdall.Record, 0, windows+1)
+	start := 0
+	for w := 0; w <= windows; w++ {
+		end := start
+		limit := int64(w+1) * int64(window)
+		for end < len(iolog) && iolog[end].Arrival < limit {
+			end++
+		}
+		wins = append(wins, iolog[start:end])
+		start = end
+	}
+
+	cfg := heimdall.DefaultConfig(seed)
+	cfg.Epochs = 12
+	cfg.MaxTrainSamples = 20000
+
+	for _, retraining := range []bool{false, true} {
+		model, err := heimdall.Train(wins[0], cfg)
+		if err != nil {
+			log.Fatalf("initial training: %v", err)
+		}
+		// The monitor tracks windowed ROC-AUC; on the simulated substrate the
+		// model holds up well, so this demo raises the trigger above the
+		// paper's 0.80 to make retraining visible on dips.
+		pol := heimdall.DefaultRetrainPolicy()
+		pol.Threshold = 0.92
+		monitor := heimdall.NewMonitor(pol)
+		name := "train-once"
+		if retraining {
+			name = "retrain<92%"
+		}
+		fmt.Printf("%s:\n", name)
+		retrains := 0
+		for w := 1; w <= windows; w++ {
+			reads := heimdall.Reads(wins[w])
+			if len(reads) == 0 {
+				continue
+			}
+			acc := model.WindowAccuracy(reads, heimdall.GroundTruth(reads))
+			mark := ""
+			if retraining && monitor.ShouldRetrain(int64(w)*int64(time.Hour), acc) {
+				if m2, err := model.Retrain(wins[w]); err == nil {
+					model = m2
+					retrains++
+					mark = "  <- retrained"
+				}
+			}
+			bar := strings.Repeat("#", int(acc*40))
+			fmt.Printf("  w%02d %5.1f%% %-40s%s\n", w, acc*100, bar, mark)
+		}
+		fmt.Printf("  (%d retrains)\n\n", retrains)
+	}
+	fmt.Println("expected shape: windowed accuracy dips as the workload drifts;")
+	fmt.Println("the monitored policy retrains on the freshest window at each dip.")
+	fmt.Println("(on this simulated substrate the model is robust — see EXPERIMENTS.md Fig 17.)")
+}

@@ -1,0 +1,54 @@
+package heimdall
+
+// Façade exports for the deployment and long-run extensions: model
+// serialization, C code generation, inaccuracy masking, dynamic joint-size
+// control, and drift detection.
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/policy"
+)
+
+// LoadModel deserializes a model written with (*Model).Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// MaskedHeimdallPolicy wraps per-replica models with inaccuracy masking:
+// decisions inside the uncertainty band additionally arm a hedge (the OM
+// pipeline stage). Zero band/hedge use the defaults (0.1, 2ms).
+func MaskedHeimdallPolicy(models []*Model, band float64, hedge time.Duration) Selector {
+	return &policy.MaskedHeimdall{Models: models, Band: band, HedgeAfter: hedge}
+}
+
+// JointController picks the joint-inference granularity for an observed I/O
+// rate (§4.2's dynamic adjustment).
+type JointController = core.JointController
+
+// NewJointController builds a controller from measured per-inference costs
+// (joint size -> ns per inference).
+func NewJointController(costNs map[int]float64, targetUtil float64) *JointController {
+	return core.NewJointController(costNs, targetUtil)
+}
+
+// InputDriftDetector flags feature-distribution shift (PSI) without needing
+// labels — the §7 retraining trigger that works with request logging off.
+type InputDriftDetector = drift.InputDetector
+
+// NewInputDriftDetector builds a detector from the training feature matrix.
+func NewInputDriftDetector(trainRows [][]float64, bins int) *InputDriftDetector {
+	return drift.NewInputDetector(trainRows, bins)
+}
+
+// RetrainStrategy decides when a long deployment retrains.
+type RetrainStrategy = drift.Strategy
+
+// Retraining strategies for long deployments (§7, §8).
+func RetrainNever() RetrainStrategy             { return drift.Never{} }
+func RetrainPeriodic(every int) RetrainStrategy { return drift.Periodic{Every: every} }
+func RetrainOnAccuracy(below float64) RetrainStrategy {
+	return drift.OnAccuracy{Below: below}
+}
+func RetrainOnInputDrift() RetrainStrategy { return drift.OnInputDrift{} }

@@ -1,0 +1,217 @@
+package heimdall
+
+// Tests of the public façade: the full quickstart flow over the exported
+// API only, plus the experiment harness smoke tests (every figure function
+// must produce a plausible table even at tiny scale).
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tr := Generate(MSRStyle(42, 4*time.Second))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dev := NewDevice(Samsung970Pro(), 1)
+	log := Collect(tr, dev)
+	if len(log) != tr.Len() {
+		t.Fatal("log length mismatch")
+	}
+
+	cfg := DefaultConfig(7)
+	cfg.Epochs = 12
+	cfg.MaxTrainSamples = 12000
+	model, err := Train(log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev2 := NewDevice(Samsung970Pro(), 2)
+	testReads := Reads(Collect(Generate(MSRStyle(43, 2*time.Second)), dev2))
+	rep := model.Evaluate(testReads, GroundTruth(testReads))
+	if rep.ROCAUC < 0.7 {
+		t.Fatalf("public-API model ROC %.3f", rep.ROCAUC)
+	}
+
+	// Online decisions through the façade: an idle view must admit, and
+	// across the real test set the decline rate on ground-truth-contended
+	// reads must clearly exceed the false-decline rate on clean reads.
+	idle := NewFeatureWindow(3)
+	idle.Push(HistEntry{Latency: 90_000, QueueLen: 1, Thpt: 40})
+	if !model.Admit(model.Features(1, 4096, idle)) {
+		t.Error("idle device should admit")
+	}
+	var declinedSlow, slow, declinedFast, fast int
+	rows := extractRows(model, testReads)
+	gt := GroundTruth(testReads)
+	for i, raw := range rows {
+		declined := !model.Admit(raw)
+		if gt[i] == 1 {
+			slow++
+			if declined {
+				declinedSlow++
+			}
+		} else {
+			fast++
+			if declined {
+				declinedFast++
+			}
+		}
+	}
+	if slow == 0 || fast == 0 {
+		t.Fatal("degenerate test window")
+	}
+	slowRate := float64(declinedSlow) / float64(slow)
+	fastRate := float64(declinedFast) / float64(fast)
+	if slowRate < 3*fastRate || slowRate < 0.08 {
+		t.Errorf("decisions do not discriminate: decline %0.2f of slow vs %0.2f of fast", slowRate, fastRate)
+	}
+}
+
+func TestPublicReplayFlow(t *testing.T) {
+	cfg := MSRStyle(5, 2*time.Second)
+	cfg.MeanIOPS = 8000
+	tr := Generate(cfg)
+	res := Replay([]*Trace{tr}, ReplayOptions{
+		Devices:  []DeviceConfig{Samsung970Pro(), Samsung970Pro()},
+		Seed:     5,
+		Selector: C3Policy(),
+	})
+	if res.Reads == 0 || res.ReadLat.N != res.Reads {
+		t.Fatalf("replay result %+v", res)
+	}
+	for _, sel := range []Selector{
+		BaselinePolicy(), RandomPolicy(1), HedgingPolicy(0), AMSPolicy(), HeronPolicy(),
+	} {
+		if sel.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}
+
+func TestPublicLabelingFlow(t *testing.T) {
+	dev := NewDevice(IntelDCS3610(), 9)
+	reads := Reads(Collect(Generate(TencentStyle(9, 2*time.Second)), dev))
+	th := SearchThresholds(reads)
+	labels := PeriodLabel(reads, th)
+	if len(labels) != len(reads) {
+		t.Fatal("label length mismatch")
+	}
+	slow := 0
+	for _, l := range labels {
+		slow += l
+	}
+	if slow == 0 || slow == len(labels) {
+		t.Fatalf("degenerate labeling: %d/%d slow", slow, len(labels))
+	}
+}
+
+func TestDeviceModelsExported(t *testing.T) {
+	if len(DeviceModels()) != 10 {
+		t.Fatal("expected the paper's 10 device models")
+	}
+	if LabelPeriod.String() != "period" || LabelCutoff.String() != "cutoff" {
+		t.Fatal("labeling kinds")
+	}
+	if ClusterBaseline.String() != "baseline" || ClusterHeimdall.String() != "heimdall" {
+		t.Fatal("cluster policies")
+	}
+}
+
+// TestExperimentTables smoke-runs the fast experiment tables and checks
+// their structural invariants. The replay/cluster/AutoML experiments are
+// exercised by their benchmarks (they need minutes, not test seconds).
+func TestExperimentTables(t *testing.T) {
+	scale := experiments.SmallScale()
+	scale.Datasets = 2
+	scale.Epochs = 4
+	scale.MaxTrainSamples = 4000
+	scale.TraceDur = 1500 * time.Millisecond
+
+	fast := map[string]func(experiments.Scale) experiments.Table{
+		"fig5a":      experiments.Fig5a,
+		"fig7a":      experiments.Fig7a,
+		"fig15a":     experiments.Fig15a,
+		"fig15c":     experiments.Fig15c,
+		"fig16":      experiments.Fig16,
+		"train-time": experiments.TrainTime,
+	}
+	for name, f := range fast {
+		tab := f(scale)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+			continue
+		}
+		if tab.Title == "" || len(tab.Columns) == 0 {
+			t.Errorf("%s: missing title/columns", name)
+		}
+		out := tab.String()
+		if !strings.Contains(out, tab.Title) {
+			t.Errorf("%s: String() missing title", name)
+		}
+		for _, r := range tab.Rows {
+			if len(r.Values) > len(tab.Columns) {
+				t.Errorf("%s: row %q wider than columns", name, r.Label)
+			}
+		}
+	}
+}
+
+func TestFig16Targets(t *testing.T) {
+	tab := experiments.Fig16(experiments.SmallScale())
+	var lin, heim []float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "linnos":
+			lin = r.Values
+		case "heimdall":
+			heim = r.Values
+		}
+	}
+	if lin == nil || heim == nil {
+		t.Fatal("missing rows")
+	}
+	// memKB column: ~68 vs ~28 (§6.6).
+	if lin[1] < 60 || lin[1] > 75 {
+		t.Errorf("linnos memory %v KB, want ~68", lin[1])
+	}
+	if heim[1] < 24 || heim[1] > 32 {
+		t.Errorf("heimdall memory %v KB, want ~28", heim[1])
+	}
+	// Heimdall must use a fraction of LinnOS's per-I/O compute.
+	if heim[3] > 0.6 {
+		t.Errorf("heimdall relative CPU %v, want < 0.6", heim[3])
+	}
+}
+
+func TestFig15aShape(t *testing.T) {
+	tab := experiments.Fig15a(experiments.SmallScale())
+	// joint=1 must saturate at a lower load than joint=9: compare the
+	// latency at the highest swept rate.
+	var j1, j9 []float64
+	for _, r := range tab.Rows {
+		switch r.Label {
+		case "joint=1":
+			j1 = r.Values
+		case "joint=9":
+			j9 = r.Values
+		}
+	}
+	if j1 == nil || j9 == nil {
+		t.Fatal("missing joint rows")
+	}
+	// At 3x the joint=1 capacity, joint=1 is far past saturation while
+	// joint=9 (with ~9x capacity) must still be stable.
+	const at3x = 4 // index of the x3.0 column
+	if j9[at3x] >= j1[at3x] {
+		t.Errorf("joint=9 latency %.1fµs not below joint=1 %.1fµs at 3x load", j9[at3x], j1[at3x])
+	}
+	if j9[at3x] >= 100 {
+		t.Errorf("joint=9 saturated at 3x load (%.1fµs)", j9[at3x])
+	}
+}

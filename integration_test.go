@@ -1,0 +1,177 @@
+package heimdall
+
+// Cross-module integration tests: flows that span several internal packages
+// through the public façade, the way a downstream user composes them.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestIntegrationTrainSaveLoadReplay walks the full operator workflow:
+// collect a log, train, serialize, load on "another machine", and deploy the
+// loaded model inside a live replay — decisions must match the original
+// model's behaviour.
+func TestIntegrationTrainSaveLoadReplay(t *testing.T) {
+	seed := int64(31)
+	heavyCfg := MSRStyle(seed, 4*time.Second)
+	heavyCfg.BurstSeed = seed + 9
+	lightCfg := heavyCfg
+	lightCfg.Seed += 5
+	lightCfg.MeanIOPS *= 0.85
+	heavy := Generate(heavyCfg)
+	light := Generate(lightCfg)
+	heavyTrain, heavyTest := heavy.SplitHalf()
+	lightTrain, lightTest := light.SplitHalf()
+	devices := []DeviceConfig{Samsung970Pro(), Samsung970Pro()}
+
+	cfg := DefaultConfig(seed)
+	cfg.Epochs = 8
+	cfg.MaxTrainSamples = 10000
+
+	models := make([]*Model, 2)
+	for d, tr := range []*Trace{heavyTrain, lightTrain} {
+		dev := NewDevice(devices[d], seed+int64(d))
+		m, err := Train(Collect(tr, dev), cfg)
+		if err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		// Round-trip through serialization, as a kernel deployment would.
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[d] = loaded
+	}
+
+	testTraces := []*Trace{heavyTest, lightTest}
+	base := Replay(testTraces, ReplayOptions{Devices: devices, Seed: seed + 999})
+	heim := Replay(testTraces, ReplayOptions{
+		Devices: devices, Seed: seed + 999, Selector: HeimdallPolicy(models),
+	})
+	if heim.Reads != base.Reads {
+		t.Fatalf("read counts diverged: %d vs %d", heim.Reads, base.Reads)
+	}
+	if heim.Inferences != heim.Reads {
+		t.Fatalf("heimdall made %d inferences for %d reads (want 1 per read)", heim.Inferences, heim.Reads)
+	}
+	if heim.Reroutes == 0 {
+		t.Fatal("heimdall never rerouted under a contended workload")
+	}
+	// The admission policy must beat always-admit at the mid-tail on the
+	// heavy/light pair — the paper's headline behaviour.
+	if heim.ReadLat.P95 > base.ReadLat.P95 {
+		t.Errorf("heimdall p95 %v worse than baseline %v", heim.ReadLat.P95, base.ReadLat.P95)
+	}
+}
+
+// TestIntegrationMaskedPolicy checks that inaccuracy masking only adds
+// hedges (never changes read accounting) and stays within sane hedge rates.
+func TestIntegrationMaskedPolicy(t *testing.T) {
+	seed := int64(33)
+	cfg := MSRStyle(seed, 3*time.Second)
+	tr := Generate(cfg)
+	train, test := tr.SplitHalf()
+	devices := []DeviceConfig{Samsung970Pro(), Samsung970Pro()}
+
+	tcfg := DefaultConfig(seed)
+	tcfg.Epochs = 8
+	tcfg.MaxTrainSamples = 8000
+	dev := NewDevice(devices[0], seed)
+	m, err := Train(Collect(train, dev), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*Model{m, m}
+
+	res := Replay([]*Trace{test}, ReplayOptions{
+		Devices: devices, Seed: seed + 7,
+		Selector: MaskedHeimdallPolicy(models, 0.1, 2*time.Millisecond),
+	})
+	if res.Policy != "heimdall+mask" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatal("masking changed read accounting")
+	}
+	if res.Hedges > res.Reads/2 {
+		t.Fatalf("masking hedged %d of %d reads — band far too wide", res.Hedges, res.Reads)
+	}
+}
+
+// TestIntegrationDriftDetectorOnWorkloadShift feeds the detector real
+// feature streams from two different workload styles: same style must not
+// drift, a different style must.
+func TestIntegrationDriftDetectorOnWorkloadShift(t *testing.T) {
+	seed := int64(35)
+	cfg := DefaultConfig(seed)
+	cfg.Epochs = 6
+	cfg.MaxTrainSamples = 6000
+
+	dev := NewDevice(Samsung970Pro(), seed)
+	trainLog := Collect(Generate(MSRStyle(seed, 3*time.Second)), dev)
+	m, err := Train(trainLog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := extractRows(m, trainLog)
+	det := NewInputDriftDetector(rows, 10)
+	det.MinSamples = 300
+
+	// Same style, fresh seed/device: stable.
+	dev2 := NewDevice(Samsung970Pro(), seed+1)
+	same := extractRows(m, Collect(Generate(MSRStyle(seed+1, 2*time.Second)), dev2))
+	for _, r := range same {
+		det.Observe(r)
+	}
+	if det.Drifted() {
+		t.Fatal("same workload flagged as drifted")
+	}
+
+	// Different style (write-heavy tencent on a slower device): drift.
+	dev3 := NewDevice(IntelDCS3610(), seed+2)
+	diff := extractRows(m, Collect(Generate(TencentStyle(seed+2, 2*time.Second)), dev3))
+	for _, r := range diff {
+		det.Observe(r)
+	}
+	if !det.Drifted() {
+		t.Fatal("workload shift not detected")
+	}
+}
+
+func extractRows(m *Model, log []Record) [][]float64 {
+	reads := Reads(log)
+	hist := NewFeatureWindow(m.Spec().Depth)
+	rows := make([][]float64, 0, len(reads))
+	for _, r := range reads {
+		rows = append(rows, m.Spec().Online(r.QueueLen, r.Size, r.Arrival, 0, hist))
+		hist.Push(HistEntry{Latency: float64(r.Latency), QueueLen: float64(r.QueueLen), Thpt: r.ThroughputMBps()})
+	}
+	return rows
+}
+
+// TestIntegrationJointControllerWithMeasuredCosts wires the controller to
+// real measured inference costs, the way a deployment would size itself.
+func TestIntegrationJointControllerWithMeasuredCosts(t *testing.T) {
+	costs := map[int]float64{}
+	for _, p := range []int{1, 3, 9} {
+		// A rough per-size cost measurement via the benchmark path would be
+		// overkill here; geometry scaling is what matters. Model the cost
+		// as proportional to the input-layer width.
+		costs[p] = float64(128*(10+p)+2064) * 0.8 // ~0.8ns per multiply
+	}
+	jc := NewJointController(costs, 0.5)
+	low := jc.Pick(10_000)
+	high := jc.Pick(100_000_000)
+	if low != 1 {
+		t.Fatalf("low load picked %d", low)
+	}
+	if high != 9 {
+		t.Fatalf("overload picked %d", high)
+	}
+}

@@ -1,0 +1,136 @@
+package automl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func dataset(seed int64, n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		cls := rng.Intn(2)
+		base := 0.3
+		if cls == 1 {
+			base = 0.7
+		}
+		X[i] = []float64{
+			base + rng.NormFloat64()*0.2,
+			rng.Float64(),
+			float64(rng.Intn(2)),
+		}
+		y[i] = cls
+	}
+	return X, y
+}
+
+func TestFamilyNames(t *testing.T) {
+	seen := map[string]bool{}
+	for f := Family(0); f < NumFamilies; f++ {
+		name := f.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("family %d name %q", f, name)
+		}
+		seen[name] = true
+	}
+	if NumFamilies != 16 {
+		t.Fatalf("families %d, want 16 (Fig. 18 rows)", NumFamilies)
+	}
+}
+
+func TestSearchFamilyReturnsValidResult(t *testing.T) {
+	trainX, trainY := dataset(1, 400)
+	valX, valY := dataset(2, 200)
+	for _, f := range []Family{SGD, DecisionTree, GaussianNB, MLP} {
+		r := SearchFamily(f, trainX, trainY, valX, valY, 3, 7)
+		if r.ROCAUC < 0 || r.ROCAUC > 1 {
+			t.Fatalf("%v: AUC %v", f, r.ROCAUC)
+		}
+		if r.ExploreHours <= 0 {
+			t.Fatalf("%v: no exploration time", f)
+		}
+		if len(r.Arch) != int(NumFamilies)+paramDims {
+			t.Fatalf("%v: arch vector %d", f, len(r.Arch))
+		}
+		if r.Arch[f] != 1 {
+			t.Fatalf("%v: one-hot bit missing", f)
+		}
+	}
+}
+
+func TestExploreHoursInPaperRange(t *testing.T) {
+	// With the standard 20-trial budget, every family's modeled exploration
+	// time must land in the paper's 1.8-4.8h range.
+	for f := Family(0); f < NumFamilies; f++ {
+		h := perTrialHours[f] * 20
+		if h < 1.7 || h > 4.9 {
+			t.Errorf("%v: %.1fh outside the Fig. 18b range", f, h)
+		}
+	}
+}
+
+func TestFullSearchPicksWinner(t *testing.T) {
+	trainX, trainY := dataset(3, 300)
+	valX, valY := dataset(4, 150)
+	results, best := FullSearch(trainX, trainY, valX, valY, 2, 9)
+	if len(results) != int(NumFamilies) {
+		t.Fatalf("results %d", len(results))
+	}
+	for _, r := range results {
+		if results[best].ROCAUC < r.ROCAUC {
+			t.Fatal("winner is not the max")
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float64{1, 0, 0}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self cosine %v", got)
+	}
+	b := []float64{0, 1, 0}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("orthogonal cosine %v", got)
+	}
+	if got := Cosine(a, []float64{0, 0, 0}); got != 0 {
+		t.Fatalf("zero-vector cosine %v", got)
+	}
+}
+
+func TestArchVectorsDivergeAcrossFamilies(t *testing.T) {
+	a := ArchVector(SGD, []float64{0.5, 0.5, 0.5, 0.5})
+	b := ArchVector(RandomForest, []float64{0.5, 0.5, 0.5, 0.5})
+	if Cosine(a, b) >= 1 {
+		t.Fatal("different families should not be identical")
+	}
+	if Cosine(a, a) != 1 {
+		t.Fatal("identical arch must have similarity 1")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	for f := Family(0); f < NumFamilies; f++ {
+		r1 := rand.New(rand.NewSource(5))
+		r2 := rand.New(rand.NewSource(5))
+		_, p1 := sample(f, r1)
+		_, p2 := sample(f, r2)
+		if p1 != p2 {
+			t.Fatalf("%v: sampling not deterministic", f)
+		}
+	}
+}
+
+func TestRawFeatures(t *testing.T) {
+	rows := RawFeatures([]int64{100, 300, 600}, []int32{4096, 8192, 4096}, []int{0, 1, 0})
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0][0] != 100 || rows[1][0] != 200 || rows[2][0] != 300 {
+		t.Fatalf("gaps wrong: %v", rows)
+	}
+	if rows[1][1] != 8192 || rows[1][2] != 1 {
+		t.Fatalf("size/op wrong: %v", rows[1])
+	}
+}

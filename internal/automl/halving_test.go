@@ -1,0 +1,68 @@
+package automl
+
+import "testing"
+
+func TestSuccessiveHalvingFindsGoodConfig(t *testing.T) {
+	trainX, trainY := dataset(11, 600)
+	valX, valY := dataset(12, 300)
+	r := SuccessiveHalving(DecisionTree, trainX, trainY, valX, valY, 8, 3)
+	if r.ROCAUC < 0.7 {
+		t.Fatalf("halving AUC %.3f on separable data", r.ROCAUC)
+	}
+	if len(r.Arch) != int(NumFamilies)+paramDims || r.Arch[DecisionTree] != 1 {
+		t.Fatalf("arch vector wrong: %v", r.Arch)
+	}
+	if r.FitsDone == 0 {
+		t.Fatal("no fits recorded")
+	}
+}
+
+func TestSuccessiveHalvingBudgetBelowFlatSearch(t *testing.T) {
+	// With n starting configs and halving, total fits are ~2n; a flat
+	// random search that trained every config on the FULL data n times
+	// would use n full-size fits. The point is most halving fits run on
+	// small slices; assert the fit count stays below 2n+rungs.
+	trainX, trainY := dataset(13, 800)
+	valX, valY := dataset(14, 200)
+	n := 16
+	r := SuccessiveHalving(GaussianNB, trainX, trainY, valX, valY, n, 5)
+	if r.FitsDone > 2*n+rungs(n) {
+		t.Fatalf("halving used %d fits for n=%d", r.FitsDone, n)
+	}
+}
+
+func TestSuccessiveHalvingDeterministic(t *testing.T) {
+	trainX, trainY := dataset(15, 400)
+	valX, valY := dataset(16, 200)
+	a := SuccessiveHalving(AdaBoost, trainX, trainY, valX, valY, 6, 9)
+	b := SuccessiveHalving(AdaBoost, trainX, trainY, valX, valY, 6, 9)
+	if a.ROCAUC != b.ROCAUC || a.FitsDone != b.FitsDone {
+		t.Fatal("halving not deterministic")
+	}
+}
+
+func TestRungs(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 8: 3, 16: 4}
+	for n, want := range cases {
+		if got := rungs(n); got != want {
+			t.Errorf("rungs(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBuildMatchesSample(t *testing.T) {
+	// build with the params returned by sample must produce a classifier of
+	// the same family that trains to the same decisions given the same seed
+	// behaviour class. We verify type-level agreement via Name().
+	for f := Family(0); f < NumFamilies; f++ {
+		var p [paramDims]float64
+		for i := range p {
+			p[i] = 0.5
+		}
+		c1 := build(f, p, 1)
+		c2 := build(f, p, 1)
+		if c1.Name() != c2.Name() {
+			t.Fatalf("%v: build unstable", f)
+		}
+	}
+}

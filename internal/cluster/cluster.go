@@ -1,0 +1,393 @@
+// Package cluster is the wide-scale distributed-storage substrate of §6.3:
+// a Ceph-RADOS-like setup of N nodes hosting two OSDs each (backed by
+// FEMU-style simulated SSDs), replicated object placement with a primary and
+// a secondary OSD, client fan-out with a configurable scaling factor (SF,
+// "The Tail at Scale"), and noise injectors that create noisy-neighbour
+// load.
+//
+// Three policies are compared, matching the paper: baseline (always the
+// primary OSD), random load balancing, and Heimdall admission at the primary
+// with decline-to-secondary.
+package cluster
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/iolog"
+	"repro/internal/metrics"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Policy selects the cluster routing policy.
+type Policy int
+
+const (
+	// Baseline routes every sub-request to the object's primary OSD.
+	Baseline Policy = iota
+	// Random load-balances uniformly between primary and secondary.
+	Random
+	// Heimdall runs admission at the primary OSD and falls back to the
+	// secondary when the model predicts a slow period.
+	Heimdall
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case Heimdall:
+		return "heimdall"
+	}
+	return "baseline"
+}
+
+// Config describes the cluster and workload.
+type Config struct {
+	Nodes       int // machines (paper: 10)
+	OSDsPerNode int // paper: 2
+	Device      ssd.Config
+
+	Clients     int     // client nodes (paper: 20)
+	RequestRate float64 // user requests per second per client
+	SF          int     // sub-requests per user request (§6.3)
+	Duration    time.Duration
+	Objects     int // distinct objects (placement granularity)
+
+	// Noise injectors issue background read/write load on random OSDs to
+	// create noisy neighbours.
+	NoiseInjectors int
+	NoiseIOPS      float64 // per injector
+	NoiseWriteFrac float64
+
+	Seed int64
+}
+
+// DefaultConfig returns a scaled-down version of the paper's testbed that
+// runs quickly; the experiment driver scales it up.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Nodes: 10, OSDsPerNode: 2, Device: ssd.FEMUEmulated(),
+		Clients: 20, RequestRate: 350, SF: 1,
+		Duration: 20 * time.Second, Objects: 4096,
+		NoiseInjectors: 8, NoiseIOPS: 6000, NoiseWriteFrac: 0.35,
+		Seed: seed,
+	}
+}
+
+// Result summarizes one cluster run.
+type Result struct {
+	Policy  string
+	UserLat metrics.LatencyStats // end-user request latency (max of SF fan-out)
+	SubLat  metrics.LatencyStats // individual sub-request latency
+	Reroute int
+
+	// Ground-truth instrumentation (simulator-only): client sub-requests
+	// whose primary OSD was inside a busy period, and how many landed on a
+	// busy OSD after routing.
+	BusyPrimary int
+	BusyHit     int
+}
+
+type osd struct {
+	dev  *ssd.Device
+	hist *feature.Window
+	pend pendHeap
+	log  []iolog.Record // populated only when log collection is on
+}
+
+type pendEntry struct {
+	at   int64
+	hist feature.Hist
+}
+
+type pendHeap []pendEntry
+
+func (h pendHeap) Len() int            { return len(h) }
+func (h pendHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h pendHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x interface{}) { *h = append(*h, x.(pendEntry)) }
+func (h *pendHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (o *osd) advance(now int64) {
+	for o.pend.Len() > 0 && o.pend[0].at <= now {
+		e := heap.Pop(&o.pend).(pendEntry)
+		o.hist.Push(e.hist)
+	}
+}
+
+func (o *osd) submitRead(now int64, size int32, collect bool) int64 {
+	r := o.dev.Submit(now, trace.Read, size)
+	lat := r.Complete - now
+	thpt := 0.0
+	if lat > 0 {
+		thpt = float64(size) / (1 << 20) / (float64(lat) / 1e9)
+	}
+	heap.Push(&o.pend, pendEntry{at: r.Complete, hist: feature.Hist{
+		Latency: float64(lat), QueueLen: float64(r.QueueLen), Thpt: thpt,
+	}})
+	if collect {
+		o.log = append(o.log, iolog.Record{
+			Arrival: now, Size: size, Op: trace.Read,
+			Latency: lat, QueueLen: r.QueueLen, Contended: r.Contended,
+		})
+	}
+	return lat
+}
+
+type clusterEvent struct {
+	at   int64
+	seq  int64
+	op   trace.Op
+	size int32
+	// user request id; -1 for noise traffic
+	req    int
+	object int
+}
+
+type clusterHeap []clusterEvent
+
+func (h clusterHeap) Len() int { return len(h) }
+func (h clusterHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h clusterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *clusterHeap) Push(x interface{}) { *h = append(*h, x.(clusterEvent)) }
+func (h *clusterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// placement returns the primary and secondary OSD of an object; the
+// secondary always lives on a different node.
+func placement(object, totalOSDs, perNode int) (primary, secondary int) {
+	primary = object % totalOSDs
+	stride := perNode // jump at least one node over
+	secondary = (primary + stride + object%stride + 1) % totalOSDs
+	if secondary/perNode == primary/perNode {
+		secondary = (secondary + perNode) % totalOSDs
+	}
+	return primary, secondary
+}
+
+// TrainModel runs a baseline warmup of the cluster itself, logging every
+// OSD's I/O in situ (the operator's logging phase), and trains a Heimdall
+// model on the OSD that saw the widest latency spread — a noisy-neighbour
+// victim, which is exactly the behaviour the model must learn. The OSDs are
+// homogeneous (same FEMU device class), so the one model is shared across
+// all of them, mirroring how a homogeneous Ceph pool would deploy.
+func TrainModel(cfg Config) (*core.Model, error) {
+	warm := cfg
+	warm.Seed = cfg.Seed + 999
+	_, logs := run(warm, Baseline, nil, true)
+	type cand struct {
+		idx    int
+		spread float64
+	}
+	var cands []cand
+	for i, log := range logs {
+		reads := iolog.Reads(log)
+		if len(reads) < 100 {
+			continue
+		}
+		st := metrics.Latencies(iolog.Latencies(reads))
+		cands = append(cands, cand{i, float64(st.P99) / float64(st.P50+1)})
+	}
+	if len(cands) == 0 {
+		return nil, core.ErrNoReads
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].spread > cands[b].spread })
+	trainCfg := core.DefaultConfig(cfg.Seed)
+	trainCfg.MaxTrainSamples = 30000
+	var lastErr error
+	for _, c := range cands {
+		m, err := core.Train(logs[c.idx], trainCfg)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Run simulates the cluster under the given policy. model is required for
+// the Heimdall policy and ignored otherwise.
+func Run(cfg Config, pol Policy, model *core.Model) Result {
+	res, _ := run(cfg, pol, model, false)
+	return res
+}
+
+func run(cfg Config, pol Policy, model *core.Model, collectLogs bool) (Result, [][]iolog.Record) {
+	total := cfg.Nodes * cfg.OSDsPerNode
+	osds := make([]*osd, total)
+	for i := range osds {
+		osds[i] = &osd{
+			dev:  ssd.New(cfg.Device, cfg.Seed+int64(i)*31),
+			hist: feature.NewWindow(4),
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	// Build the event stream: client user requests (each expands to SF read
+	// sub-requests at the same instant) plus noise-injector traffic.
+	var events clusterHeap
+	var seq int64
+	end := int64(cfg.Duration)
+	reqID := 0
+	sizes := []int32{4 << 10, 16 << 10, 64 << 10}
+	for c := 0; c < cfg.Clients; c++ {
+		now := int64(rng.ExpFloat64() / cfg.RequestRate * 1e9)
+		for now < end {
+			for s := 0; s < cfg.SF; s++ {
+				events = append(events, clusterEvent{
+					at: now, seq: seq, op: trace.Read,
+					size:   sizes[rng.Intn(len(sizes))],
+					req:    reqID,
+					object: rng.Intn(cfg.Objects),
+				})
+				seq++
+			}
+			reqID++
+			now += int64(rng.ExpFloat64() / cfg.RequestRate * 1e9)
+		}
+	}
+	// Each noise injector is a noisy *neighbour*: it hammers a small
+	// hotspot of objects, concentrating write pressure (and therefore GC)
+	// on a couple of OSDs at a time, like a co-tenant compaction or backup
+	// job would.
+	noiseSizes := []int32{16 << 10, 64 << 10, 256 << 10}
+	for inj := 0; inj < cfg.NoiseInjectors; inj++ {
+		hotspotSpan := cfg.Objects / 64
+		if hotspotSpan < 1 {
+			hotspotSpan = 1
+		}
+		hotspot := rng.Intn(cfg.Objects)
+		now := int64(rng.ExpFloat64() / cfg.NoiseIOPS * 1e9)
+		for now < end {
+			// Hotspots move occasionally so different OSDs take turns
+			// being the noisy neighbour's victim.
+			if rng.Float64() < 0.002 {
+				hotspot = rng.Intn(cfg.Objects)
+			}
+			op := trace.Read
+			if rng.Float64() < cfg.NoiseWriteFrac {
+				op = trace.Write
+			}
+			events = append(events, clusterEvent{
+				at: now, seq: seq, op: op,
+				size:   noiseSizes[rng.Intn(len(noiseSizes))],
+				req:    -1,
+				object: (hotspot + rng.Intn(hotspotSpan)) % cfg.Objects,
+			})
+			seq++
+			now += int64(rng.ExpFloat64() / cfg.NoiseIOPS * 1e9)
+		}
+	}
+	heap.Init(&events)
+
+	res := Result{Policy: pol.String()}
+	userDone := map[int]int64{}  // request id -> max sub completion
+	userStart := map[int]int64{} // request id -> arrival
+	userLeft := map[int]int{}
+	var subLats, userLats []int64
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(clusterEvent)
+		now := ev.at
+		prim, sec := placement(ev.object, total, cfg.OSDsPerNode)
+		osds[prim].advance(now)
+		osds[sec].advance(now)
+
+		if ev.op == trace.Write {
+			// Replicated write to both OSDs.
+			wr := osds[prim].dev.Submit(now, trace.Write, ev.size)
+			osds[sec].dev.Submit(now, trace.Write, ev.size)
+			if collectLogs {
+				osds[prim].log = append(osds[prim].log, iolog.Record{
+					Arrival: now, Size: ev.size, Op: trace.Write,
+					Latency: wr.Complete - now, QueueLen: wr.QueueLen,
+				})
+			}
+			continue
+		}
+
+		primBusy := osds[prim].dev.InBusy(now)
+		target := prim
+		if ev.req < 0 {
+			// Noise traffic belongs to other tenants: it always hits the
+			// primary, outside our policy's control.
+			lat := osds[prim].submitRead(now, ev.size, collectLogs)
+			_ = lat
+			continue
+		}
+		switch pol {
+		case Random:
+			if rng.Intn(2) == 1 {
+				target = sec
+			}
+		case Heimdall:
+			o := osds[prim]
+			raw := model.Features(o.dev.QueueLen(now), ev.size, o.hist)
+			if !model.Admit(raw) {
+				target = sec
+			}
+		}
+		if target != prim {
+			res.Reroute++
+		}
+		targetBusy := osds[target].dev.InBusy(now)
+		lat := osds[target].submitRead(now, ev.size, collectLogs)
+
+		if primBusy {
+			res.BusyPrimary++
+		}
+		if targetBusy {
+			res.BusyHit++
+		}
+		subLats = append(subLats, lat)
+		if _, ok := userStart[ev.req]; !ok {
+			userStart[ev.req] = now
+			userLeft[ev.req] = cfg.SF
+			userDone[ev.req] = 0
+		}
+		if done := now + lat; done > userDone[ev.req] {
+			userDone[ev.req] = done
+		}
+		userLeft[ev.req]--
+		if userLeft[ev.req] == 0 {
+			userLats = append(userLats, userDone[ev.req]-userStart[ev.req])
+			delete(userDone, ev.req)
+			delete(userStart, ev.req)
+			delete(userLeft, ev.req)
+		}
+	}
+
+	res.SubLat = metrics.Latencies(subLats)
+	res.UserLat = metrics.Latencies(userLats)
+	var logs [][]iolog.Record
+	if collectLogs {
+		logs = make([][]iolog.Record, len(osds))
+		for i, o := range osds {
+			logs[i] = o.log
+		}
+	}
+	return res, logs
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func tinyConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Duration = 2 * time.Second
+	cfg.RequestRate = 120
+	cfg.NoiseIOPS = 300
+	return cfg
+}
+
+func TestPlacementProperties(t *testing.T) {
+	f := func(rawObj uint16, rawNodes, rawPer uint8) bool {
+		nodes := 2 + int(rawNodes)%9 // 2..10
+		perNode := 1 + int(rawPer)%3 // 1..3
+		total := nodes * perNode
+		obj := int(rawObj)
+		p, s := placement(obj, total, perNode)
+		if p < 0 || p >= total || s < 0 || s >= total {
+			return false
+		}
+		if p == s {
+			return false
+		}
+		// Secondary on a different node.
+		return p/perNode != s/perNode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	res := Run(tinyConfig(1), Baseline, nil)
+	if res.UserLat.N == 0 || res.SubLat.N == 0 {
+		t.Fatal("no measured requests")
+	}
+	if res.Reroute != 0 {
+		t.Fatalf("baseline rerouted %d", res.Reroute)
+	}
+	if res.Policy != "baseline" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+}
+
+func TestRandomRun(t *testing.T) {
+	res := Run(tinyConfig(2), Random, nil)
+	if res.Reroute == 0 {
+		t.Fatal("random never used the secondary")
+	}
+}
+
+func TestScalingFactorAmplifiesTail(t *testing.T) {
+	cfg := tinyConfig(3)
+	cfg.SF = 1
+	sf1 := Run(cfg, Baseline, nil)
+	cfg.SF = 10
+	cfg.RequestRate = cfg.RequestRate / 10 // keep total sub-request load equal
+	sf10 := Run(cfg, Baseline, nil)
+	// With 10 parallel sub-requests, the user request waits for the max —
+	// its median must exceed the SF=1 median (Tail at Scale).
+	if sf10.UserLat.P50 <= sf1.UserLat.P50 {
+		t.Fatalf("SF=10 p50 %v not above SF=1 p50 %v", sf10.UserLat.P50, sf1.UserLat.P50)
+	}
+	if sf10.UserLat.N == 0 {
+		t.Fatal("no user requests at SF=10")
+	}
+}
+
+func TestUserRequestAccounting(t *testing.T) {
+	cfg := tinyConfig(4)
+	cfg.SF = 4
+	res := Run(cfg, Baseline, nil)
+	if res.SubLat.N != res.UserLat.N*cfg.SF {
+		t.Fatalf("sub %d vs user %d x SF %d", res.SubLat.N, res.UserLat.N, cfg.SF)
+	}
+	// User latency >= max sub latency of its own fan-out, so the global max
+	// user latency can never be below the p50 sub latency.
+	if res.UserLat.Max < res.SubLat.P50 {
+		t.Fatal("user latency accounting implausible")
+	}
+}
+
+func TestHeimdallPolicyRuns(t *testing.T) {
+	// Training needs a warmup long enough for busy periods to show up on at
+	// least one OSD, so this test runs a slightly larger config.
+	cfg := tinyConfig(5)
+	cfg.Duration = 5 * time.Second
+	cfg.NoiseIOPS = 3000
+	cfg.RequestRate = 200
+	model, err := TrainModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(cfg, Heimdall, model)
+	if res.UserLat.N == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.Policy != "heimdall" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+}
+
+func TestDeterministicCluster(t *testing.T) {
+	a := Run(tinyConfig(6), Random, nil)
+	b := Run(tinyConfig(6), Random, nil)
+	if a.UserLat.Mean != b.UserLat.Mean || a.Reroute != b.Reroute {
+		t.Fatal("cluster run not deterministic")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Baseline.String() != "baseline" || Random.String() != "random" || Heimdall.String() != "heimdall" {
+		t.Fatal("policy names")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import "sort"
+
+// JointController implements the dynamic joint-size adjustment §4.2 leaves
+// to storage administrators: given the measured cost of one inference at
+// each granularity and the currently observed I/O rate, it picks the
+// smallest joint size that keeps the inference core below a target
+// utilization — smallest because accuracy degrades with P (Fig. 15b).
+//
+// The controller is deliberately tiny and allocation-free at decision time;
+// a deployment re-evaluates it once per monitoring tick, not per I/O.
+type JointController struct {
+	// TargetUtil is the highest acceptable inference-core utilization
+	// (default 0.5 — at an M/D/1-ish queue, utilization beyond that starts
+	// to show in latency).
+	TargetUtil float64
+
+	sizes []int
+	cost  []float64 // ns per inference for sizes[i]
+}
+
+// NewJointController builds a controller from measured per-inference costs.
+// costNs maps joint size -> nanoseconds per inference at that size; the map
+// must include size 1.
+func NewJointController(costNs map[int]float64, targetUtil float64) *JointController {
+	if targetUtil <= 0 || targetUtil >= 1 {
+		targetUtil = 0.5
+	}
+	c := &JointController{TargetUtil: targetUtil}
+	for s := range costNs {
+		if s >= 1 {
+			c.sizes = append(c.sizes, s)
+		}
+	}
+	sort.Ints(c.sizes)
+	c.cost = make([]float64, len(c.sizes))
+	for i, s := range c.sizes {
+		c.cost[i] = costNs[s]
+	}
+	return c
+}
+
+// Sizes returns the configured joint sizes in ascending order.
+func (c *JointController) Sizes() []int { return append([]int(nil), c.sizes...) }
+
+// Pick returns the smallest configured joint size whose inference core
+// stays under TargetUtil at the given I/O rate (per second). If none
+// qualifies, the largest size is returned — the best the deployment can do.
+func (c *JointController) Pick(iops float64) int {
+	if len(c.sizes) == 0 {
+		return 1
+	}
+	for i, s := range c.sizes {
+		// One inference serves s I/Os: the core performs iops/s inferences
+		// per second, each costing cost[i] ns.
+		util := iops / float64(s) * c.cost[i] / 1e9
+		if util <= c.TargetUtil {
+			return s
+		}
+	}
+	return c.sizes[len(c.sizes)-1]
+}
+
+// Capacity returns the I/O rate (per second) at which the given joint size
+// reaches TargetUtil.
+func (c *JointController) Capacity(size int) float64 {
+	for i, s := range c.sizes {
+		if s == size {
+			return c.TargetUtil * float64(s) / c.cost[i] * 1e9
+		}
+	}
+	return 0
+}

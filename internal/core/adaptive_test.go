@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func testController() *JointController {
+	// Costs grow mildly with joint size (wider input layer).
+	return NewJointController(map[int]float64{
+		1: 1000, 3: 1100, 5: 1200, 9: 1400,
+	}, 0.5)
+}
+
+func TestJointControllerPicksSmallest(t *testing.T) {
+	c := testController()
+	// Capacity at size 1 with util 0.5: 0.5/1000ns = 500k IOPS.
+	if got := c.Pick(100_000); got != 1 {
+		t.Fatalf("low load picked joint=%d, want 1 (accuracy first)", got)
+	}
+	// 1M IOPS needs size >= 3 (capacity3 = 0.5*3/1100ns = 1.36M).
+	if got := c.Pick(1_000_000); got != 3 {
+		t.Fatalf("1M IOPS picked joint=%d, want 3", got)
+	}
+	// Far beyond every capacity: the largest size is the best available.
+	if got := c.Pick(100_000_000); got != 9 {
+		t.Fatalf("overload picked joint=%d, want 9", got)
+	}
+}
+
+func TestJointControllerMonotone(t *testing.T) {
+	c := testController()
+	prev := 0
+	for iops := 50_000.0; iops < 5_000_000; iops *= 1.5 {
+		p := c.Pick(iops)
+		if p < prev {
+			t.Fatalf("joint size decreased (%d -> %d) as load grew", prev, p)
+		}
+		prev = p
+	}
+}
+
+func TestJointControllerCapacity(t *testing.T) {
+	c := testController()
+	cap1 := c.Capacity(1)
+	if cap1 != 500_000 {
+		t.Fatalf("capacity(1) = %v, want 500k", cap1)
+	}
+	if c.Capacity(9) <= cap1 {
+		t.Fatal("larger joint size must raise capacity")
+	}
+	if c.Capacity(42) != 0 {
+		t.Fatal("unknown size capacity should be 0")
+	}
+}
+
+func TestJointControllerDefaults(t *testing.T) {
+	c := NewJointController(map[int]float64{1: 1000}, 2.0) // invalid target
+	if c.TargetUtil != 0.5 {
+		t.Fatalf("target util %v", c.TargetUtil)
+	}
+	empty := NewJointController(nil, 0.5)
+	if empty.Pick(1e6) != 1 {
+		t.Fatal("empty controller should fall back to 1")
+	}
+}

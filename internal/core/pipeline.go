@@ -1,0 +1,458 @@
+// Package core implements the Heimdall I/O admission model and its training
+// pipeline — the paper's primary contribution. Train runs the full pipeline
+// of §3 over a collected I/O log:
+//
+//	label (period-based, §3.1) → noise-filter (3 stages, §3.2) →
+//	featurize + scale (§3.3) → train the tuned NN (§3.5) →
+//	quantize for deployment (§4.1)
+//
+// The resulting Model makes per-I/O (or joint, §4.2) admit/decline decisions
+// in well under a microsecond using integer arithmetic.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/filter"
+	"repro/internal/iolog"
+	"repro/internal/label"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// LabelingKind selects the labeling algorithm.
+type LabelingKind int
+
+const (
+	// LabelPeriod is Heimdall's period-based accurate labeling (§3.1).
+	LabelPeriod LabelingKind = iota
+	// LabelCutoff is the latency-cutoff labeling of prior work (Fig. 3a).
+	LabelCutoff
+)
+
+// String names the labeling kind.
+func (k LabelingKind) String() string {
+	if k == LabelCutoff {
+		return "cutoff"
+	}
+	return "period"
+}
+
+// Config parameterizes the pipeline. DefaultConfig gives the paper's final
+// design; the ablation experiments flip individual fields.
+type Config struct {
+	Seed int64
+
+	// Labeling stage.
+	Labeling LabelingKind
+	// SearchThresholds enables the gradient-descent threshold search
+	// (Fig. 3d); otherwise DefaultThresholds are used as-is.
+	SearchThresholds bool
+
+	// Noise filtering stage (§3.2).
+	Filter filter.Config
+
+	// Feature engineering stage (§3.3).
+	Feature feature.Spec
+	Scaler  feature.ScalerKind
+
+	// Model stage (§3.5). Hidden layers only; the output layer is added per
+	// Output. Defaults to Fig. 9f: 128 and 16 ReLU neurons.
+	Hidden []nn.LayerSpec
+	// Output defaults to a single sigmoid neuron.
+	Output nn.LayerSpec
+
+	Epochs int
+	Batch  int
+	LR     float64
+	// PosWeight != 1 enables the biased weighted-loss training of §3.6.
+	PosWeight float64
+
+	// JointSize is the joint-inference granularity P (§4.2): one inference
+	// admits/declines P consecutive I/Os. 1 disables joint inference.
+	JointSize int
+
+	// MaxTrainSamples caps the training set by uniform random subsampling
+	// (the data-sampling stage of the pipeline, Fig. 1 "TS"); 0 means no
+	// cap. High-IOPS logs carry hundreds of thousands of reads per minute;
+	// the model saturates well before that.
+	MaxTrainSamples int
+
+	// Quantize produces the fixed-point deployment network (§4.1). On by
+	// default in DefaultConfig.
+	Quantize bool
+}
+
+// DefaultConfig returns the shipped Heimdall pipeline: period labeling with
+// threshold search, the shipped noise-filter configuration (see
+// filter.DefaultConfig; the paper's full 3-stage setup is
+// filter.PaperConfig), the selected 11-feature set at depth 3 with min-max
+// scaling, the 128/16 ReLU network with a single sigmoid output, and
+// quantization.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		Labeling:         LabelPeriod,
+		SearchThresholds: true,
+		Filter:           filter.DefaultConfig(),
+		Feature:          feature.DefaultSpec(),
+		Scaler:           feature.ScaleMinMax,
+		Hidden:           []nn.LayerSpec{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}},
+		Output:           nn.LayerSpec{Units: 1, Act: nn.Sigmoid},
+		Epochs:           25,
+		Batch:            64,
+		LR:               0.005,
+		PosWeight:        1,
+		JointSize:        1,
+		MaxTrainSamples:  50000,
+		Quantize:         true,
+	}
+}
+
+// Report describes a completed training run.
+type Report struct {
+	Samples      int // read I/Os in the log
+	Kept         int // samples surviving noise filtering
+	SlowFraction float64
+	Thresholds   label.Thresholds
+	FilterDrops  map[filter.NoiseKind]int
+	// PreprocessTime covers labeling, filtering, feature extraction, and
+	// scaling; TrainTime covers gradient descent (the §6.7 split).
+	PreprocessTime time.Duration
+	TrainTime      time.Duration
+	TrainStats     nn.TrainStats
+}
+
+// Model is a trained Heimdall admission model.
+type Model struct {
+	cfg    Config
+	spec   feature.Spec
+	scaler feature.Scaler
+	net    *nn.Network
+	qnet   *nn.QuantNetwork
+	report Report
+
+	// threshold is the calibrated decision boundary: scores at or above it
+	// decline the I/O. Calibrated so that the training-set decline rate
+	// matches the labeled slow fraction — plain 0.5 under-calls the slow
+	// minority after BCE training on imbalanced data (§3.6).
+	threshold float64
+
+	scratchA, scratchB []int64
+	rowBuf             []float64
+}
+
+// ErrNoReads is returned when the training log contains no read I/Os.
+var ErrNoReads = errors.New("core: training log contains no reads")
+
+// ErrOneClass is returned when labeling yields a single class (a log with no
+// detectable slow period, or all slow).
+var ErrOneClass = errors.New("core: labeled log has a single class; collect a longer log")
+
+// Train runs the full pipeline over a collected log and returns the
+// deployable model.
+func Train(recs []iolog.Record, cfg Config) (*Model, error) {
+	start := time.Now()
+	reads := iolog.Reads(recs)
+	if len(reads) == 0 {
+		return nil, ErrNoReads
+	}
+	if cfg.JointSize < 1 {
+		cfg.JointSize = 1
+	}
+	if cfg.Feature.Depth == 0 {
+		cfg.Feature = feature.DefaultSpec()
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []nn.LayerSpec{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}}
+	}
+	if cfg.Output.Units == 0 {
+		cfg.Output = nn.LayerSpec{Units: 1, Act: nn.Sigmoid}
+	}
+
+	labels, thresholds := Label(reads, cfg)
+
+	fres := filter.Apply(reads, labels, cfg.Filter)
+
+	rows := feature.Extract(reads, cfg.Feature)
+	rows, labels = assemble(rows, reads, labels, fres.Keep, cfg)
+	if !hasBothClasses(labels) {
+		return nil, ErrOneClass
+	}
+
+	scaler := feature.NewScaler(cfg.Scaler)
+	feature.FitTransform(scaler, rows)
+	rows, labels = subsample(rows, labels, cfg.MaxTrainSamples, cfg.Seed)
+	preprocess := time.Since(start)
+
+	width := len(rows[0])
+	loss := nn.BCE
+	if cfg.Output.Act == nn.Softmax {
+		loss = nn.CE
+	}
+	net, err := nn.New(nn.Config{
+		Inputs:    width,
+		Layers:    append(append([]nn.LayerSpec(nil), cfg.Hidden...), cfg.Output),
+		Seed:      cfg.Seed,
+		Optimizer: nn.Adam,
+		Loss:      loss,
+		LR:        cfg.LR,
+		Epochs:    cfg.Epochs,
+		Batch:     cfg.Batch,
+		PosWeight: cfg.PosWeight,
+		Patience:  6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	yf := make([]float64, len(labels))
+	for i, l := range labels {
+		yf[i] = float64(l)
+	}
+	trainStart := time.Now()
+	stats, err := net.Train(rows, yf)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		cfg:       cfg,
+		spec:      cfg.Feature,
+		scaler:    scaler,
+		net:       net,
+		threshold: calibrate(net, rows, labels),
+		report: Report{
+			Samples:        len(reads),
+			Kept:           fres.Kept,
+			SlowFraction:   label.SlowFraction(labels),
+			Thresholds:     thresholds,
+			FilterDrops:    fres.Drops,
+			PreprocessTime: preprocess,
+			TrainTime:      time.Since(trainStart),
+			TrainStats:     stats,
+		},
+	}
+	if cfg.Quantize {
+		q, err := net.Quantize()
+		if err != nil {
+			return nil, fmt.Errorf("core: quantize: %w", err)
+		}
+		m.qnet = q
+		m.scratchA = make([]int64, q.ScratchSize())
+		m.scratchB = make([]int64, q.ScratchSize())
+	}
+	return m, nil
+}
+
+// Label runs the configured labeling stage and returns labels for the read
+// log plus the thresholds used (period labeling only).
+func Label(reads []iolog.Record, cfg Config) ([]int, label.Thresholds) {
+	switch cfg.Labeling {
+	case LabelCutoff:
+		return label.Cutoff(reads, label.CutoffValue(reads)), label.Thresholds{}
+	default:
+		th := label.DefaultThresholds()
+		if cfg.SearchThresholds {
+			th = label.Search(reads, label.SearchOptions{})
+		}
+		return label.Period(reads, th), th
+	}
+}
+
+// assemble applies the filter mask and, for joint inference, groups P
+// consecutive kept samples into one row (head features + the P sizes) with
+// an any-slow label.
+func assemble(rows [][]float64, reads []iolog.Record, labels []int, keep []bool, cfg Config) ([][]float64, []int) {
+	var keptRows [][]float64
+	var keptLabels []int
+	var keptSizes []float64
+	for i := range rows {
+		if !keep[i] {
+			continue
+		}
+		keptRows = append(keptRows, rows[i])
+		keptLabels = append(keptLabels, labels[i])
+		keptSizes = append(keptSizes, float64(reads[i].Size))
+	}
+	p := cfg.JointSize
+	if p <= 1 {
+		return keptRows, keptLabels
+	}
+	var outRows [][]float64
+	var outLabels []int
+	for i := 0; i+p <= len(keptRows); i += p {
+		row := append([]float64(nil), keptRows[i]...)
+		// Extend with the sizes of the remaining P-1 I/Os in the group; the
+		// head's own size is already in its feature vector.
+		for j := 1; j < p; j++ {
+			row = append(row, keptSizes[i+j])
+		}
+		lab := 0
+		for j := 0; j < p; j++ {
+			if keptLabels[i+j] == 1 {
+				lab = 1
+				break
+			}
+		}
+		outRows = append(outRows, row)
+		outLabels = append(outLabels, lab)
+	}
+	return outRows, outLabels
+}
+
+// calibrate picks the decision threshold whose training-set decline rate
+// matches the labeled slow fraction, clamped to [0.05, 0.5]. This is the
+// fine-grained tuning pass that keeps the deployed false-admit rate in line
+// with what labeling saw.
+func calibrate(net *nn.Network, rows [][]float64, labels []int) float64 {
+	if len(rows) == 0 {
+		return 0.5
+	}
+	slow := 0
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		scores[i] = net.Infer(r)
+		slow += labels[i]
+	}
+	sort.Float64s(scores)
+	// Threshold at the (1 - slowFrac) quantile of training scores.
+	idx := len(scores) - slow
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(scores) {
+		idx = len(scores) - 1
+	}
+	th := scores[idx]
+	if th < 0.05 {
+		th = 0.05
+	}
+	if th > 0.5 {
+		th = 0.5
+	}
+	return th
+}
+
+// subsample uniformly reduces the training set to at most max rows,
+// deterministically in seed. Uniform sampling preserves the class mix.
+func subsample(rows [][]float64, labels []int, max int, seed int64) ([][]float64, []int) {
+	if max <= 0 || len(rows) <= max {
+		return rows, labels
+	}
+	rng := rand.New(rand.NewSource(seed + 17))
+	idx := rng.Perm(len(rows))[:max]
+	sort.Ints(idx)
+	outR := make([][]float64, max)
+	outL := make([]int, max)
+	for i, j := range idx {
+		outR[i] = rows[j]
+		outL[i] = labels[j]
+	}
+	return outR, outL
+}
+
+func hasBothClasses(labels []int) bool {
+	var pos, neg bool
+	for _, l := range labels {
+		if l == 1 {
+			pos = true
+		} else {
+			neg = true
+		}
+		if pos && neg {
+			return true
+		}
+	}
+	return false
+}
+
+// Config returns the pipeline configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Report returns the training report.
+func (m *Model) Report() Report { return m.report }
+
+// Spec returns the feature spec deployment callers must feed.
+func (m *Model) Spec() feature.Spec { return m.spec }
+
+// JointSize returns the inference granularity P.
+func (m *Model) JointSize() int { return m.cfg.JointSize }
+
+// Net exposes the underlying float network (for overhead accounting and the
+// tuning experiments).
+func (m *Model) Net() *nn.Network { return m.net }
+
+// Quantized exposes the fixed-point network, nil if quantization is off.
+func (m *Model) Quantized() *nn.QuantNetwork { return m.qnet }
+
+// scale applies the trained scaler to the raw (unscaled) feature row in
+// place. The scaler was fitted on assembled rows, so joint models scale the
+// extended group row directly.
+func (m *Model) scale(row []float64) []float64 {
+	return m.scaler.Transform(row)
+}
+
+// Score returns P(slow) for a raw feature row (float path).
+func (m *Model) Score(raw []float64) float64 {
+	row := append([]float64(nil), raw...)
+	m.scale(row)
+	return m.net.Infer(row)
+}
+
+// Threshold returns the calibrated decision boundary.
+func (m *Model) Threshold() float64 { return m.threshold }
+
+// Admit decides one I/O (or one joint group) from a raw feature row using
+// the quantized fast path when available: true = admit, false = decline and
+// reroute. The input is not modified. Not safe for concurrent use (shared
+// scratch buffers); clone the model per goroutine or use Score.
+func (m *Model) Admit(raw []float64) bool {
+	if cap(m.rowBuf) < len(raw) {
+		m.rowBuf = make([]float64, len(raw))
+	}
+	row := m.rowBuf[:len(raw)]
+	copy(row, raw)
+	m.scale(row)
+	if m.qnet != nil {
+		return m.qnet.PredictInto(row, m.scratchA, m.scratchB) < m.threshold
+	}
+	return m.net.Infer(row) < m.threshold
+}
+
+// Features assembles the raw (unscaled) online feature row for a single I/O.
+func (m *Model) Features(queueLen int, size int32, hist *feature.Window) []float64 {
+	return m.spec.Online(queueLen, size, 0, 0, hist)
+}
+
+// JointFeatures assembles the raw feature row for a joint group of I/Os:
+// head features plus the sizes of the rest of the group. len(sizes) must
+// equal JointSize.
+func (m *Model) JointFeatures(queueLen int, sizes []int32, hist *feature.Window) []float64 {
+	row := m.spec.Online(queueLen, sizes[0], 0, 0, hist)
+	for _, s := range sizes[1:] {
+		row = append(row, float64(s))
+	}
+	return row
+}
+
+// Evaluate scores a labeled test log and returns the five-metric report
+// (§6.4). Joint models group the test samples the same way training did.
+func (m *Model) Evaluate(reads []iolog.Record, refLabels []int) metrics.Report {
+	rows := feature.Extract(reads, m.spec)
+	keep := make([]bool, len(rows))
+	for i := range keep {
+		keep[i] = true
+	}
+	rows, labels := assemble(rows, reads, refLabels, keep, m.cfg)
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		m.scale(r)
+		scores[i] = m.net.Infer(r)
+	}
+	return metrics.EvaluateAt(scores, labels, m.threshold)
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/feature"
+	"repro/internal/nn"
+)
+
+// modelFile is the on-disk form of a trained model: everything a storage
+// node needs to make admission decisions — configuration, network weights,
+// fitted scaler statistics, and the calibrated threshold. It deliberately
+// excludes training state; a loaded model is inference-only until Retrain
+// rebuilds it from fresh data.
+type modelFile struct {
+	Version   int
+	Cfg       Config
+	Net       nn.Snapshot
+	Scaler    feature.ScalerState
+	Threshold float64
+	Report    Report
+}
+
+const modelFileVersion = 1
+
+// Save serializes the model. The format is gob-based and versioned; Load
+// rejects unknown versions.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Version:   modelFileVersion,
+		Cfg:       m.cfg,
+		Net:       m.net.Snapshot(),
+		Scaler:    m.scaler.State(),
+		Threshold: m.threshold,
+		Report:    m.report,
+	}
+	if err := gob.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a model saved with Save and rebuilds the inference
+// paths (including the quantized network when the configuration asks for
+// it).
+func Load(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if f.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: model file version %d, this build reads %d", f.Version, modelFileVersion)
+	}
+	net, err := nn.FromSnapshot(f.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	m := &Model{
+		cfg:       f.Cfg,
+		spec:      f.Cfg.Feature,
+		scaler:    feature.RestoreScaler(f.Scaler),
+		net:       net,
+		threshold: f.Threshold,
+		report:    f.Report,
+	}
+	if f.Cfg.Feature.Depth == 0 {
+		m.spec = feature.DefaultSpec()
+	}
+	if f.Cfg.Quantize {
+		q, err := net.Quantize()
+		if err != nil {
+			return nil, fmt.Errorf("core: load model: %w", err)
+		}
+		m.qnet = q
+		m.scratchA = make([]int64, q.ScratchSize())
+		m.scratchB = make([]int64, q.ScratchSize())
+	}
+	return m, nil
+}

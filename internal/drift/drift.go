@@ -1,0 +1,249 @@
+// Package drift implements the §7/§8 future-work direction: detecting when
+// a deployed model has gone stale. Two complementary detectors:
+//
+//   - input drift (the workload changed): population-stability index (PSI)
+//     of the feature distributions between the training window and the
+//     current window, computed from nothing but the feature stream — no
+//     labels needed, so it runs even when per-request logging is off, the
+//     deployment constraint §7 calls out;
+//   - concept drift (the device/environment changed): windowed accuracy
+//     against fresh labels, when labels are available.
+//
+// The package also provides the retraining strategies the Fig. 17 extension
+// bench compares: never retrain, retrain on a fixed period, retrain on an
+// accuracy drop (§7's policy), and retrain on detected input drift.
+package drift
+
+import (
+	"math"
+)
+
+// Histogram is a fixed-bin empirical distribution of one feature, built
+// against reference quantile edges so PSI is well-defined.
+type Histogram struct {
+	edges  []float64 // len(bins)-1 interior edges
+	counts []float64
+	total  float64
+}
+
+// NewHistogram builds the bin edges from a reference sample (equal-frequency
+// bins). bins must be >= 2.
+func NewHistogram(reference []float64, bins int) *Histogram {
+	if bins < 2 {
+		bins = 2
+	}
+	sorted := append([]float64(nil), reference...)
+	insertionSort(sorted)
+	edges := make([]float64, 0, bins-1)
+	n := len(sorted)
+	for b := 1; b < bins; b++ {
+		if n == 0 {
+			edges = append(edges, float64(b))
+			continue
+		}
+		pos := b * n / bins
+		if pos >= n {
+			pos = n - 1
+		}
+		edges = append(edges, sorted[pos])
+	}
+	return &Histogram{edges: edges, counts: make([]float64, bins)}
+}
+
+func insertionSort(v []float64) {
+	// Reference samples are small (a few thousand); avoid pulling in sort
+	// for a single call site... except correctness beats cleverness: use
+	// shell sort gaps for larger inputs.
+	gaps := []int{701, 301, 132, 57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		for i := gap; i < len(v); i++ {
+			tmp := v[i]
+			j := i
+			for ; j >= gap && v[j-gap] > tmp; j -= gap {
+				v[j] = v[j-gap]
+			}
+			v[j] = tmp
+		}
+	}
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v float64) {
+	b := 0
+	for b < len(h.edges) && v > h.edges[b] {
+		b++
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Reset clears the observations, keeping the reference edges.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Fractions returns the per-bin probability mass (uniform when empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = c / h.total
+	}
+	return out
+}
+
+// PSI computes the population-stability index between a reference and a
+// current distribution over the same bins. Common industry reading:
+// < 0.1 stable, 0.1-0.25 moderate shift, > 0.25 major shift.
+func PSI(ref, cur []float64) float64 {
+	const eps = 1e-4
+	n := len(ref)
+	if len(cur) < n {
+		n = len(cur)
+	}
+	var psi float64
+	for i := 0; i < n; i++ {
+		a := math.Max(ref[i], eps)
+		b := math.Max(cur[i], eps)
+		psi += (b - a) * math.Log(b/a)
+	}
+	return psi
+}
+
+// InputDetector tracks the PSI of every feature column against the
+// training-time distribution.
+type InputDetector struct {
+	ref  [][]float64 // per-column reference fractions
+	hist []*Histogram
+	// Threshold above which a column counts as drifted (default 0.25).
+	Threshold float64
+	// MinSamples before Drifted reports anything (default 200).
+	MinSamples int
+}
+
+// NewInputDetector builds the detector from the training feature matrix.
+func NewInputDetector(trainRows [][]float64, bins int) *InputDetector {
+	d := &InputDetector{Threshold: 0.25, MinSamples: 200}
+	if len(trainRows) == 0 {
+		return d
+	}
+	w := len(trainRows[0])
+	col := make([]float64, len(trainRows))
+	for c := 0; c < w; c++ {
+		for i, r := range trainRows {
+			col[i] = r[c]
+		}
+		h := NewHistogram(col, bins)
+		for _, v := range col {
+			h.Observe(v)
+		}
+		d.ref = append(d.ref, h.Fractions())
+		h.Reset()
+		d.hist = append(d.hist, h)
+	}
+	return d
+}
+
+// Observe adds one deployment-time feature row.
+func (d *InputDetector) Observe(row []float64) {
+	for c, h := range d.hist {
+		if c < len(row) {
+			h.Observe(row[c])
+		}
+	}
+}
+
+// Samples returns the number of observed rows.
+func (d *InputDetector) Samples() float64 {
+	if len(d.hist) == 0 {
+		return 0
+	}
+	return d.hist[0].total
+}
+
+// MaxPSI returns the largest per-column PSI of the current window.
+func (d *InputDetector) MaxPSI() float64 {
+	var worst float64
+	for c, h := range d.hist {
+		if psi := PSI(d.ref[c], h.Fractions()); psi > worst {
+			worst = psi
+		}
+	}
+	return worst
+}
+
+// Drifted reports whether the current window has drifted, and resets the
+// window so the next check is independent.
+func (d *InputDetector) Drifted() bool {
+	if d.Samples() < float64(d.MinSamples) {
+		return false
+	}
+	drifted := d.MaxPSI() > d.Threshold
+	for _, h := range d.hist {
+		h.Reset()
+	}
+	return drifted
+}
+
+// Strategy decides when to retrain in a long deployment.
+type Strategy interface {
+	Name() string
+	// ShouldRetrain is consulted once per monitoring window with the
+	// window index, the windowed accuracy (NaN when labels are
+	// unavailable), and the input detector's verdict for the window.
+	ShouldRetrain(window int, accuracy float64, inputDrift bool) bool
+}
+
+// Never never retrains (the train-once baseline of Fig. 17).
+type Never struct{}
+
+// Name implements Strategy.
+func (Never) Name() string { return "never" }
+
+// ShouldRetrain implements Strategy.
+func (Never) ShouldRetrain(int, float64, bool) bool { return false }
+
+// Periodic retrains every N windows regardless of signals.
+type Periodic struct{ Every int }
+
+// Name implements Strategy.
+func (p Periodic) Name() string { return "periodic" }
+
+// ShouldRetrain implements Strategy.
+func (p Periodic) ShouldRetrain(window int, _ float64, _ bool) bool {
+	if p.Every <= 0 {
+		return false
+	}
+	return window%p.Every == 0
+}
+
+// OnAccuracy retrains when windowed accuracy drops below the threshold —
+// §7's policy. It needs labels.
+type OnAccuracy struct{ Below float64 }
+
+// Name implements Strategy.
+func (OnAccuracy) Name() string { return "accuracy<thr" }
+
+// ShouldRetrain implements Strategy.
+func (o OnAccuracy) ShouldRetrain(_ int, accuracy float64, _ bool) bool {
+	return !math.IsNaN(accuracy) && accuracy < o.Below
+}
+
+// OnInputDrift retrains when the feature distribution shifts — usable with
+// per-request logging off, answering §7's "we cannot expect the last
+// 1-minute trace is available" concern (features are observed anyway).
+type OnInputDrift struct{}
+
+// Name implements Strategy.
+func (OnInputDrift) Name() string { return "input-drift" }
+
+// ShouldRetrain implements Strategy.
+func (OnInputDrift) ShouldRetrain(_ int, _ float64, inputDrift bool) bool { return inputDrift }

@@ -1,0 +1,164 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramFractions(t *testing.T) {
+	ref := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	h := NewHistogram(ref, 4)
+	for _, v := range ref {
+		h.Observe(v)
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum %v", sum)
+	}
+	// Equal-frequency bins over the reference itself: roughly uniform mass.
+	for i, f := range fr {
+		if f < 0.1 || f > 0.45 {
+			t.Fatalf("bin %d mass %v not near uniform", i, f)
+		}
+	}
+	h.Reset()
+	if h.total != 0 {
+		t.Fatal("reset failed")
+	}
+	if f := h.Fractions(); f[0] != 0.25 {
+		t.Fatalf("empty fractions %v (want uniform)", f)
+	}
+}
+
+func TestInsertionSortProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				v = append(v, x)
+			}
+		}
+		insertionSort(v)
+		return sort.Float64sAreSorted(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSIIdenticalIsZero(t *testing.T) {
+	a := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := PSI(a, a); got != 0 {
+		t.Fatalf("PSI(a,a) = %v", got)
+	}
+}
+
+func TestPSIShiftGrows(t *testing.T) {
+	ref := []float64{0.25, 0.25, 0.25, 0.25}
+	mild := []float64{0.3, 0.25, 0.25, 0.2}
+	major := []float64{0.7, 0.1, 0.1, 0.1}
+	m := PSI(ref, mild)
+	M := PSI(ref, major)
+	if m <= 0 || M <= m {
+		t.Fatalf("PSI not monotone with shift: mild %v major %v", m, M)
+	}
+	if M < 0.25 {
+		t.Fatalf("major shift PSI %v below the 0.25 convention", M)
+	}
+}
+
+func genRows(rng *rand.Rand, n int, mean float64) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{mean + rng.NormFloat64(), rng.Float64()}
+	}
+	return rows
+}
+
+func TestInputDetectorStableVsShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := genRows(rng, 2000, 0)
+	d := NewInputDetector(train, 10)
+
+	// Same distribution: no drift.
+	for _, r := range genRows(rng, 1000, 0) {
+		d.Observe(r)
+	}
+	if d.Drifted() {
+		t.Fatal("stable window flagged as drifted")
+	}
+
+	// Shifted first column: drift.
+	for _, r := range genRows(rng, 1000, 3) {
+		d.Observe(r)
+	}
+	if !d.Drifted() {
+		t.Fatal("shifted window not flagged")
+	}
+
+	// Drifted() resets the window: the next stable window must be clean.
+	for _, r := range genRows(rng, 1000, 0) {
+		d.Observe(r)
+	}
+	if d.Drifted() {
+		t.Fatal("window state leaked across Drifted() calls")
+	}
+}
+
+func TestInputDetectorMinSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewInputDetector(genRows(rng, 500, 0), 10)
+	for _, r := range genRows(rng, 50, 10) { // wildly shifted but tiny
+		d.Observe(r)
+	}
+	if d.Drifted() {
+		t.Fatal("drift reported below MinSamples")
+	}
+}
+
+func TestInputDetectorEmptyTraining(t *testing.T) {
+	d := NewInputDetector(nil, 10)
+	d.Observe([]float64{1})
+	if d.Drifted() {
+		t.Fatal("empty detector drifted")
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	if (Never{}).ShouldRetrain(5, 0.1, true) {
+		t.Error("never retrained")
+	}
+	p := Periodic{Every: 3}
+	if !p.ShouldRetrain(3, 1, false) || p.ShouldRetrain(4, 0, true) == true && false {
+		t.Error("periodic schedule wrong")
+	}
+	if p.ShouldRetrain(4, 1, false) {
+		t.Error("periodic fired off-schedule")
+	}
+	if (Periodic{}).ShouldRetrain(0, 0, true) {
+		t.Error("zero-period periodic fired")
+	}
+	a := OnAccuracy{Below: 0.8}
+	if !a.ShouldRetrain(0, 0.7, false) || a.ShouldRetrain(0, 0.9, true) {
+		t.Error("accuracy strategy wrong")
+	}
+	if a.ShouldRetrain(0, math.NaN(), true) {
+		t.Error("accuracy strategy fired without labels")
+	}
+	idr := OnInputDrift{}
+	if !idr.ShouldRetrain(0, math.NaN(), true) || idr.ShouldRetrain(0, 0.1, false) {
+		t.Error("input-drift strategy wrong")
+	}
+	for _, s := range []Strategy{Never{}, Periodic{Every: 1}, OnAccuracy{}, OnInputDrift{}} {
+		if s.Name() == "" {
+			t.Error("unnamed strategy")
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/filter"
+	"repro/internal/iolog"
+	"repro/internal/label"
+	"repro/internal/linnos"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// trainEval trains one pipeline config per dataset and returns the ROC-AUC
+// against simulator ground truth for each.
+func trainEval(ds []Dataset, scale Scale, mutate func(*core.Config)) []float64 {
+	out := make([]float64, 0, len(ds))
+	for i, d := range ds {
+		cfg := scale.coreConfig(scale.Seed + int64(i))
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		m, err := core.Train(d.TrainLog, cfg)
+		if err != nil {
+			continue // degenerate window (e.g. all-fast); skip, like the paper's data selection would
+		}
+		out = append(out, m.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+	}
+	return out
+}
+
+// Fig5a compares cutoff-based and period-based labeling by what the paper
+// calls "the labeled data's better learnability": train the same model on
+// each labeling and score it against device ground truth. Raw label
+// agreement is reported alongside for context.
+func Fig5a(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	var cutAgree, perAgree []float64
+	for _, d := range ds {
+		reads := iolog.Reads(d.TrainLog)
+		gt := iolog.GroundTruth(reads)
+		cl := label.Cutoff(reads, label.CutoffValue(reads))
+		cutAgree = append(cutAgree, label.BalancedAgreement(cl, gt))
+		th := label.Search(reads, label.SearchOptions{})
+		pl := label.Period(reads, th)
+		perAgree = append(perAgree, label.BalancedAgreement(pl, gt))
+	}
+	cutModel := trainEval(ds, scale, func(c *core.Config) { c.Labeling = core.LabelCutoff })
+	perModel := trainEval(ds, scale, func(c *core.Config) { c.Labeling = core.LabelPeriod })
+	pm := mean(perModel)
+	t := Table{
+		Title:   "Fig 5a — cutoff vs period-based labeling (learnability: trained-model ROC-AUC vs ground truth)",
+		Columns: []string{"model-roc", "normalized", "label-agree"},
+		Note:    "a model taught by period labels outscores one taught by cutoff labels (normalized to period = 1.0)",
+	}
+	t.Rows = append(t.Rows,
+		Row{"cutoff", []float64{mean(cutModel), safeDiv(mean(cutModel), pm), mean(cutAgree)}},
+		Row{"period", []float64{pm, 1, mean(perAgree)}},
+	)
+	return t
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Fig5b measures the model's misprediction rate on each noise class when
+// trained WITHOUT noise filtering — the evidence that outliers are
+// disruptive rather than informative.
+func Fig5b(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	miss := map[filter.NoiseKind][]float64{}
+	for i, d := range ds {
+		cfg := scale.coreConfig(scale.Seed + int64(i))
+		cfg.Filter = filter.Config{} // train on unfiltered data
+		m, err := core.Train(d.TrainLog, cfg)
+		if err != nil {
+			continue
+		}
+		// Label the test half and classify its noise.
+		th := label.Search(d.TestReads, label.SearchOptions{})
+		testLabels := label.Period(d.TestReads, th)
+		fres := filter.Apply(d.TestReads, testLabels, filter.PaperConfig())
+		rows := feature.Extract(d.TestReads, m.Spec())
+		counts := map[filter.NoiseKind][2]int{} // kind -> {mispredicted, total}
+		for j, row := range rows {
+			kind := filter.Clean
+			if !fres.Keep[j] {
+				kind = fres.Kind[j]
+			}
+			pred := 0
+			if m.Score(row) >= m.Threshold() {
+				pred = 1
+			}
+			c := counts[kind]
+			if pred != testLabels[j] {
+				c[0]++
+			}
+			c[1]++
+			counts[kind] = c
+		}
+		for kind, c := range counts {
+			if c[1] > 0 {
+				miss[kind] = append(miss[kind], float64(c[0])/float64(c[1]))
+			}
+		}
+	}
+	t := Table{
+		Title:   "Fig 5b — misprediction rate per noise type (model trained without filtering)",
+		Columns: []string{"misprediction"},
+		Note:    "all three outlier classes should mispredict far above the clean rate",
+	}
+	for _, kind := range []filter.NoiseKind{filter.Clean, filter.FastInSlow, filter.SlowInFast, filter.ShortBurst} {
+		t.Rows = append(t.Rows, Row{kind.String(), []float64{mean(miss[kind])}})
+	}
+	return t
+}
+
+// Fig7a ranks every extracted feature by correlation to the label.
+func Fig7a(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	spec := feature.Spec{
+		Kinds: feature.Selected | feature.Timestamp | feature.Offset,
+		Depth: 3,
+	}
+	names := spec.Names()
+	sums := make([]float64, len(names))
+	n := 0
+	for _, d := range ds {
+		reads := iolog.Reads(d.TrainLog)
+		th := label.Search(reads, label.SearchOptions{})
+		labels := label.Period(reads, th)
+		rows := feature.Extract(reads, spec)
+		corr := feature.Correlation(rows, labels)
+		for c := range corr {
+			sums[c] += corr[c]
+		}
+		n++
+	}
+	t := Table{
+		Title:   "Fig 7a — feature correlation to the admission label",
+		Columns: []string{"|pearson|"},
+		Note:    "queueLen and history features rank high; timestamp/offset near zero (removed by selection)",
+	}
+	for c, name := range names {
+		t.Rows = append(t.Rows, Row{name, []float64{sums[c] / float64(max(n, 1))}})
+	}
+	return t
+}
+
+// Fig7b shows accuracy as feature groups are added.
+func Fig7b(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	steps := []struct {
+		name  string
+		kinds feature.Kind
+	}{
+		{"queueLen", feature.QueueLen},
+		{"+ioSize", feature.QueueLen | feature.IOSize},
+		{"+histLatency", feature.QueueLen | feature.IOSize | feature.HistLatency},
+		{"+histQueueLen", feature.QueueLen | feature.IOSize | feature.HistLatency | feature.HistQueueLen},
+		{"+histThpt", feature.Selected},
+	}
+	t := Table{
+		Title:   "Fig 7b — accuracy contribution of each feature group (ROC-AUC vs ground truth)",
+		Columns: []string{"roc-auc"},
+		Note:    "accuracy climbs as each of the five feature groups is added",
+	}
+	for _, s := range steps {
+		kinds := s.kinds
+		accs := trainEval(ds, scale, func(c *core.Config) {
+			c.Feature = feature.Spec{Kinds: kinds, Depth: 3}
+		})
+		t.Rows = append(t.Rows, Row{s.name, []float64{mean(accs)}})
+	}
+	return t
+}
+
+// Fig7c sweeps the historical depth N.
+func Fig7c(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	t := Table{
+		Title:   "Fig 7c — accuracy vs historical depth N",
+		Columns: []string{"roc-auc"},
+		Note:    "N=3 suffices; deeper history adds cost without accuracy",
+	}
+	for depth := 1; depth <= 6; depth++ {
+		d := depth
+		accs := trainEval(ds, scale, func(c *core.Config) {
+			c.Feature = feature.Spec{Kinds: feature.Selected, Depth: d}
+		})
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("N=%d", depth), []float64{mean(accs)}})
+	}
+	return t
+}
+
+// Fig7d sweeps the feature scaler.
+func Fig7d(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	t := Table{
+		Title:   "Fig 7d — accuracy by normalization method",
+		Columns: []string{"roc-auc"},
+		Note:    "min-max matches the heavy scalers at a fraction of their memory; digitize trails",
+	}
+	for _, k := range []feature.ScalerKind{feature.ScaleMinMax, feature.ScaleStandard, feature.ScaleRobust, feature.ScaleDigitize, feature.ScaleNone} {
+		kind := k
+		accs := trainEval(ds, scale, func(c *core.Config) { c.Scaler = kind })
+		t.Rows = append(t.Rows, Row{k.String(), []float64{mean(accs)}})
+	}
+	return t
+}
+
+// Fig8 runs the model-exploration comparison: mean accuracy and
+// cross-dataset stability for eight model families on the common feature
+// set.
+func Fig8(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	labelsOf := func(reads []iolog.Record) []int {
+		th := label.Search(reads, label.SearchOptions{})
+		return label.Period(reads, th)
+	}
+	names := []string{"nn", "rnn", "svc", "knn", "logreg", "adaboost", "lightgbm", "randforest"}
+	accs := make([][]float64, len(names))
+	for di, d := range ds {
+		reads := iolog.Reads(d.TrainLog)
+		trainLabels := labelsOf(reads)
+		spec := feature.DefaultSpec()
+		rows := feature.Extract(reads, spec)
+		fres := filter.Apply(reads, trainLabels, filter.DefaultConfig())
+		var X [][]float64
+		var y []int
+		for j := range rows {
+			if fres.Keep[j] {
+				X = append(X, rows[j])
+				y = append(y, trainLabels[j])
+			}
+		}
+		scaler := feature.NewScaler(feature.ScaleMinMax)
+		feature.FitTransform(scaler, X)
+		testRows := feature.Extract(d.TestReads, spec)
+		for _, r := range testRows {
+			scaler.Transform(r)
+		}
+		for mi, clf := range models.Fig8Models(scale.Seed + int64(di)) {
+			if err := clf.Fit(X, y); err != nil {
+				continue
+			}
+			scores := make([]float64, len(testRows))
+			for j, r := range testRows {
+				scores[j] = clf.PredictProba(r)
+			}
+			accs[mi] = append(accs[mi], metrics.ROCAUC(scores, d.TestGT))
+		}
+	}
+	t := Table{
+		Title:   "Fig 8 — model exploration: accuracy and cross-dataset variation",
+		Columns: []string{"mean-roc", "std"},
+		Note:    "the NN combines high accuracy with low variation (upper-left of the paper's figure)",
+	}
+	for mi, name := range names {
+		t.Rows = append(t.Rows, Row{name, []float64{mean(accs[mi]), metrics.Std(accs[mi])}})
+	}
+	return t
+}
+
+// Fig9a contrasts LinnOS's per-page inference with Heimdall's per-I/O
+// inference: invocations needed for the same trace, plus accuracy.
+func Fig9a(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	var pageInf, ioInf, linAcc, heimAcc []float64
+	for i, d := range ds {
+		var pages, ios int
+		for _, r := range iolog.Reads(d.TrainLog) {
+			pages += linnos.InferencesFor(r.Size)
+			ios++
+		}
+		pageInf = append(pageInf, float64(pages))
+		ioInf = append(ioInf, float64(ios))
+		if lm, err := linnos.Train(d.TrainLog, scale.Seed+int64(i)); err == nil {
+			linAcc = append(linAcc, lm.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+		}
+		if m, err := core.Train(d.TrainLog, scale.coreConfig(scale.Seed+int64(i))); err == nil {
+			heimAcc = append(heimAcc, m.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+		}
+	}
+	return Table{
+		Title:   "Fig 9a — per-page (LinnOS) vs per-I/O (Heimdall) inference",
+		Columns: []string{"inferences", "roc-auc"},
+		Rows: []Row{
+			{"linnos-per-page", []float64{mean(pageInf), mean(linAcc)}},
+			{"heimdall-per-io", []float64{mean(ioInf), mean(heimAcc)}},
+		},
+		Note: "one inference per I/O regardless of size, at equal or better accuracy",
+	}
+}
+
+// Fig9b sweeps the number of hidden layers.
+func Fig9b(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	shapes := [][]nn.LayerSpec{
+		{{Units: 128, Act: nn.ReLU}},
+		{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}},
+		{{Units: 128, Act: nn.ReLU}, {Units: 32, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}},
+		{{Units: 128, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 32, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}},
+		{{Units: 128, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 32, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}, {Units: 8, Act: nn.ReLU}},
+	}
+	t := Table{
+		Title:   "Fig 9b — accuracy vs number of hidden layers",
+		Columns: []string{"roc-auc"},
+		Note:    "the second hidden layer gives the biggest jump; beyond that, flat",
+	}
+	for li, shape := range shapes {
+		sh := shape
+		accs := trainEval(ds, scale, func(c *core.Config) { c.Hidden = sh })
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("%d-layers", li+1), []float64{mean(accs)}})
+	}
+	return t
+}
+
+// Fig9c sweeps the (layer1, layer2) neuron grid.
+func Fig9c(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	l1s := []int{32, 64, 128, 256}
+	l2s := []int{8, 16, 32, 64}
+	t := Table{
+		Title:   "Fig 9c — accuracy over the (hidden1, hidden2) neuron grid",
+		Columns: make([]string, len(l2s)),
+		Note:    "128/16 is the lightest design in the high-accuracy region",
+	}
+	for i, l2 := range l2s {
+		t.Columns[i] = fmt.Sprintf("h2=%d", l2)
+	}
+	for _, l1 := range l1s {
+		vals := make([]float64, len(l2s))
+		for i, l2 := range l2s {
+			u1, u2 := l1, l2
+			accs := trainEval(ds, scale, func(c *core.Config) {
+				c.Hidden = []nn.LayerSpec{{Units: u1, Act: nn.ReLU}, {Units: u2, Act: nn.ReLU}}
+			})
+			vals[i] = mean(accs)
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("h1=%d", l1), vals})
+	}
+	return t
+}
+
+// Fig9d sweeps activation-function pairs for the two hidden layers.
+func Fig9d(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	acts := []nn.Activation{nn.ReLU, nn.LeakyReLU, nn.PReLU, nn.SELU, nn.Sigmoid, nn.Tanh}
+	t := Table{
+		Title:   "Fig 9d — activation permutation grid (rows: layer 1, cols: layer 2)",
+		Columns: make([]string, len(acts)),
+		Note:    "ReLU/ReLU sits in the high-accuracy region with the cheapest compute",
+	}
+	for i, a := range acts {
+		t.Columns[i] = a.String()
+	}
+	for _, a1 := range acts {
+		vals := make([]float64, len(acts))
+		for i, a2 := range acts {
+			x1, x2 := a1, a2
+			accs := trainEval(ds, scale, func(c *core.Config) {
+				c.Hidden = []nn.LayerSpec{{Units: 128, Act: x1}, {Units: 16, Act: x2}}
+				c.Quantize = false // non-ReLU hidden layers have no quantized path
+			})
+			vals[i] = mean(accs)
+		}
+		t.Rows = append(t.Rows, Row{a1.String(), vals})
+	}
+	return t
+}
+
+// Fig9e sweeps the output layer design.
+func Fig9e(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	outs := []struct {
+		name string
+		spec nn.LayerSpec
+	}{
+		{"sigmoid-1", nn.LayerSpec{Units: 1, Act: nn.Sigmoid}},
+		{"linear-1", nn.LayerSpec{Units: 1, Act: nn.Linear}},
+		{"softmax-2", nn.LayerSpec{Units: 2, Act: nn.Softmax}},
+	}
+	t := Table{
+		Title:   "Fig 9e — output-layer design",
+		Columns: []string{"roc-auc", "out-muls"},
+		Note:    "single sigmoid matches softmax accuracy at half the output-layer cost",
+	}
+	for _, o := range outs {
+		spec := o.spec
+		accs := trainEval(ds, scale, func(c *core.Config) { c.Output = spec })
+		t.Rows = append(t.Rows, Row{o.name, []float64{mean(accs), float64(16 * spec.Units)}})
+	}
+	return t
+}
+
+// Fig14Step is one rung of the accuracy ladder.
+type Fig14Step struct {
+	Name   string
+	Mutate func(*core.Config)
+	// UseLinnOS runs the actual LinnOS implementation instead of a pipeline
+	// variant (step 0).
+	UseLinnOS bool
+}
+
+// Fig14Steps returns the paper's step-by-step pipeline ablation (§6.4).
+func Fig14Steps() []Fig14Step {
+	linnosFeatures := feature.Spec{Kinds: feature.LinnOSSet, Depth: 4}
+	linnosNet := []nn.LayerSpec{{Units: 256, Act: nn.ReLU}}
+	softmaxOut := nn.LayerSpec{Units: 2, Act: nn.Softmax}
+	base := func(c *core.Config) {
+		c.Labeling = core.LabelCutoff
+		c.Filter = filter.Config{}
+		c.Feature = linnosFeatures
+		c.Scaler = feature.ScaleNone
+		c.Hidden = linnosNet
+		c.Output = softmaxOut
+		c.Quantize = false
+	}
+	chain := func(fs ...func(*core.Config)) func(*core.Config) {
+		return func(c *core.Config) {
+			for _, f := range fs {
+				f(c)
+			}
+		}
+	}
+	fc := func(c *core.Config) { c.Scaler = feature.ScaleMinMax }
+	la := func(c *core.Config) { c.Labeling = core.LabelPeriod; c.SearchThresholds = true }
+	// FE adds the informative extractions (I/O size, historical throughput)
+	// on top of LinnOS's features, still at LinnOS's depth; FS then selects
+	// the final five groups at depth 3, shrinking the model's inputs while
+	// holding accuracy (§6.4 steps 4-5).
+	fe := func(c *core.Config) {
+		c.Feature = feature.Spec{Kinds: feature.Selected, Depth: 4}
+	}
+	fs := func(c *core.Config) { c.Feature = feature.Spec{Kinds: feature.Selected, Depth: 3} }
+	m := func(c *core.Config) {
+		c.Hidden = []nn.LayerSpec{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}}
+		c.Output = nn.LayerSpec{Units: 1, Act: nn.Sigmoid}
+		c.Quantize = true
+	}
+	ln := func(c *core.Config) { c.Filter = filter.DefaultConfig() }
+	return []Fig14Step{
+		{Name: "(0) LinnOS", UseLinnOS: true},
+		{Name: "(1) LB basic labeling", Mutate: base},
+		{Name: "(2) +FC feature scaling", Mutate: chain(base, fc)},
+		{Name: "(3) +LA accurate labeling", Mutate: chain(base, fc, la)},
+		{Name: "(4) +FE feature extraction", Mutate: chain(base, fc, la, fe)},
+		{Name: "(5) +FS feature selection", Mutate: chain(base, fc, la, fe, fs)},
+		{Name: "(6) +M model engineering", Mutate: chain(base, fc, la, fe, fs, m)},
+		{Name: "(7) +LN noise filtering", Mutate: chain(base, fc, la, fe, fs, m, ln)},
+	}
+}
+
+// Fig14 runs the full accuracy ladder with all five metrics (Fig. 14a/14b).
+func Fig14(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	t := Table{
+		Title:   "Fig 14 — step-by-step pipeline ablation, all five metrics",
+		Columns: []string{"roc-auc", "pr-auc", "f1", "fnr", "fpr"},
+		Note:    "ROC/PR/F1 climb and FNR/FPR fall as stages are added; the LB step is the controlled lower bound",
+	}
+	for _, step := range Fig14Steps() {
+		var roc, pr, f1, fnr, fpr []float64
+		for i, d := range ds {
+			var rep metrics.Report
+			if step.UseLinnOS {
+				lm, err := linnos.Train(d.TrainLog, scale.Seed+int64(i))
+				if err != nil {
+					continue
+				}
+				rep = lm.Evaluate(d.TestReads, d.TestGT)
+			} else {
+				cfg := scale.coreConfig(scale.Seed + int64(i))
+				step.Mutate(&cfg)
+				m, err := core.Train(d.TrainLog, cfg)
+				if err != nil {
+					continue
+				}
+				rep = m.Evaluate(d.TestReads, d.TestGT)
+			}
+			roc = append(roc, rep.ROCAUC)
+			pr = append(pr, rep.PRAUC)
+			f1 = append(f1, rep.F1)
+			fnr = append(fnr, rep.FNR)
+			fpr = append(fpr, rep.FPR)
+		}
+		t.Rows = append(t.Rows, Row{step.Name, []float64{
+			mean(roc), mean(pr), mean(f1), mean(fnr), mean(fpr),
+		}})
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Fig13 runs the wide-scale Ceph-like evaluation: latency distributions
+// under SF=1 and SF=10, and Heimdall's tail reduction vs random across
+// scaling factors.
+func Fig13(scale Scale) Table {
+	cfg := cluster.DefaultConfig(scale.Seed)
+	cfg.Duration = scale.TraceDur
+	model, err := cluster.TrainModel(cfg)
+	if err != nil {
+		return Table{Title: "Fig 13 — failed", Note: err.Error()}
+	}
+
+	t := Table{
+		Title:   "Fig 13 — wide-scale (Ceph-like) evaluation",
+		Columns: []string{"avg(ms)", "p50", "p75", "p90", "p95", "p99"},
+		Note:    "heimdall cuts the fan-out-amplified tail; reductions vs random grow with SF",
+	}
+	msRow := func(r cluster.Result) []float64 {
+		return []float64{
+			r.UserLat.Mean.Seconds() * 1000,
+			r.UserLat.P50.Seconds() * 1000,
+			r.UserLat.Percentile(75).Seconds() * 1000,
+			r.UserLat.P90.Seconds() * 1000,
+			r.UserLat.P95.Seconds() * 1000,
+			r.UserLat.P99.Seconds() * 1000,
+		}
+	}
+
+	for _, sf := range []int{1, 10} {
+		c := cfg
+		c.SF = sf
+		c.RequestRate = cfg.RequestRate / float64(sf) // hold sub-request load constant
+		for _, pol := range []cluster.Policy{cluster.Baseline, cluster.Random, cluster.Heimdall} {
+			res := cluster.Run(c, pol, model)
+			t.Rows = append(t.Rows, Row{
+				fmt.Sprintf("SF=%d %s", sf, pol), msRow(res),
+			})
+		}
+	}
+
+	// Tail-latency reduction of Heimdall vs random at p50..p95 across SFs
+	// (Fig. 13c).
+	red := Table{}
+	_ = red
+	for _, sf := range []int{1, 2, 5, 10} {
+		c := cfg
+		c.SF = sf
+		c.RequestRate = cfg.RequestRate / float64(sf)
+		rnd := cluster.Run(c, cluster.Random, model)
+		hei := cluster.Run(c, cluster.Heimdall, model)
+		reduction := func(p float64) float64 {
+			r := rnd.UserLat.Percentile(p).Seconds()
+			h := hei.UserLat.Percentile(p).Seconds()
+			if r <= 0 {
+				return 0
+			}
+			return (r - h) / r * 100
+		}
+		t.Rows = append(t.Rows, Row{
+			fmt.Sprintf("reduction%% SF=%d", sf),
+			[]float64{0, reduction(50), reduction(75), reduction(90), reduction(95), reduction(99)},
+		})
+	}
+	return t
+}

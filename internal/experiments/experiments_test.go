@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/iolog"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func testScale() Scale {
+	s := SmallScale()
+	s.TraceDur = 1500 * time.Millisecond
+	s.Datasets = 2
+	s.Epochs = 4
+	s.MaxTrainSamples = 4000
+	return s
+}
+
+func TestPoolInvariants(t *testing.T) {
+	scale := testScale()
+	ds := Pool(3, scale)
+	if len(ds) != 3 {
+		t.Fatalf("pool size %d", len(ds))
+	}
+	for i, d := range ds {
+		if d.Name == "" {
+			t.Errorf("dataset %d unnamed", i)
+		}
+		if len(d.TrainLog) == 0 || len(d.TestReads) == 0 {
+			t.Errorf("%s: empty logs", d.Name)
+		}
+		if len(d.TestGT) != len(d.TestReads) {
+			t.Errorf("%s: ground truth misaligned", d.Name)
+		}
+		for _, r := range d.TestReads {
+			if r.Op != trace.Read {
+				t.Errorf("%s: non-read in TestReads", d.Name)
+				break
+			}
+		}
+	}
+	// Deterministic in the seed.
+	ds2 := Pool(3, scale)
+	for i := range ds {
+		if ds[i].Name != ds2[i].Name || len(ds[i].TrainLog) != len(ds2[i].TrainLog) {
+			t.Fatal("pool not deterministic")
+		}
+	}
+}
+
+func TestPoolLoadNormalization(t *testing.T) {
+	scale := testScale()
+	for _, d := range Pool(4, scale) {
+		reads := iolog.Reads(d.TrainLog)
+		if len(reads) < 100 {
+			t.Errorf("%s: only %d train reads — load clamp failed", d.Name, len(reads))
+		}
+		// Device must not be permanently saturated: the median read latency
+		// should stay within 50x of an uncontended page read.
+		lat := iolog.Latencies(reads)
+		var sum int64
+		for _, l := range lat {
+			sum += l
+		}
+		mean := float64(sum) / float64(len(lat))
+		if mean > 50e6 {
+			t.Errorf("%s: mean read latency %.1fms — saturated dataset", d.Name, mean/1e6)
+		}
+	}
+}
+
+func TestEstimateUtil(t *testing.T) {
+	style := trace.MSRStyle(1, time.Second)
+	identity := trace.Augmentation{Rerate: 1, Resize: 1}
+	dev := ssd.Samsung970Pro()
+	base := estimateUtil(style, identity, dev)
+	if base <= 0 {
+		t.Fatal("non-positive utilization")
+	}
+	// Resizing doubles page demand (roughly).
+	resized := estimateUtil(style, trace.Augmentation{Rerate: 1, Resize: 2}, dev)
+	if resized <= base {
+		t.Fatal("resize did not raise utilization")
+	}
+	// Rerating up raises it proportionally.
+	rerated := estimateUtil(style, trace.Augmentation{Rerate: 2, Resize: 1}, dev)
+	if rerated < base*1.9 || rerated > base*2.1 {
+		t.Fatalf("rerate 2x utilization %v, want ~2x of %v", rerated, base)
+	}
+	// A slower, narrower device is easier to saturate.
+	slow := estimateUtil(style, identity, ssd.IntelDCS3610())
+	if slow <= base {
+		t.Fatal("slow device utilization not higher")
+	}
+}
+
+func TestHasContention(t *testing.T) {
+	if hasContention(nil) {
+		t.Fatal("empty has contention")
+	}
+	flat := make([]int, 1000)
+	if hasContention(flat) {
+		t.Fatal("all-fast has contention")
+	}
+	flat[1] = 1
+	flat[2] = 1
+	flat[3] = 1
+	flat[4] = 1
+	if !hasContention(flat) {
+		t.Fatal("0.4% contention not detected")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "x", Values: []float64{1, 0.5}}, {Label: "y", Values: []float64{12345.6, 2}}},
+		Note:    "remember",
+	}
+	s := tab.String()
+	for _, want := range []string{"## demo", "a", "b", "x", "y", "note: remember", "12345.6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalesOrdered(t *testing.T) {
+	s, m, f := SmallScale(), MediumScale(), FullScale()
+	if !(s.Datasets < m.Datasets && m.Datasets < f.Datasets) {
+		t.Error("dataset counts not increasing")
+	}
+	if !(s.TraceDur < m.TraceDur && m.TraceDur < f.TraceDur) {
+		t.Error("durations not increasing")
+	}
+	if !(s.Experiments < m.Experiments && m.Experiments < f.Experiments) {
+		t.Error("experiment counts not increasing")
+	}
+}
+
+func TestFig14StepsShape(t *testing.T) {
+	steps := Fig14Steps()
+	if len(steps) != 8 {
+		t.Fatalf("ladder has %d steps, want 8", len(steps))
+	}
+	if !steps[0].UseLinnOS {
+		t.Fatal("step 0 must be the LinnOS baseline")
+	}
+	for _, s := range steps[1:] {
+		if s.Mutate == nil {
+			t.Fatalf("%s: no config mutation", s.Name)
+		}
+	}
+}
+
+func TestMeasureInferenceSane(t *testing.T) {
+	ns := MeasureInference(11, 1)
+	if ns <= 0 || ns > 1e6 {
+		t.Fatalf("measured inference %v ns", ns)
+	}
+	wider := MeasureInference(138, 1)
+	if wider < ns*0.5 {
+		t.Fatalf("wider model measured faster: %v vs %v", wider, ns)
+	}
+}
+
+func TestSimulateInferenceQueue(t *testing.T) {
+	// Far below capacity: turnaround ~ service time.
+	light := simulateInferenceQueue(1e5, 1000, 1, 1) // 100k IOPS, 1µs service
+	if light <= 0 || light > 5 {
+		t.Fatalf("light load latency %vµs", light)
+	}
+	// Far above capacity: the saturation cap.
+	heavy := simulateInferenceQueue(1e7, 1000, 1, 1)
+	if heavy != 100 {
+		t.Fatalf("saturated latency %vµs, want the 100µs cap", heavy)
+	}
+	// Joint grouping raises capacity.
+	joint := simulateInferenceQueue(3e6, 1000, 9, 1)
+	if joint >= 100 {
+		t.Fatalf("joint=9 saturated where it should be stable: %vµs", joint)
+	}
+}
+
+// TestReplayExperimentsTiny wires Fig10/11/12 end to end at the smallest
+// possible size — they are otherwise exercised only by benchmarks.
+func TestReplayExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay experiments are slow")
+	}
+	scale := testScale()
+	scale.Experiments = 1
+	scale.TraceDur = 2 * time.Second
+	for name, f := range map[string]func(Scale) Table{
+		"fig10": Fig10, "fig11": Fig11, "fig12": Fig12,
+	} {
+		tab := f(scale)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", name)
+			continue
+		}
+		for _, r := range tab.Rows {
+			if len(r.Values) != len(latCols) {
+				t.Errorf("%s: row %q has %d values", name, r.Label, len(r.Values))
+			}
+			if r.Values[0] <= 0 {
+				t.Errorf("%s: row %q has non-positive average", name, r.Label)
+			}
+		}
+	}
+}
+
+// TestClusterExperimentTiny wires Fig13 end to end.
+func TestClusterExperimentTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment is slow")
+	}
+	scale := testScale()
+	scale.TraceDur = 3 * time.Second
+	tab := Fig13(scale)
+	if len(tab.Rows) < 6 {
+		t.Fatalf("fig13 rows %d", len(tab.Rows))
+	}
+}
+
+// TestAblationTiny wires the repository-design ablation end to end.
+func TestAblationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	tab := Ablation(testScale())
+	if len(tab.Rows) != 7 {
+		t.Fatalf("ablation rows %d, want 7", len(tab.Rows))
+	}
+	// Quantized agreement lives in the 'extra' column of the first row.
+	if agree := tab.Rows[0].Values[3]; agree < 0.98 {
+		t.Fatalf("quantized agreement %.3f", agree)
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linnos"
+	"repro/internal/nn"
+)
+
+// syntheticQuantNet builds a Heimdall-shaped quantized network with the
+// given input width (11 for per-I/O, 10+P for joint size P). Inference
+// latency depends only on the geometry, so random weights suffice.
+func syntheticQuantNet(inputs int, seed int64) *nn.QuantNetwork {
+	net, err := nn.New(nn.Config{
+		Inputs: inputs,
+		Layers: []nn.LayerSpec{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}, {Units: 1, Act: nn.Sigmoid}},
+		Seed:   seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	q, err := net.Quantize()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// MeasureInference times one quantized inference for the given input width,
+// in nanoseconds per call.
+func MeasureInference(inputs int, seed int64) float64 {
+	q := syntheticQuantNet(inputs, seed)
+	x := make([]float64, inputs)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	cur := make([]int64, q.ScratchSize())
+	next := make([]int64, q.ScratchSize())
+	// Warm up, then measure.
+	for i := 0; i < 1000; i++ {
+		q.PredictInto(x, cur, next)
+	}
+	const iters = 20000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		q.PredictInto(x, cur, next)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// jointWidth is the joint-model input width for joint size p: the 10 shared
+// head features plus p sizes.
+func jointWidth(p int) int { return 10 + p }
+
+// Fig15a models inference-server throughput stability: Poisson I/O arrivals
+// at a swept rate are served by one core running the (joint) model; the
+// reported number is mean per-I/O inference turnaround (queueing included).
+//
+// The load axis is expressed in multiples of the measured joint=1 capacity
+// (1/inference-time). The paper's absolute numbers (0.5 mIOPS without joint
+// inference, 4 mIOPS at joint=9) come from 0.08µs -O3 C inference; Go
+// inference is slower, so absolute rates shift while the 8x stability gain
+// — the figure's claim — is preserved. Column labels carry the absolute
+// mIOPS for this machine.
+func Fig15a(scale Scale) Table {
+	multiples := []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8}
+	joints := []int{1, 3, 5, 7, 9}
+	svc1 := MeasureInference(jointWidth(1), scale.Seed)
+	cap1 := 1e9 / svc1 // IOPS one core sustains at joint=1
+	t := Table{
+		Title:   "Fig 15a — inference latency (µs, one core) vs offered load (x joint=1 capacity)",
+		Columns: make([]string, len(multiples)),
+		Note:    "joint=1 saturates at 1x its capacity; joint=9 stays stable to ~8x — the paper's 0.5 to 4 mIOPS gain",
+	}
+	for i, m := range multiples {
+		t.Columns[i] = fmt.Sprintf("x%.1f(%.2fM)", m, m*cap1/1e6)
+	}
+	for _, p := range joints {
+		svc := MeasureInference(jointWidth(p), scale.Seed) // ns per inference (serves p I/Os)
+		vals := make([]float64, len(multiples))
+		for i, m := range multiples {
+			vals[i] = simulateInferenceQueue(m*cap1, svc, p, scale.Seed+int64(p))
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("joint=%d", p), vals})
+	}
+	return t
+}
+
+// simulateInferenceQueue runs a short single-server queue simulation:
+// arrivals at rate perSec, groups of p I/Os served together in svcNs.
+// Returns the mean per-I/O turnaround in microseconds, saturating at a cap
+// when the server cannot keep up.
+func simulateInferenceQueue(perSec, svcNs float64, p int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	const horizon = 20e6    // 20ms of simulated arrivals
+	const overloadCap = 1e9 // overload sentinel accumulator guard
+	var now, serverFree, totalWait float64
+	var served int
+	var group []float64
+	for now < horizon {
+		now += rng.ExpFloat64() / perSec * 1e9
+		group = append(group, now)
+		if len(group) < p {
+			continue
+		}
+		start := group[len(group)-1] // inference fires when the group is full
+		if serverFree > start {
+			start = serverFree
+		}
+		done := start + svcNs
+		serverFree = done
+		for _, arr := range group {
+			totalWait += done - arr
+			served++
+		}
+		group = group[:0]
+		if totalWait > overloadCap*float64(served+1) {
+			break
+		}
+	}
+	if served == 0 {
+		return 0
+	}
+	us := totalWait / float64(served) / 1e3
+	if us > 100 {
+		us = 100 // report saturation as a flat cap, like the figure's axis
+	}
+	return us
+}
+
+// Fig15b trains joint models at each granularity and reports the accuracy
+// distribution across datasets.
+func Fig15b(scale Scale) Table {
+	ds := Pool(scale.Datasets, scale)
+	t := Table{
+		Title:   "Fig 15b — accuracy distribution vs joint size",
+		Columns: []string{"p25", "median", "p75"},
+		Note:    "accuracy declines gently with joint size (the paper: 88% to 81% median from 1 to 9)",
+	}
+	for _, p := range []int{1, 3, 5, 7, 9} {
+		jp := p
+		accs := trainEval(ds, scale, func(c *core.Config) { c.JointSize = jp })
+		sort.Float64s(accs)
+		q := func(f float64) float64 {
+			if len(accs) == 0 {
+				return 0
+			}
+			i := int(f * float64(len(accs)-1))
+			return accs[i]
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("joint=%d", p), []float64{q(0.25), q(0.5), q(0.75)}})
+	}
+	return t
+}
+
+// GPU cost model for Fig 15c (see DESIGN.md substitutions): a batched GPU
+// inference pays host-to-GPU transfer plus kernel launch, then amortizes
+// per-item work massively; LAKE adds its kernel-management overhead on top.
+const (
+	gpuTransferNs  = 25_000 // host->GPU->host round trip
+	gpuLaunchNs    = 10_000
+	gpuPerItemNs   = 12 // per-I/O marginal work at batch parallelism
+	lakeOverheadNs = 8_000
+)
+
+// Fig15c compares LAKE GPU batching against Heimdall GPU batch, CPU batch,
+// and CPU joint inference as the number of simultaneously-predicted I/Os
+// grows.
+func Fig15c(scale Scale) Table {
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	cpuSingle := MeasureInference(11, scale.Seed)
+	t := Table{
+		Title:   "Fig 15c — inference latency (ms) vs number of I/Os predicted together",
+		Columns: make([]string, len(sizes)),
+		Note:    "CPU joint stays near-flat and beats GPU batching by ~10x at every size; CPU batch grows linearly",
+	}
+	for i, n := range sizes {
+		t.Columns[i] = fmt.Sprintf("n=%d", n)
+	}
+	rows := map[string][]float64{
+		"lake-gpu-batch":     {},
+		"heimdall-gpu-batch": {},
+		"heimdall-cpu-batch": {},
+		"heimdall-cpu-joint": {},
+	}
+	for _, n := range sizes {
+		gpu := float64(gpuTransferNs+gpuLaunchNs) + float64(n)*gpuPerItemNs
+		rows["lake-gpu-batch"] = append(rows["lake-gpu-batch"], (gpu+lakeOverheadNs)/1e6)
+		rows["heimdall-gpu-batch"] = append(rows["heimdall-gpu-batch"], gpu/1e6)
+		rows["heimdall-cpu-batch"] = append(rows["heimdall-cpu-batch"], float64(n)*cpuSingle/1e6)
+		joint := MeasureInference(jointWidth(n), scale.Seed+int64(n))
+		rows["heimdall-cpu-joint"] = append(rows["heimdall-cpu-joint"], joint/1e6)
+	}
+	for _, name := range []string{"lake-gpu-batch", "heimdall-gpu-batch", "heimdall-cpu-batch", "heimdall-cpu-joint"} {
+		t.Rows = append(t.Rows, Row{name, rows[name]})
+	}
+	return t
+}
+
+// Fig16 reports model memory and CPU overhead (§6.6).
+func Fig16(scale Scale) Table {
+	heim, err := nn.New(nn.Config{
+		Inputs: 11,
+		Layers: []nn.LayerSpec{{Units: 128, Act: nn.ReLU}, {Units: 16, Act: nn.ReLU}, {Units: 1, Act: nn.Sigmoid}},
+		Seed:   scale.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	lin, err := nn.New(nn.Config{
+		Inputs: linnos.Inputs,
+		Layers: []nn.LayerSpec{{Units: 256, Act: nn.ReLU}, {Units: 2, Act: nn.Softmax}},
+		Seed:   scale.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// CPU overhead per I/O: multiplications x inferences per I/O. LinnOS
+	// infers once per 4KB page; measure the mean page count on a dataset.
+	ds := Pool(1, scale)
+	var pages, ios float64
+	for _, r := range ds[0].TestReads {
+		pages += float64(linnos.InferencesFor(r.Size))
+		ios++
+	}
+	pagesPerIO := pages / ios
+	linCPU := float64(lin.MulCount()) * pagesPerIO
+	heimCPU := float64(heim.MulCount())
+	j3 := float64(128*jointWidth(3)+128*16+16) / 3 // one inference per 3 I/Os
+
+	hw, hb := heim.ParamCount()
+	lw, lb := lin.ParamCount()
+	return Table{
+		Title:   "Fig 16 — memory and CPU overhead",
+		Columns: []string{"params", "memKB", "mulsPerIO", "cpuNorm"},
+		Rows: []Row{
+			{"linnos", []float64{float64(lw + lb), float64(lin.MemoryBytes()) / 1024, linCPU, 1}},
+			{"heimdall", []float64{float64(hw + hb), float64(heim.MemoryBytes()) / 1024, heimCPU, heimCPU / linCPU}},
+			{"heimdall-j3", []float64{float64(hw + hb), float64(heim.MemoryBytes()) / 1024, j3, j3 / linCPU}},
+		},
+		Note: "targets: 28KB vs 68KB memory, ~2.4x fewer multiplications, j3 ~85% less CPU than LinnOS",
+	}
+}
+
+// TrainTime measures the preprocessing and training rate (§6.7), normalized
+// to seconds per 1M I/Os.
+func TrainTime(scale Scale) Table {
+	ds := Pool(1, scale)
+	cfg := scale.coreConfig(scale.Seed)
+	m, err := core.Train(ds[0].TrainLog, cfg)
+	if err != nil {
+		return Table{Title: "train-time — failed", Note: err.Error()}
+	}
+	rep := m.Report()
+	perM := 1e6 / float64(rep.Samples)
+	return Table{
+		Title:   "§6.7 — training time (normalized to 1M I/Os)",
+		Columns: []string{"samples", "preprocess(s)", "train(s)", "pre/1M(s)", "train/1M(s)"},
+		Rows: []Row{{
+			"heimdall", []float64{
+				float64(rep.Samples),
+				rep.PreprocessTime.Seconds(),
+				rep.TrainTime.Seconds(),
+				rep.PreprocessTime.Seconds() * perM,
+				rep.TrainTime.Seconds() * perM * float64(rep.Samples) / float64(min(rep.Samples, cfg.MaxTrainSamples)),
+			},
+		}},
+		Note: "the paper: 16.8s preprocessing (CPU) + 3.7s training (GPU) per 1M I/Os; ours trains on CPU",
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/feature"
+	"repro/internal/iolog"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Fig17Ext extends the §7 long-deployment experiment with the retraining
+// strategies §8 poses as open questions: never retrain, periodic retraining,
+// the paper's accuracy-triggered policy (needs labels), and an input-drift
+// trigger (PSI over the feature stream — works with per-request logging
+// off, §7's deployment concern).
+func Fig17Ext(scale Scale) Table {
+	const windows = 24
+	window := scale.TraceDur / 2
+	if window < time.Second {
+		window = time.Second
+	}
+	total := window * time.Duration(windows+1)
+
+	gen := trace.TencentStyle(scale.Seed, total)
+	gen.DriftPeriod = total / 3
+	long := trace.Generate(gen)
+	dev := ssd.New(ssd.Samsung970Pro(), scale.Seed)
+	log := iolog.Collect(long, dev)
+
+	winLogs := make([][]iolog.Record, 0, windows+1)
+	start := 0
+	for w := 0; w <= windows; w++ {
+		end := start
+		limit := int64(w+1) * int64(window)
+		for end < len(log) && log[end].Arrival < limit {
+			end++
+		}
+		winLogs = append(winLogs, log[start:end])
+		start = end
+	}
+
+	strategies := []drift.Strategy{
+		drift.Never{},
+		drift.Periodic{Every: 6},
+		drift.OnAccuracy{Below: 0.80},
+		drift.OnInputDrift{},
+	}
+
+	t := Table{
+		Title:   "Fig 17 extension — retraining strategies under drift",
+		Columns: []string{"mean-acc", "min-acc", "retrains"},
+		Note:    "both triggered strategies should beat never-retrain; the input-drift trigger needs no labels",
+	}
+
+	for _, strat := range strategies {
+		model, err := core.Train(winLogs[0], scale.coreConfig(scale.Seed))
+		if err != nil {
+			t.Rows = append(t.Rows, Row{strat.Name() + " (failed)", []float64{0, 0, 0}})
+			continue
+		}
+		detector := newDetectorFor(model, winLogs[0])
+		var accs []float64
+		retrains := 0
+		for w := 1; w <= windows; w++ {
+			reads := iolog.Reads(winLogs[w])
+			if len(reads) == 0 {
+				continue
+			}
+			gt := iolog.GroundTruth(reads)
+			acc := model.WindowAccuracy(reads, gt)
+			accs = append(accs, acc)
+
+			inputDrift := false
+			if detector != nil {
+				for _, row := range feature.Extract(reads, model.Spec()) {
+					detector.Observe(row)
+				}
+				inputDrift = detector.Drifted()
+			}
+			sig := acc
+			if (strat.Name() == drift.OnInputDrift{}.Name()) {
+				sig = math.NaN() // this strategy runs without labels
+			}
+			if strat.ShouldRetrain(w, sig, inputDrift) {
+				if m2, err := model.Retrain(winLogs[w]); err == nil {
+					model = m2
+					detector = newDetectorFor(model, winLogs[w])
+					retrains++
+				}
+			}
+		}
+		minA := 1.0
+		for _, a := range accs {
+			if a < minA {
+				minA = a
+			}
+		}
+		if len(accs) == 0 {
+			minA = 0
+		}
+		t.Rows = append(t.Rows, Row{strat.Name(), []float64{mean(accs), minA, float64(retrains)}})
+	}
+	return t
+}
+
+func newDetectorFor(m *core.Model, trainWin []iolog.Record) *drift.InputDetector {
+	reads := iolog.Reads(trainWin)
+	if len(reads) == 0 {
+		return nil
+	}
+	rows := feature.Extract(reads, m.Spec())
+	d := drift.NewInputDetector(rows, 10)
+	d.MinSamples = 300
+	return d
+}

@@ -1,0 +1,311 @@
+// Package feature implements the feature-engineering stage (§3.3): deriving
+// runtime features from the raw request log, selecting them by correlation,
+// varying the historical depth N, and scaling.
+//
+// The full Heimdall feature vector at historical depth N=3 is:
+//
+//	[ queueLen,
+//	  histQueueLen[0..2], histLatency[0..2], histThroughput[0..2],
+//	  ioSize ]
+//
+// — 11 features, giving the 3472 multiplications of §6.6 with the 128/16
+// network. Historical features describe the last N *completed* I/Os at the
+// moment the current I/O is submitted (most recent first).
+package feature
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/iolog"
+)
+
+// Kind is a bit-set of feature groups.
+type Kind uint16
+
+const (
+	// QueueLen is the device queue length at submission.
+	QueueLen Kind = 1 << iota
+	// HistQueueLen is the queue lengths observed by the last N completed I/Os.
+	HistQueueLen
+	// HistLatency is the latencies of the last N completed I/Os.
+	HistLatency
+	// HistThroughput is the per-I/O throughput of the last N completed I/Os.
+	HistThroughput
+	// IOSize is the request size in bytes.
+	IOSize
+	// Timestamp is the raw arrival time — a low-correlation feature the
+	// selection stage removes (Fig. 7a).
+	Timestamp
+	// Offset is the raw block offset — likewise removed by selection.
+	Offset
+)
+
+// Selected is the feature set Heimdall ships with after selection (§3.3).
+const Selected = QueueLen | HistQueueLen | HistLatency | HistThroughput | IOSize
+
+// LinnOSSet is the feature set LinnOS uses: no size, no throughput.
+const LinnOSSet = QueueLen | HistQueueLen | HistLatency
+
+// AllKinds lists every kind in a stable order with names, for reporting.
+func AllKinds() []struct {
+	Kind Kind
+	Name string
+} {
+	return []struct {
+		Kind Kind
+		Name string
+	}{
+		{QueueLen, "queueLen"},
+		{HistQueueLen, "histQueueLen"},
+		{HistLatency, "histLatency"},
+		{HistThroughput, "histThpt"},
+		{IOSize, "ioSize"},
+		{Timestamp, "timestamp"},
+		{Offset, "offset"},
+	}
+}
+
+// Spec configures extraction.
+type Spec struct {
+	Kinds Kind
+	Depth int // historical depth N (the paper settles on 3, Fig. 7c)
+}
+
+// DefaultSpec returns Heimdall's production spec: the selected feature set at
+// depth 3.
+func DefaultSpec() Spec { return Spec{Kinds: Selected, Depth: 3} }
+
+// Width returns the feature-vector length for the spec.
+func (s Spec) Width() int {
+	w := 0
+	if s.Kinds&QueueLen != 0 {
+		w++
+	}
+	if s.Kinds&HistQueueLen != 0 {
+		w += s.Depth
+	}
+	if s.Kinds&HistLatency != 0 {
+		w += s.Depth
+	}
+	if s.Kinds&HistThroughput != 0 {
+		w += s.Depth
+	}
+	if s.Kinds&IOSize != 0 {
+		w++
+	}
+	if s.Kinds&Timestamp != 0 {
+		w++
+	}
+	if s.Kinds&Offset != 0 {
+		w++
+	}
+	return w
+}
+
+// Names returns the column names of the feature matrix, matching Extract.
+func (s Spec) Names() []string {
+	var out []string
+	if s.Kinds&QueueLen != 0 {
+		out = append(out, "queueLen")
+	}
+	for d := 0; d < s.Depth; d++ {
+		if s.Kinds&HistQueueLen != 0 {
+			out = append(out, indexed("histQueueLen", d))
+		}
+	}
+	for d := 0; d < s.Depth; d++ {
+		if s.Kinds&HistLatency != 0 {
+			out = append(out, indexed("histLatency", d))
+		}
+	}
+	for d := 0; d < s.Depth; d++ {
+		if s.Kinds&HistThroughput != 0 {
+			out = append(out, indexed("histThpt", d))
+		}
+	}
+	if s.Kinds&IOSize != 0 {
+		out = append(out, "ioSize")
+	}
+	if s.Kinds&Timestamp != 0 {
+		out = append(out, "timestamp")
+	}
+	if s.Kinds&Offset != 0 {
+		out = append(out, "offset")
+	}
+	return out
+}
+
+func indexed(base string, i int) string {
+	return base + "[" + string(rune('0'+i)) + "]"
+}
+
+// Hist is one completed I/O's contribution to history.
+type Hist struct {
+	Latency  float64 // ns
+	QueueLen float64
+	Thpt     float64 // MB/s
+}
+
+// Window is a fixed-size most-recent-first history of completed I/Os. The
+// zero value with Cap set is ready to use.
+type Window struct {
+	buf  []Hist
+	head int
+	n    int
+}
+
+// NewWindow creates a history window holding the last cap completions.
+func NewWindow(cap int) *Window {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Window{buf: make([]Hist, cap)}
+}
+
+// Push records a completed I/O.
+func (w *Window) Push(h Hist) {
+	w.buf[w.head] = h
+	w.head = (w.head + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// At returns the i-th most recent completion (0 = newest). Missing history
+// returns the zero Hist, matching a cold-start device.
+func (w *Window) At(i int) Hist {
+	if i >= w.n {
+		return Hist{}
+	}
+	idx := (w.head - 1 - i + 2*len(w.buf)) % len(w.buf)
+	return w.buf[idx]
+}
+
+// Len returns the number of completions recorded, up to the capacity.
+func (w *Window) Len() int { return w.n }
+
+// Online assembles a feature vector from live values, used at deployment
+// time by the admission policy. The layout matches Extract exactly.
+func (s Spec) Online(queueLen int, size int32, arrival, offset int64, hist *Window) []float64 {
+	row := make([]float64, 0, s.Width())
+	if s.Kinds&QueueLen != 0 {
+		row = append(row, float64(queueLen))
+	}
+	if s.Kinds&HistQueueLen != 0 {
+		for d := 0; d < s.Depth; d++ {
+			row = append(row, hist.At(d).QueueLen)
+		}
+	}
+	if s.Kinds&HistLatency != 0 {
+		for d := 0; d < s.Depth; d++ {
+			row = append(row, hist.At(d).Latency)
+		}
+	}
+	if s.Kinds&HistThroughput != 0 {
+		for d := 0; d < s.Depth; d++ {
+			row = append(row, hist.At(d).Thpt)
+		}
+	}
+	if s.Kinds&IOSize != 0 {
+		row = append(row, float64(size))
+	}
+	if s.Kinds&Timestamp != 0 {
+		row = append(row, float64(arrival))
+	}
+	if s.Kinds&Offset != 0 {
+		row = append(row, float64(offset))
+	}
+	return row
+}
+
+// Extract builds the feature matrix for a log (one row per record, aligned
+// with the input). History reflects only I/Os that completed before each
+// record's arrival, exactly what a deployed model can observe.
+func Extract(recs []iolog.Record, spec Spec) [][]float64 {
+	rows := make([][]float64, len(recs))
+	win := NewWindow(spec.Depth)
+	var pending pendingHeap
+	for i, r := range recs {
+		for pending.Len() > 0 && pending[0].complete <= r.Arrival {
+			p := heap.Pop(&pending).(pendingRec)
+			win.Push(p.hist)
+		}
+		rows[i] = spec.Online(r.QueueLen, r.Size, r.Arrival, 0, win)
+		heap.Push(&pending, pendingRec{
+			complete: r.Complete(),
+			hist: Hist{
+				Latency:  float64(r.Latency),
+				QueueLen: float64(r.QueueLen),
+				Thpt:     r.ThroughputMBps(),
+			},
+		})
+	}
+	return rows
+}
+
+type pendingRec struct {
+	complete int64
+	hist     Hist
+}
+
+type pendingHeap []pendingRec
+
+func (h pendingHeap) Len() int            { return len(h) }
+func (h pendingHeap) Less(i, j int) bool  { return h[i].complete < h[j].complete }
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pendingRec)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Correlation returns the absolute Pearson correlation of each feature
+// column against the labels, used by the selection stage (Fig. 7a).
+func Correlation(rows [][]float64, labels []int) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := len(rows[0])
+	out := make([]float64, w)
+	y := make([]float64, len(labels))
+	for i, l := range labels {
+		y[i] = float64(l)
+	}
+	my := mean(y)
+	for c := 0; c < w; c++ {
+		var mx float64
+		for _, r := range rows {
+			mx += r[c]
+		}
+		mx /= float64(len(rows))
+		var cov, vx, vy float64
+		for i, r := range rows {
+			dx := r[c] - mx
+			dy := y[i] - my
+			cov += dx * dy
+			vx += dx * dx
+			vy += dy * dy
+		}
+		if vx <= 0 || vy <= 0 {
+			out[c] = 0
+			continue
+		}
+		out[c] = math.Abs(cov / math.Sqrt(vx*vy))
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,285 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iolog"
+	"repro/internal/trace"
+)
+
+func TestSpecWidthAndNames(t *testing.T) {
+	spec := DefaultSpec()
+	if spec.Width() != 11 {
+		t.Fatalf("default spec width %d, want 11 (the §6.6 geometry)", spec.Width())
+	}
+	names := spec.Names()
+	if len(names) != spec.Width() {
+		t.Fatalf("names %d vs width %d", len(names), spec.Width())
+	}
+	if names[0] != "queueLen" || names[len(names)-1] != "ioSize" {
+		t.Fatalf("unexpected layout: %v", names)
+	}
+	lin := Spec{Kinds: LinnOSSet, Depth: 4}
+	if lin.Width() != 9 {
+		t.Fatalf("linnos raw width %d, want 9", lin.Width())
+	}
+	all := Spec{Kinds: Selected | Timestamp | Offset, Depth: 3}
+	if all.Width() != 13 {
+		t.Fatalf("all width %d", all.Width())
+	}
+}
+
+func TestWindowOrder(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 {
+		t.Fatal("fresh window not empty")
+	}
+	if (w.At(0) != Hist{}) {
+		t.Fatal("missing history must be zero")
+	}
+	w.Push(Hist{Latency: 1})
+	w.Push(Hist{Latency: 2})
+	w.Push(Hist{Latency: 3})
+	w.Push(Hist{Latency: 4}) // evicts 1
+	if w.Len() != 3 {
+		t.Fatalf("len %d", w.Len())
+	}
+	if w.At(0).Latency != 4 || w.At(1).Latency != 3 || w.At(2).Latency != 2 {
+		t.Fatalf("order wrong: %v %v %v", w.At(0), w.At(1), w.At(2))
+	}
+	if (w.At(5) != Hist{}) {
+		t.Fatal("beyond-capacity index must be zero")
+	}
+}
+
+func TestWindowZeroCap(t *testing.T) {
+	w := NewWindow(0)
+	w.Push(Hist{Latency: 9})
+	if w.At(0).Latency != 9 {
+		t.Fatal("capacity clamped window broken")
+	}
+}
+
+func TestExtractHistoryIsCompletedBeforeArrival(t *testing.T) {
+	// Three reads: the second arrives before the first completes, so its
+	// history must be empty; the third arrives after both completed.
+	recs := []iolog.Record{
+		{Arrival: 0, Size: 4096, Op: trace.Read, Latency: 1000, QueueLen: 0},
+		{Arrival: 500, Size: 4096, Op: trace.Read, Latency: 1000, QueueLen: 1},
+		{Arrival: 5000, Size: 4096, Op: trace.Read, Latency: 1000, QueueLen: 0},
+	}
+	spec := Spec{Kinds: QueueLen | HistLatency, Depth: 2}
+	rows := Extract(recs, spec)
+	// Layout: [queueLen, histLat0, histLat1]
+	if rows[0][1] != 0 || rows[0][2] != 0 {
+		t.Fatalf("first row has phantom history: %v", rows[0])
+	}
+	if rows[1][1] != 0 {
+		t.Fatalf("second row saw uncompleted I/O: %v", rows[1])
+	}
+	if rows[2][1] != 1000 || rows[2][2] != 1000 {
+		t.Fatalf("third row history wrong: %v", rows[2])
+	}
+}
+
+func TestExtractHistoryOrderedByCompletion(t *testing.T) {
+	// First I/O completes after the second (big slow vs small fast):
+	// at the third arrival the most recent completion is the FIRST I/O.
+	recs := []iolog.Record{
+		{Arrival: 0, Size: 4096, Op: trace.Read, Latency: 3000},
+		{Arrival: 100, Size: 4096, Op: trace.Read, Latency: 500},
+		{Arrival: 10_000, Size: 4096, Op: trace.Read, Latency: 500},
+	}
+	spec := Spec{Kinds: HistLatency, Depth: 2}
+	rows := Extract(recs, spec)
+	if rows[2][0] != 3000 || rows[2][1] != 500 {
+		t.Fatalf("history not completion-ordered: %v", rows[2])
+	}
+}
+
+func TestOnlineMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var recs []iolog.Record
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		recs = append(recs, iolog.Record{
+			Arrival: now, Size: int32(4096 * (1 + rng.Intn(4))), Op: trace.Read,
+			Latency: int64(50_000 + rng.Intn(100_000)), QueueLen: rng.Intn(5),
+		})
+		now += int64(10_000 + rng.Intn(100_000))
+	}
+	spec := DefaultSpec()
+	rows := Extract(recs, spec)
+	// Rebuild row 150 via the online path.
+	win := NewWindow(spec.Depth)
+	r150 := recs[150]
+	for i := 0; i < 150; i++ {
+		// completed before arrival of 150?
+		if recs[i].Complete() <= r150.Arrival {
+			continue
+		}
+	}
+	// Push in completion order, as the tracker would.
+	type comp struct {
+		at int64
+		h  Hist
+	}
+	var comps []comp
+	for i := 0; i < 150; i++ {
+		if recs[i].Complete() <= r150.Arrival {
+			comps = append(comps, comp{recs[i].Complete(), Hist{
+				Latency:  float64(recs[i].Latency),
+				QueueLen: float64(recs[i].QueueLen),
+				Thpt:     recs[i].ThroughputMBps(),
+			}})
+		}
+	}
+	for i := 1; i < len(comps); i++ {
+		if comps[i].at < comps[i-1].at {
+			comps[i], comps[i-1] = comps[i-1], comps[i]
+			i = 0
+		}
+	}
+	for _, c := range comps {
+		win.Push(c.h)
+	}
+	online := spec.Online(r150.QueueLen, r150.Size, r150.Arrival, 0, win)
+	for c := range online {
+		if math.Abs(online[c]-rows[150][c]) > 1e-9 {
+			t.Fatalf("column %d: online %v vs extract %v", c, online[c], rows[150][c])
+		}
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	rows := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	s := NewScaler(ScaleMinMax)
+	FitTransform(s, rows)
+	if rows[0][0] != 0 || rows[2][0] != 1 || rows[1][0] != 0.5 {
+		t.Fatalf("minmax rows %v", rows)
+	}
+	// Out-of-range deployment values clamp.
+	out := s.Transform([]float64{-5, 100})
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("clamp failed: %v", out)
+	}
+}
+
+func TestMinMaxConstantColumn(t *testing.T) {
+	rows := [][]float64{{7, 1}, {7, 2}}
+	s := NewScaler(ScaleMinMax)
+	FitTransform(s, rows)
+	if rows[0][0] != 0 || rows[1][0] != 0 {
+		t.Fatalf("constant column not zeroed: %v", rows)
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	s := NewScaler(ScaleStandard)
+	FitTransform(s, rows)
+	var mean float64
+	for _, r := range rows {
+		mean += r[0]
+	}
+	mean /= 5
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("standardized mean %v", mean)
+	}
+}
+
+func TestRobustScaler(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}, {100}} // outlier
+	s := NewScaler(ScaleRobust)
+	FitTransform(s, rows)
+	// Median element maps to 0.
+	if math.Abs(rows[2][0]) > 1e-9 {
+		t.Fatalf("median not zero: %v", rows)
+	}
+}
+
+func TestDigitizeScaler(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {2}, {3}, {9}}
+	s := NewScaler(ScaleDigitize)
+	FitTransform(s, rows)
+	for _, r := range rows {
+		lv := r[0] * 9
+		if math.Abs(lv-math.Round(lv)) > 1e-9 {
+			t.Fatalf("digitized value %v not on a 1/9 level", r[0])
+		}
+	}
+}
+
+func TestNoneScaler(t *testing.T) {
+	rows := [][]float64{{42, 7}}
+	s := NewScaler(ScaleNone)
+	FitTransform(s, rows)
+	if rows[0][0] != 42 || rows[0][1] != 7 {
+		t.Fatalf("none scaler mutated rows: %v", rows)
+	}
+}
+
+func TestScalerKindsNamed(t *testing.T) {
+	for _, k := range []ScalerKind{ScaleNone, ScaleMinMax, ScaleStandard, ScaleRobust, ScaleDigitize} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+		if NewScaler(k).Kind() != k {
+			t.Fatalf("kind roundtrip failed for %v", k)
+		}
+	}
+}
+
+func TestMinMaxRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]float64, 50)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64() * 1000, rng.Float64()}
+		}
+		s := NewScaler(ScaleMinMax)
+		FitTransform(s, rows)
+		for _, r := range rows {
+			for _, v := range r {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	// Column 0 perfectly tracks the label; column 1 is constant.
+	rows := [][]float64{{1, 5}, {0, 5}, {1, 5}, {0, 5}}
+	labels := []int{1, 0, 1, 0}
+	c := Correlation(rows, labels)
+	if math.Abs(c[0]-1) > 1e-9 {
+		t.Fatalf("informative column correlation %v", c[0])
+	}
+	if c[1] != 0 {
+		t.Fatalf("constant column correlation %v", c[1])
+	}
+	if Correlation(nil, nil) != nil {
+		t.Fatal("empty correlation not nil")
+	}
+}
+
+func TestAllKindsCoverNames(t *testing.T) {
+	ks := AllKinds()
+	if len(ks) != 7 {
+		t.Fatalf("kinds %d", len(ks))
+	}
+	for _, k := range ks {
+		if k.Name == "" {
+			t.Fatal("unnamed kind")
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package feature
+
+import (
+	"math"
+	"sort"
+)
+
+// ScalerKind selects a feature-scaling method (Fig. 7d).
+type ScalerKind int
+
+const (
+	// ScaleNone passes raw values through (the controlled lower bound of
+	// Fig. 14 step 1).
+	ScaleNone ScalerKind = iota
+	// ScaleMinMax is min-max normalization: accurate and lightweight; the
+	// method Heimdall ships with.
+	ScaleMinMax
+	// ScaleStandard is z-score standardization (standard scaler). Accurate
+	// but needs the running mean/std of all history — too heavy for the
+	// deployment path (§3.3).
+	ScaleStandard
+	// ScaleRobust is median/IQR scaling. Same memory objection.
+	ScaleRobust
+	// ScaleDigitize is LinnOS-style digitization: each value is quantized to
+	// one of ten coarse levels. Designed for uniform per-page I/O; distorts
+	// learning for variable-sized I/Os (§6.4 step 1).
+	ScaleDigitize
+)
+
+// String names the scaler.
+func (k ScalerKind) String() string {
+	switch k {
+	case ScaleNone:
+		return "none"
+	case ScaleMinMax:
+		return "min-max"
+	case ScaleStandard:
+		return "standard"
+	case ScaleRobust:
+		return "robust"
+	case ScaleDigitize:
+		return "digitize"
+	}
+	return "unknown"
+}
+
+// Scaler normalizes feature vectors. Fit learns per-column statistics from
+// the training matrix; Transform scales one row in place and returns it.
+// Implementations are deterministic and safe to share read-only after Fit.
+type Scaler interface {
+	Fit(rows [][]float64)
+	Transform(row []float64) []float64
+	Kind() ScalerKind
+	// State exports the fitted statistics for serialization; RestoreScaler
+	// rebuilds the scaler from it.
+	State() ScalerState
+}
+
+// ScalerState is the serializable form of a fitted scaler: two per-column
+// statistic vectors whose meaning depends on the kind (min/max, mean/std,
+// or median/IQR).
+type ScalerState struct {
+	Kind ScalerKind
+	A, B []float64
+}
+
+// RestoreScaler rebuilds a fitted scaler from its exported state.
+func RestoreScaler(st ScalerState) Scaler {
+	switch st.Kind {
+	case ScaleMinMax:
+		return &minMaxScaler{min: st.A, max: st.B}
+	case ScaleStandard:
+		return &standardScaler{mean: st.A, std: st.B}
+	case ScaleRobust:
+		return &robustScaler{median: st.A, iqr: st.B}
+	case ScaleDigitize:
+		return &digitizeScaler{min: st.A, max: st.B}
+	default:
+		return noneScaler{}
+	}
+}
+
+// NewScaler constructs the scaler for a kind.
+func NewScaler(k ScalerKind) Scaler {
+	switch k {
+	case ScaleMinMax:
+		return &minMaxScaler{}
+	case ScaleStandard:
+		return &standardScaler{}
+	case ScaleRobust:
+		return &robustScaler{}
+	case ScaleDigitize:
+		return &digitizeScaler{}
+	default:
+		return noneScaler{}
+	}
+}
+
+// FitTransform fits the scaler and scales every row in place.
+func FitTransform(s Scaler, rows [][]float64) [][]float64 {
+	s.Fit(rows)
+	for _, r := range rows {
+		s.Transform(r)
+	}
+	return rows
+}
+
+type noneScaler struct{}
+
+func (noneScaler) Fit([][]float64)                 {}
+func (noneScaler) Transform(r []float64) []float64 { return r }
+func (noneScaler) Kind() ScalerKind                { return ScaleNone }
+func (noneScaler) State() ScalerState              { return ScalerState{Kind: ScaleNone} }
+
+type minMaxScaler struct {
+	min, max []float64
+}
+
+func (s *minMaxScaler) Kind() ScalerKind { return ScaleMinMax }
+
+func (s *minMaxScaler) State() ScalerState {
+	return ScalerState{Kind: ScaleMinMax, A: s.min, B: s.max}
+}
+
+func (s *minMaxScaler) Fit(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	w := len(rows[0])
+	s.min = make([]float64, w)
+	s.max = make([]float64, w)
+	copy(s.min, rows[0])
+	copy(s.max, rows[0])
+	for _, r := range rows[1:] {
+		for c, v := range r {
+			if v < s.min[c] {
+				s.min[c] = v
+			}
+			if v > s.max[c] {
+				s.max[c] = v
+			}
+		}
+	}
+}
+
+func (s *minMaxScaler) Transform(row []float64) []float64 {
+	for c := range row {
+		if c >= len(s.min) {
+			break
+		}
+		span := s.max[c] - s.min[c]
+		if span <= 0 {
+			row[c] = 0
+			continue
+		}
+		v := (row[c] - s.min[c]) / span
+		// Deployment values can exceed the training range; clamp so the
+		// network stays inside its trained regime.
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		row[c] = v
+	}
+	return row
+}
+
+type standardScaler struct {
+	mean, std []float64
+}
+
+func (s *standardScaler) Kind() ScalerKind { return ScaleStandard }
+
+func (s *standardScaler) State() ScalerState {
+	return ScalerState{Kind: ScaleStandard, A: s.mean, B: s.std}
+}
+
+func (s *standardScaler) Fit(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	w := len(rows[0])
+	s.mean = make([]float64, w)
+	s.std = make([]float64, w)
+	for _, r := range rows {
+		for c, v := range r {
+			s.mean[c] += v
+		}
+	}
+	n := float64(len(rows))
+	for c := range s.mean {
+		s.mean[c] /= n
+	}
+	for _, r := range rows {
+		for c, v := range r {
+			d := v - s.mean[c]
+			s.std[c] += d * d
+		}
+	}
+	for c := range s.std {
+		s.std[c] = math.Sqrt(s.std[c] / n)
+		if s.std[c] == 0 {
+			s.std[c] = 1
+		}
+	}
+}
+
+func (s *standardScaler) Transform(row []float64) []float64 {
+	for c := range row {
+		if c >= len(s.mean) {
+			break
+		}
+		row[c] = (row[c] - s.mean[c]) / s.std[c]
+	}
+	return row
+}
+
+type robustScaler struct {
+	median, iqr []float64
+}
+
+func (s *robustScaler) Kind() ScalerKind { return ScaleRobust }
+
+func (s *robustScaler) State() ScalerState {
+	return ScalerState{Kind: ScaleRobust, A: s.median, B: s.iqr}
+}
+
+func (s *robustScaler) Fit(rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	w := len(rows[0])
+	s.median = make([]float64, w)
+	s.iqr = make([]float64, w)
+	col := make([]float64, len(rows))
+	for c := 0; c < w; c++ {
+		for i, r := range rows {
+			col[i] = r[c]
+		}
+		sort.Float64s(col)
+		s.median[c] = quantile(col, 0.5)
+		iqr := quantile(col, 0.75) - quantile(col, 0.25)
+		if iqr == 0 {
+			iqr = 1
+		}
+		s.iqr[c] = iqr
+	}
+}
+
+func (s *robustScaler) Transform(row []float64) []float64 {
+	for c := range row {
+		if c >= len(s.median) {
+			break
+		}
+		row[c] = (row[c] - s.median[c]) / s.iqr[c]
+	}
+	return row
+}
+
+type digitizeScaler struct {
+	min, max []float64
+}
+
+func (s *digitizeScaler) Kind() ScalerKind { return ScaleDigitize }
+
+func (s *digitizeScaler) State() ScalerState {
+	return ScalerState{Kind: ScaleDigitize, A: s.min, B: s.max}
+}
+
+func (s *digitizeScaler) Fit(rows [][]float64) {
+	mm := &minMaxScaler{}
+	mm.Fit(rows)
+	s.min, s.max = mm.min, mm.max
+}
+
+func (s *digitizeScaler) Transform(row []float64) []float64 {
+	for c := range row {
+		if c >= len(s.min) {
+			break
+		}
+		span := s.max[c] - s.min[c]
+		if span <= 0 {
+			row[c] = 0
+			continue
+		}
+		v := (row[c] - s.min[c]) / span
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		// Ten coarse levels: 0.0, 1/9, ..., 1.0.
+		row[c] = math.Round(v*9) / 9
+	}
+	return row
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,191 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/iolog"
+	"repro/internal/trace"
+)
+
+// rec builds a read record with the given latency (µs) and size.
+func rec(arrivalUs int64, latUs int64, size int32) iolog.Record {
+	return iolog.Record{
+		Arrival: arrivalUs * 1000, Size: size, Op: trace.Read,
+		Latency: latUs * 1000,
+	}
+}
+
+// slowRunLog builds: 20 fast, 12 slow (one lucky outlier inside), 20 fast
+// (one transient outlier inside), and a 2-I/O slow blip.
+func slowRunLog() ([]iolog.Record, []int, int, int, []int) {
+	var recs []iolog.Record
+	var labels []int
+	now := int64(0)
+	push := func(latUs int64, size int32, lab int) int {
+		recs = append(recs, rec(now, latUs, size))
+		labels = append(labels, lab)
+		now += 100
+		return len(recs) - 1
+	}
+	for i := 0; i < 20; i++ {
+		push(100, 4096, 0)
+	}
+	lucky := -1
+	for i := 0; i < 12; i++ {
+		if i == 6 {
+			lucky = push(20, 4096, 1) // cache hit inside the slow run
+		} else {
+			push(2000, 4096, 1)
+		}
+	}
+	retry := -1
+	for i := 0; i < 20; i++ {
+		if i == 10 {
+			retry = push(5000, 4096, 0) // transient retry inside fast period
+		} else {
+			push(100, 4096, 0)
+		}
+	}
+	var blip []int
+	for i := 0; i < 2; i++ {
+		blip = append(blip, push(2000, 4096, 1)) // too-short slow run
+	}
+	for i := 0; i < 10; i++ {
+		push(100, 4096, 0)
+	}
+	return recs, labels, lucky, retry, blip
+}
+
+func TestStage1RemovesLuckyFastInSlow(t *testing.T) {
+	recs, labels, lucky, _, _ := slowRunLog()
+	res := Apply(recs, labels, Config{Stage1: true})
+	if res.Keep[lucky] {
+		t.Fatal("lucky fast I/O inside slow run not removed")
+	}
+	if res.Kind[lucky] != FastInSlow {
+		t.Fatalf("kind %v", res.Kind[lucky])
+	}
+	if res.Drops[FastInSlow] != 1 {
+		t.Fatalf("drops %v", res.Drops)
+	}
+}
+
+func TestStage2RemovesTransientSlowInFast(t *testing.T) {
+	recs, labels, _, retry, _ := slowRunLog()
+	res := Apply(recs, labels, Config{Stage2: true, FastTailPct: 98})
+	if res.Keep[retry] {
+		t.Fatal("transient slow I/O inside fast period not removed")
+	}
+	if res.Kind[retry] != SlowInFast {
+		t.Fatalf("kind %v", res.Kind[retry])
+	}
+}
+
+func TestStage3RemovesShortBursts(t *testing.T) {
+	recs, labels, _, _, blip := slowRunLog()
+	res := Apply(recs, labels, Config{Stage3: true, MinRun: 3})
+	for _, i := range blip {
+		if res.Keep[i] {
+			t.Fatalf("short-burst I/O %d kept", i)
+		}
+		if res.Kind[i] != ShortBurst {
+			t.Fatalf("kind %v", res.Kind[i])
+		}
+	}
+	// The long slow run must survive stage 3.
+	long := 0
+	for i, k := range res.Kind {
+		if labels[i] == 1 && k == Clean {
+			long++
+		}
+	}
+	if long < 10 {
+		t.Fatalf("long run damaged by stage 3: %d survivors", long)
+	}
+}
+
+func TestPaperConfigAllStages(t *testing.T) {
+	cfg := PaperConfig()
+	if !cfg.Stage1 || !cfg.Stage2 || !cfg.Stage3 {
+		t.Fatal("paper config must enable all stages")
+	}
+	if cfg.MinRun != 3 {
+		t.Fatalf("MinRun %d, want the paper's 3", cfg.MinRun)
+	}
+	recs, labels, lucky, retry, blip := slowRunLog()
+	res := Apply(recs, labels, cfg)
+	if res.Keep[lucky] || res.Keep[retry] || res.Keep[blip[0]] {
+		t.Fatal("paper config missed a noise class")
+	}
+	wantKept := len(recs) - res.Drops[FastInSlow] - res.Drops[SlowInFast] - res.Drops[ShortBurst]
+	if res.Kept != wantKept {
+		t.Fatalf("kept %d, want %d", res.Kept, wantKept)
+	}
+}
+
+func TestDefaultConfigShipsStage3(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Stage1 || cfg.Stage2 {
+		t.Fatal("shipped default enables stage 1/2 (see EXPERIMENTS.md ablation)")
+	}
+	if !cfg.Stage3 {
+		t.Fatal("shipped default must enable stage 3")
+	}
+	recs, labels, lucky, retry, blip := slowRunLog()
+	res := Apply(recs, labels, cfg)
+	if !res.Keep[lucky] || !res.Keep[retry] {
+		t.Fatal("shipped default removed a stage-1/2 sample")
+	}
+	if res.Keep[blip[0]] {
+		t.Fatal("shipped default missed stage-3 noise")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	recs, labels, lucky, _, _ := slowRunLog()
+	res := Apply(recs, labels, PaperConfig())
+	outR, outL := Select(recs, labels, res.Keep)
+	if len(outR) != res.Kept || len(outL) != res.Kept {
+		t.Fatalf("select sizes %d/%d, want %d", len(outR), len(outL), res.Kept)
+	}
+	for _, r := range outR {
+		if r == recs[lucky] {
+			t.Fatal("removed record present in selection")
+		}
+	}
+}
+
+func TestSearchMinRunInRange(t *testing.T) {
+	recs, labels, _, _, _ := slowRunLog()
+	got := SearchMinRun(recs, labels)
+	if got < 1 || got > 8 {
+		t.Fatalf("SearchMinRun = %d", got)
+	}
+}
+
+func TestApplyEmpty(t *testing.T) {
+	res := Apply(nil, nil, DefaultConfig())
+	if res.Kept != 0 || len(res.Keep) != 0 {
+		t.Fatalf("empty apply %+v", res)
+	}
+}
+
+func TestNoiseKindStrings(t *testing.T) {
+	for _, k := range []NoiseKind{Clean, FastInSlow, SlowInFast, ShortBurst} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestStagesAreIndependent(t *testing.T) {
+	recs, labels, lucky, retry, blip := slowRunLog()
+	s1 := Apply(recs, labels, Config{Stage1: true})
+	if !s1.Keep[retry] || !s1.Keep[blip[0]] {
+		t.Fatal("stage 1 removed other stages' noise")
+	}
+	s2 := Apply(recs, labels, Config{Stage2: true, FastTailPct: 98})
+	if !s2.Keep[lucky] || !s2.Keep[blip[0]] {
+		t.Fatal("stage 2 removed other stages' noise")
+	}
+}

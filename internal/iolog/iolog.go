@@ -1,0 +1,101 @@
+// Package iolog defines the per-I/O training log the Heimdall pipeline
+// consumes. A storage operator collects such a log (the paper suggests the
+// last 15 minutes of I/Os, §2) by recording each request's static and runtime
+// features together with its measured latency.
+package iolog
+
+import (
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Record is one logged I/O.
+type Record struct {
+	Arrival  int64 // ns since log start
+	Size     int32 // bytes
+	Op       trace.Op
+	Latency  int64 // ns, submission to completion
+	QueueLen int   // device queue length observed at submission
+
+	// Contended is simulator ground truth (the I/O overlapped an internal
+	// busy period). It is never used for training — only for evaluating
+	// labeling and model quality (Fig. 5a, Fig. 14).
+	Contended bool
+	CacheHit  bool
+}
+
+// Complete returns the completion timestamp.
+func (r Record) Complete() int64 { return r.Arrival + r.Latency }
+
+// ThroughputMBps returns the per-I/O throughput the labeling algorithm uses
+// (§3.1): request size divided by its latency. Unlike raw latency it
+// accounts for I/O size, which is why it detects the start and end of busy
+// periods more sharply.
+func (r Record) ThroughputMBps() float64 {
+	if r.Latency <= 0 {
+		return 0
+	}
+	return float64(r.Size) / (1 << 20) / (float64(r.Latency) / 1e9)
+}
+
+// Collect replays a trace through a single device with an always-admit
+// policy and returns the resulting log. This is the logging phase that
+// precedes training (§2, "Training").
+func Collect(t *trace.Trace, dev *ssd.Device) []Record {
+	out := make([]Record, 0, len(t.Reqs))
+	for _, req := range t.Reqs {
+		res := dev.Submit(req.Arrival, req.Op, req.Size)
+		out = append(out, Record{
+			Arrival:   req.Arrival,
+			Size:      req.Size,
+			Op:        req.Op,
+			Latency:   res.Complete - req.Arrival,
+			QueueLen:  res.QueueLen,
+			Contended: res.Contended,
+			CacheHit:  res.CacheHit,
+		})
+	}
+	return out
+}
+
+// Reads returns only the read records, preserving order. Heimdall optimizes
+// read latency: write tails are absorbed by the device write buffer (§2), so
+// the model trains on and decides about reads.
+func Reads(recs []Record) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Op == trace.Read {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latencies extracts the latency column.
+func Latencies(recs []Record) []int64 {
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Latency
+	}
+	return out
+}
+
+// Throughputs extracts the per-I/O throughput column in MB/s.
+func Throughputs(recs []Record) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ThroughputMBps()
+	}
+	return out
+}
+
+// GroundTruth extracts the simulator's contention truth as 0/1 labels.
+func GroundTruth(recs []Record) []int {
+	out := make([]int, len(recs))
+	for i, r := range recs {
+		if r.Contended {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package iolog
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func TestCollectShapes(t *testing.T) {
+	tr := trace.Generate(trace.MSRStyle(1, 500*time.Millisecond))
+	dev := ssd.New(ssd.Samsung970Pro(), 1)
+	recs := Collect(tr, dev)
+	if len(recs) != tr.Len() {
+		t.Fatalf("log %d records, trace %d", len(recs), tr.Len())
+	}
+	for i, r := range recs {
+		if r.Latency <= 0 {
+			t.Fatalf("record %d latency %d", i, r.Latency)
+		}
+		if r.Arrival != tr.Reqs[i].Arrival || r.Size != tr.Reqs[i].Size || r.Op != tr.Reqs[i].Op {
+			t.Fatalf("record %d does not mirror request", i)
+		}
+	}
+}
+
+func TestReadsFilter(t *testing.T) {
+	recs := []Record{
+		{Op: trace.Read, Latency: 1},
+		{Op: trace.Write, Latency: 2},
+		{Op: trace.Read, Latency: 3},
+	}
+	rs := Reads(recs)
+	if len(rs) != 2 || rs[0].Latency != 1 || rs[1].Latency != 3 {
+		t.Fatalf("reads %v", rs)
+	}
+}
+
+func TestThroughputMBps(t *testing.T) {
+	r := Record{Size: 1 << 20, Latency: int64(time.Second)}
+	if got := r.ThroughputMBps(); got != 1 {
+		t.Fatalf("1MB in 1s = %v MB/s", got)
+	}
+	if got := (Record{Size: 4096, Latency: 0}).ThroughputMBps(); got != 0 {
+		t.Fatalf("zero-latency throughput %v", got)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	r := Record{Arrival: 100, Latency: 50}
+	if r.Complete() != 150 {
+		t.Fatalf("complete %d", r.Complete())
+	}
+}
+
+func TestColumnExtractors(t *testing.T) {
+	recs := []Record{
+		{Latency: 10, Size: 1 << 20, Contended: true},
+		{Latency: 20, Size: 1 << 20},
+	}
+	lats := Latencies(recs)
+	if lats[0] != 10 || lats[1] != 20 {
+		t.Fatalf("latencies %v", lats)
+	}
+	th := Throughputs(recs)
+	if len(th) != 2 || th[0] <= th[1] {
+		t.Fatalf("throughputs %v", th)
+	}
+	gt := GroundTruth(recs)
+	if gt[0] != 1 || gt[1] != 0 {
+		t.Fatalf("ground truth %v", gt)
+	}
+}

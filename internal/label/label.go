@@ -1,0 +1,363 @@
+// Package label implements the data-labeling stage of the Heimdall pipeline
+// (§3.1): the baseline latency-cutoff labeling used by prior work (LinnOS),
+// the paper's period-based accurate labeling (Fig. 4), and the
+// gradient-descent threshold search of Fig. 3d.
+//
+// Labels follow the paper's convention: 1 = slow (decline/reroute),
+// 0 = fast (admit).
+//
+// Throughput here is the *windowed drain ratio*: the share of arriving bytes
+// the device completes within a short window centered on the I/O. The paper
+// observes (§3.1) that throughput is the sharper signal for busy-period
+// boundaries because it accounts for I/O size; normalizing by offered load
+// additionally makes the signal robust to workload burstiness, where an
+// absolute completion rate would confuse a lull in arrivals with contention.
+package label
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/iolog"
+	"repro/internal/trace"
+)
+
+// Thresholds parameterizes the period-based labeler. The three knobs are
+// what the gradient-descent search tunes.
+type Thresholds struct {
+	// HighLatPct: latencies above this percentile of the log look "high".
+	HighLatPct float64
+	// LowThptPct: windowed throughput below this percentile looks "low".
+	LowThptPct float64
+	// MaxDropFrac: throughput collapsing below this fraction of the median
+	// also seeds a busy period (CalcThptDropThreshold in Fig. 4).
+	MaxDropFrac float64
+
+	// Resolved absolute values (filled against a Series).
+	HighLatNs  float64
+	LowThptMB  float64
+	MedianThpt float64
+}
+
+// DefaultThresholds returns the starting point of the gradient-descent
+// search: suspicious latency above p90, throughput below p20, and a drop to
+// under 40% of the median.
+func DefaultThresholds() Thresholds {
+	return Thresholds{HighLatPct: 90, LowThptPct: 20, MaxDropFrac: 0.4}
+}
+
+// Series is the preprocessed signal the labeler runs on: per-read latency
+// and windowed device throughput. Build it once with Prepare and reuse it
+// across threshold evaluations.
+type Series struct {
+	Lat   []float64 // ns
+	WThpt []float64 // drain ratio: completed/arrived bytes in the window
+
+	sortedLat  []float64
+	sortedThpt []float64
+	meanLat    float64
+	stdLat     float64
+	targetFrac float64 // estimated tail fraction, for the search objective
+}
+
+// Prepare computes the labeling signal for a read log. The throughput window
+// adapts to the workload: 20 mean interarrival gaps, at least 2ms.
+func Prepare(recs []iolog.Record) *Series {
+	n := len(recs)
+	s := &Series{Lat: make([]float64, n), WThpt: make([]float64, n)}
+	if n == 0 {
+		return s
+	}
+	for i, r := range recs {
+		s.Lat[i] = float64(r.Latency)
+	}
+	s.sortedLat = append([]float64(nil), s.Lat...)
+	sort.Float64s(s.sortedLat)
+
+	// The window must cover (a) enough arrivals to be statistically stable
+	// (20 mean gaps), and (b) several multiples of an ordinary I/O's
+	// latency — otherwise a single large-but-healthy I/O arrives inside the
+	// window, completes just outside it, and dents the drain ratio as if the
+	// device were busy.
+	span := recs[n-1].Arrival - recs[0].Arrival
+	window := int64(2 * time.Millisecond)
+	if n > 1 {
+		if w := span / int64(n) * 20; w > window {
+			window = w
+		}
+	}
+	if w := int64(3 * trace.Percentile(s.sortedLat, 90)); w > window {
+		window = w
+	}
+
+	// Completion events sorted by time with prefix byte sums, so the bytes
+	// completed in any interval is two binary searches. Arrivals are already
+	// sorted; same trick.
+	type done struct {
+		at    int64
+		bytes int64
+	}
+	evs := make([]done, n)
+	for i, r := range recs {
+		evs[i] = done{at: r.Complete(), bytes: int64(r.Size)}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	times := make([]int64, n)
+	donePrefix := make([]float64, n+1)
+	for i, e := range evs {
+		times[i] = e.at
+		donePrefix[i+1] = donePrefix[i] + float64(e.bytes)
+	}
+	doneUpTo := func(t int64) float64 {
+		i := sort.Search(n, func(k int) bool { return times[k] > t })
+		return donePrefix[i]
+	}
+	arrPrefix := make([]float64, n+1)
+	for i, r := range recs {
+		arrPrefix[i+1] = arrPrefix[i] + float64(r.Size)
+	}
+	arrUpTo := func(t int64) float64 {
+		i := sort.Search(n, func(k int) bool { return recs[k].Arrival > t })
+		return arrPrefix[i]
+	}
+	// The throughput signal is normalized by offered load: the fraction of
+	// arriving bytes the device manages to complete in a centered window
+	// (the "drain ratio"). An absolute completion rate cannot separate
+	// contention from a mere lull in arrivals — a busy device drains a
+	// *smaller share* of what arrives, whatever the load. A centered window
+	// is used because a read arriving at the start of a busy period has a
+	// healthy trailing window; the drop materializes in the completions
+	// around and after it, and offline labeling can look both ways.
+	const eps = 64 << 10
+	for i, r := range recs {
+		lo, hi := r.Arrival-window/2, r.Arrival+window/2
+		completed := doneUpTo(hi) - doneUpTo(lo)
+		arrived := arrUpTo(hi) - arrUpTo(lo)
+		s.WThpt[i] = (completed + eps) / (arrived + eps)
+	}
+
+	s.sortedThpt = append([]float64(nil), s.WThpt...)
+	sort.Float64s(s.sortedThpt)
+
+	var sum, sumSq float64
+	for _, l := range s.Lat {
+		sum += l
+		sumSq += l * l
+	}
+	s.meanLat = sum / float64(n)
+	s.stdLat = math.Sqrt(math.Max(sumSq/float64(n)-s.meanLat*s.meanLat, 1))
+
+	// Estimate the tail fraction from the latency knee: the search objective
+	// targets roughly this share of slow labels.
+	knee := kneeCutoff(s.sortedLat)
+	above := float64(n-sort.SearchFloat64s(s.sortedLat, knee)) / float64(n)
+	s.targetFrac = clamp(above, 0.02, 0.30)
+	return s
+}
+
+// Resolve fills the absolute threshold values for this series.
+func (t Thresholds) Resolve(s *Series) Thresholds {
+	t.HighLatNs = trace.Percentile(s.sortedLat, t.HighLatPct)
+	t.LowThptMB = trace.Percentile(s.sortedThpt, t.LowThptPct)
+	t.MedianThpt = trace.Percentile(s.sortedThpt, 50)
+	return t
+}
+
+// Period labels records with the period-based algorithm of Fig. 4: seed
+// busy I/Os where latency is high while windowed throughput is low (or has
+// collapsed below the drop threshold), then extend each seed forward through
+// the "TailZone" — consecutive I/Os whose throughput stays below the median
+// — so the whole slow period is labeled, not just its spikes.
+func Period(recs []iolog.Record, t Thresholds) []int {
+	return PeriodSeries(Prepare(recs), t)
+}
+
+// PeriodSeries is Period over a prepared series.
+func PeriodSeries(s *Series, t Thresholds) []int {
+	t = t.Resolve(s)
+	n := len(s.Lat)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if isBusy(s.Lat[i], s.WThpt[i], t) {
+			labels[i] = 1
+		}
+	}
+	// TailZone extension (lines 11-15 of Fig. 4). The recovery threshold
+	// sits below the median with hysteresis: calm-period throughput
+	// fluctuates around the median, so extending all the way to it would
+	// bleed busy labels deep into fast periods.
+	recover := 0.75 * t.MedianThpt
+	if t.LowThptMB > recover {
+		recover = t.LowThptMB
+	}
+	for i := 0; i < n; i++ {
+		if labels[i] != 1 {
+			continue
+		}
+		j := i + 1
+		for j < n && s.WThpt[j] < recover {
+			labels[j] = 1
+			j++
+		}
+		if j > i+1 {
+			i = j - 1
+		}
+	}
+	return labels
+}
+
+// isBusy implements IsBusy from Fig. 4: suspicious only when latency is high
+// AND throughput is low at the same time, or when throughput collapses below
+// the drop threshold while latency is elevated.
+func isBusy(lat, wthpt float64, t Thresholds) bool {
+	// Strict comparisons: on a degenerate log where every I/O shares one
+	// latency (so every percentile collapses to it), nothing is suspicious.
+	if lat > t.HighLatNs && wthpt < t.LowThptMB {
+		return true
+	}
+	return wthpt < t.MedianThpt*t.MaxDropFrac && lat > t.HighLatNs*0.75
+}
+
+// kneeCutoff finds the point of the sorted latency curve farthest from the
+// chord between its endpoints (the standard knee detector), clamped to at
+// least the p75 latency.
+func kneeCutoff(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	x0, y0 := 0.0, sorted[0]
+	x1, y1 := float64(n-1), sorted[n-1]
+	dx, dy := x1-x0, y1-y0
+	norm := math.Hypot(dx, dy)
+	best, bestDist := n-1, -1.0
+	for i := 0; i < n; i++ {
+		d := math.Abs(dy*float64(i)-dx*sorted[i]+x1*y0-y1*x0) / norm
+		if d > bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	v := sorted[best]
+	if p75 := trace.Percentile(sorted, 75); v < p75 {
+		v = p75
+	}
+	return v
+}
+
+// CutoffValue finds the latency cutoff the baseline labeler uses (Fig. 3a).
+func CutoffValue(recs []iolog.Record) float64 {
+	lats := make([]float64, len(recs))
+	for i, r := range recs {
+		lats[i] = float64(r.Latency)
+	}
+	sort.Float64s(lats)
+	return kneeCutoff(lats)
+}
+
+// Cutoff labels records with the baseline latency-cutoff algorithm: every
+// I/O whose latency exceeds the cutoff is "slow", regardless of size or
+// device state. This mislabels large I/Os whose latency is high purely
+// because of their size (Fig. 3b) — the inaccuracy period-based labeling
+// fixes.
+func Cutoff(recs []iolog.Record, cutoffNs float64) []int {
+	labels := make([]int, len(recs))
+	for i, r := range recs {
+		if float64(r.Latency) > cutoffNs {
+			labels[i] = 1
+		}
+	}
+	return labels
+}
+
+// SlowFraction returns the fraction of records labeled 1.
+func SlowFraction(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range labels {
+		n += l
+	}
+	return float64(n) / float64(len(labels))
+}
+
+// Runs returns the maximal runs of consecutive slow labels as [start, end)
+// index intervals.
+func Runs(labels []int) [][2]int {
+	var out [][2]int
+	i := 0
+	for i < len(labels) {
+		if labels[i] != 1 {
+			i++
+			continue
+		}
+		j := i
+		for j < len(labels) && labels[j] == 1 {
+			j++
+		}
+		out = append(out, [2]int{i, j})
+		i = j
+	}
+	return out
+}
+
+// Agreement returns the fraction of labels matching the reference labels —
+// used to score labeling quality against simulator ground truth (Fig. 5a).
+func Agreement(labels, ref []int) float64 {
+	if len(labels) == 0 || len(labels) != len(ref) {
+		return 0
+	}
+	n := 0
+	for i := range labels {
+		if labels[i] == ref[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(labels))
+}
+
+// BalancedAgreement returns the mean of per-class agreement (sensitivity and
+// specificity against the reference), which does not reward labeling
+// everything with the majority class.
+func BalancedAgreement(labels, ref []int) float64 {
+	if len(labels) != len(ref) || len(labels) == 0 {
+		return 0
+	}
+	var tp, fn, tn, fp float64
+	for i := range labels {
+		switch {
+		case ref[i] == 1 && labels[i] == 1:
+			tp++
+		case ref[i] == 1:
+			fn++
+		case labels[i] == 1:
+			fp++
+		default:
+			tn++
+		}
+	}
+	sens := 0.0
+	if tp+fn > 0 {
+		sens = tp / (tp + fn)
+	}
+	spec := 0.0
+	if tn+fp > 0 {
+		spec = tn / (tn + fp)
+	}
+	return (sens + spec) / 2
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,264 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iolog"
+	"repro/internal/trace"
+)
+
+// synthLog builds a log alternating fast stretches and slow periods. Fast
+// I/Os complete promptly; during slow periods latency is inflated ~10x so
+// completions stall relative to arrivals. Returns records and ground truth.
+func synthLog(seed int64, n int) ([]iolog.Record, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]iolog.Record, 0, n)
+	gt := make([]int, 0, n)
+	now := int64(0)
+	const gap = 100_000 // 100µs interarrival
+	i := 0
+	for i < n {
+		// Fast stretch of 50-150 I/Os.
+		fast := 50 + rng.Intn(100)
+		for j := 0; j < fast && i < n; j++ {
+			lat := int64(80_000 + rng.Intn(60_000))
+			recs = append(recs, iolog.Record{
+				Arrival: now, Size: 4096, Op: trace.Read,
+				Latency: lat, QueueLen: rng.Intn(3),
+			})
+			gt = append(gt, 0)
+			now += gap
+			i++
+		}
+		// Slow period of 20-60 I/Os.
+		slow := 20 + rng.Intn(40)
+		for j := 0; j < slow && i < n; j++ {
+			lat := int64(800_000 + rng.Intn(3_000_000))
+			recs = append(recs, iolog.Record{
+				Arrival: now, Size: 4096, Op: trace.Read,
+				Latency: lat, QueueLen: 5 + rng.Intn(20),
+				Contended: true,
+			})
+			gt = append(gt, 1)
+			now += gap
+			i++
+		}
+	}
+	return recs, gt
+}
+
+func TestPeriodLabelsRecoverSyntheticPeriods(t *testing.T) {
+	recs, gt := synthLog(1, 4000)
+	th := Search(recs, SearchOptions{})
+	labels := Period(recs, th)
+	if ba := BalancedAgreement(labels, gt); ba < 0.80 {
+		t.Fatalf("period labeling balanced agreement %.3f, want >= 0.80", ba)
+	}
+}
+
+func TestPeriodBeatsIsolatedNoise(t *testing.T) {
+	// Inject isolated slow outliers into fast stretches: period labeling
+	// must not chase them into whole periods.
+	recs, gt := synthLog(2, 4000)
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 40; k++ {
+		i := rng.Intn(len(recs))
+		if gt[i] == 0 {
+			recs[i].Latency = 5_000_000 // 5ms retry
+		}
+	}
+	th := Search(recs, SearchOptions{})
+	labels := Period(recs, th)
+	if ba := BalancedAgreement(labels, gt); ba < 0.75 {
+		t.Fatalf("agreement with retry noise %.3f, want >= 0.75", ba)
+	}
+}
+
+func TestCutoffLabelsBySizeBias(t *testing.T) {
+	// Big I/Os on an idle device have high latency purely from size; cutoff
+	// labeling marks them slow (the Fig. 3b failure), period labeling must
+	// not (their cohort drains fine).
+	recs, gt := synthLog(4, 3000)
+	rng := rand.New(rand.NewSource(5))
+	bigIdx := []int{}
+	for k := 0; k < 150; k++ {
+		i := rng.Intn(len(recs))
+		if gt[i] == 0 {
+			recs[i].Size = 2 << 20
+			recs[i].Latency = 4_500_000 // 4.5ms: pure transfer time
+			bigIdx = append(bigIdx, i)
+		}
+	}
+	cut := Cutoff(recs, CutoffValue(recs))
+	cutWrong := 0
+	for _, i := range bigIdx {
+		if cut[i] == 1 {
+			cutWrong++
+		}
+	}
+	if cutWrong < len(bigIdx)/2 {
+		t.Skipf("cutoff landed above big-I/O latency; bias scenario not triggered (%d/%d)", cutWrong, len(bigIdx))
+	}
+	th := Search(recs, SearchOptions{})
+	per := Period(recs, th)
+	perWrong := 0
+	for _, i := range bigIdx {
+		if per[i] == 1 {
+			perWrong++
+		}
+	}
+	if perWrong >= cutWrong {
+		t.Fatalf("period labeling mislabeled %d big I/Os, cutoff %d — no improvement", perWrong, cutWrong)
+	}
+}
+
+func TestCutoffValueAboveBody(t *testing.T) {
+	recs, _ := synthLog(6, 2000)
+	cut := CutoffValue(recs)
+	lats := iolog.Latencies(recs)
+	below := 0
+	for _, l := range lats {
+		if float64(l) > cut {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(lats))
+	if frac > 0.30 {
+		t.Fatalf("cutoff marks %.2f of the log slow; knee landed inside the body", frac)
+	}
+	if frac == 0 {
+		t.Fatal("cutoff marks nothing slow")
+	}
+}
+
+func TestRuns(t *testing.T) {
+	labels := []int{0, 1, 1, 0, 1, 0, 0, 1, 1, 1}
+	runs := Runs(labels)
+	want := [][2]int{{1, 3}, {4, 5}, {7, 10}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs %v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d = %v, want %v", i, runs[i], want[i])
+		}
+	}
+	if got := Runs([]int{0, 0}); len(got) != 0 {
+		t.Fatalf("no-slow runs %v", got)
+	}
+}
+
+func TestSlowFraction(t *testing.T) {
+	if got := SlowFraction([]int{1, 0, 1, 0}); got != 0.5 {
+		t.Fatalf("fraction %v", got)
+	}
+	if got := SlowFraction(nil); got != 0 {
+		t.Fatalf("empty fraction %v", got)
+	}
+}
+
+func TestAgreementFunctions(t *testing.T) {
+	a := []int{1, 0, 1, 0}
+	if got := Agreement(a, a); got != 1 {
+		t.Fatalf("self agreement %v", got)
+	}
+	b := []int{0, 1, 0, 1}
+	if got := Agreement(a, b); got != 0 {
+		t.Fatalf("inverse agreement %v", got)
+	}
+	if got := BalancedAgreement(a, a); got != 1 {
+		t.Fatalf("self balanced %v", got)
+	}
+	// All-fast labels against half-slow truth: balanced agreement is 0.5,
+	// not the 0.75 plain accuracy would give with 3:1 imbalance.
+	truth := []int{1, 0, 0, 0}
+	allFast := []int{0, 0, 0, 0}
+	if got := BalancedAgreement(allFast, truth); got != 0.5 {
+		t.Fatalf("majority-collapse balanced agreement %v, want 0.5", got)
+	}
+	if got := Agreement([]int{1}, []int{1, 0}); got != 0 {
+		t.Fatalf("mismatched lengths agreement %v", got)
+	}
+}
+
+func TestSearchDeterministicAndBounded(t *testing.T) {
+	recs, _ := synthLog(7, 3000)
+	a := Search(recs, SearchOptions{})
+	b := Search(recs, SearchOptions{})
+	if a != b {
+		t.Fatalf("search not deterministic: %+v vs %+v", a, b)
+	}
+	if a.HighLatPct < 60 || a.HighLatPct > 99.5 {
+		t.Fatalf("HighLatPct out of bounds: %v", a.HighLatPct)
+	}
+	if a.LowThptPct < 5 || a.LowThptPct > 60 {
+		t.Fatalf("LowThptPct out of bounds: %v", a.LowThptPct)
+	}
+	if a.MaxDropFrac < 0.05 || a.MaxDropFrac > 0.9 {
+		t.Fatalf("MaxDropFrac out of bounds: %v", a.MaxDropFrac)
+	}
+}
+
+func TestObjectiveDegenerate(t *testing.T) {
+	recs, _ := synthLog(8, 500)
+	all1 := make([]int, len(recs))
+	for i := range all1 {
+		all1[i] = 1
+	}
+	if got := Objective(recs, all1); got != -1 {
+		t.Fatalf("single-class objective %v, want -1", got)
+	}
+	if got := Objective(nil, nil); got != -1 {
+		t.Fatalf("empty objective %v, want -1", got)
+	}
+}
+
+func TestObjectivePrefersCoherentLabels(t *testing.T) {
+	recs, gt := synthLog(9, 3000)
+	s := Prepare(recs)
+	// Ground truth (coherent periods) must outscore the same number of slow
+	// labels scattered randomly.
+	rng := rand.New(rand.NewSource(10))
+	scattered := make([]int, len(gt))
+	nSlow := 0
+	for _, l := range gt {
+		nSlow += l
+	}
+	for k := 0; k < nSlow; k++ {
+		scattered[rng.Intn(len(scattered))] = 1
+	}
+	if ObjectiveSeries(s, gt) <= ObjectiveSeries(s, scattered) {
+		t.Fatal("objective does not prefer coherent periods over scattered labels")
+	}
+}
+
+func TestPrepareProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		recs, _ := synthLog(seed, 300)
+		s := Prepare(recs)
+		if len(s.Lat) != len(recs) || len(s.WThpt) != len(recs) {
+			return false
+		}
+		for _, w := range s.WThpt {
+			if w < 0 {
+				return false
+			}
+		}
+		return s.targetFrac >= 0.02 && s.targetFrac <= 0.30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelKindConventions(t *testing.T) {
+	recs, _ := synthLog(11, 1000)
+	labels := Period(recs, DefaultThresholds())
+	for _, l := range labels {
+		if l != 0 && l != 1 {
+			t.Fatalf("label %d not in {0,1}", l)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package label
+
+import (
+	"math"
+
+	"repro/internal/iolog"
+)
+
+// Objective scores a labeling without ground truth — the quantity the
+// gradient-descent threshold search of Fig. 3d maximizes, balancing
+// "accuracy" (do the slow labels form coherent periods that separate in
+// latency) against "sensitivity" (what share of the log is marked slow).
+//
+// Three terms:
+//
+//   - coherence: internal contention slows *consecutive* I/Os, so slow
+//     labels should live in runs. Isolated slow labels are transient noise
+//     (read retries) that thresholds should not chase.
+//   - coverage: the slow fraction should be near the series' estimated tail
+//     fraction — neither "everything is fine" nor "half the log is slow".
+//   - separation: slow-labeled I/Os should be slower than fast-labeled
+//     ones, squashed so a handful of extreme outliers cannot dominate.
+func Objective(recs []iolog.Record, labels []int) float64 {
+	return ObjectiveSeries(Prepare(recs), labels)
+}
+
+// minCoherentRun is the run length above which a slow run counts as a
+// genuine period rather than isolated noise (matches the paper's finding
+// that bursts of <= 3 slow I/Os are noise, §3.2).
+const minCoherentRun = 4
+
+// ObjectiveSeries is Objective over a prepared series.
+func ObjectiveSeries(s *Series, labels []int) float64 {
+	var nSlow, nFast int
+	var sumSlow, sumFast float64
+	var inRun int // slow labels inside coherent runs
+	run := 0
+	flushRun := func() {
+		if run >= minCoherentRun {
+			inRun += run
+		}
+		run = 0
+	}
+	for i, l := range s.Lat {
+		if labels[i] == 1 {
+			nSlow++
+			sumSlow += l
+			run++
+		} else {
+			nFast++
+			sumFast += l
+			flushRun()
+		}
+	}
+	flushRun()
+	n := len(s.Lat)
+	if n == 0 || nSlow == 0 || nFast == 0 {
+		return -1
+	}
+	coherence := float64(inRun) / float64(nSlow)
+
+	sep := (sumSlow/float64(nSlow) - sumFast/float64(nFast)) / s.stdLat
+	sepNorm := sep / (1 + math.Abs(sep))
+
+	frac := float64(nSlow) / float64(n)
+	width := 0.5*s.targetFrac + 0.02
+	d := (frac - s.targetFrac) / width
+	coverage := math.Exp(-d * d)
+
+	return 1.2*coherence + coverage + 0.5*sepNorm
+}
+
+// SearchOptions tunes the threshold search.
+type SearchOptions struct {
+	MaxIters int     // gradient steps per start (default 20)
+	Step     float64 // initial learning rate in percentile units (default 6)
+}
+
+// Search runs the finite-difference gradient ascent of Fig. 3d over the
+// three threshold knobs (HighLatPct, LowThptPct, MaxDropFrac), maximizing
+// Objective. Three deterministic starting points guard against local
+// optima. No ground truth is used.
+func Search(recs []iolog.Record, opts SearchOptions) Thresholds {
+	return SearchSeries(Prepare(recs), opts)
+}
+
+// SearchSeries is Search over a prepared series.
+func SearchSeries(s *Series, opts SearchOptions) Thresholds {
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 20
+	}
+	if opts.Step == 0 {
+		opts.Step = 6
+	}
+	// Coarse grid scan picks the basin; gradient ascent refines within it
+	// (plain single-start descent gets trapped when the objective surface is
+	// stepped, which percentile-resolved thresholds make it).
+	var starts []Thresholds
+	for _, lp := range []float64{75, 85, 95} {
+		for _, tp := range []float64{10, 25, 40} {
+			for _, dr := range []float64{0.2, 0.5} {
+				starts = append(starts, Thresholds{HighLatPct: lp, LowThptPct: tp, MaxDropFrac: dr})
+			}
+		}
+	}
+	bestStart := DefaultThresholds()
+	bestStartScore := math.Inf(-1)
+	for _, t := range starts {
+		if sc := ObjectiveSeries(s, PeriodSeries(s, t)); sc > bestStartScore {
+			bestStart, bestStartScore = t, sc
+		}
+	}
+	best, bestScore := ascend(s, bestStart, opts)
+	if t, score := ascend(s, DefaultThresholds(), opts); score > bestScore {
+		best, bestScore = t, score
+	}
+	_ = bestScore
+	return clampThresholds(best)
+}
+
+func ascend(s *Series, cur Thresholds, opts SearchOptions) (Thresholds, float64) {
+	eval := func(t Thresholds) float64 {
+		return ObjectiveSeries(s, PeriodSeries(s, clampThresholds(t)))
+	}
+	curScore := eval(cur)
+	step := opts.Step
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// Finite-difference gradient over the 3 knobs; each lives on its own
+		// scale, so each has its own epsilon.
+		var grad [3]float64
+		eps := [3]float64{2, 2, 0.05}
+		for k := 0; k < 3; k++ {
+			up, down := cur, cur
+			switch k {
+			case 0:
+				up.HighLatPct += eps[k]
+				down.HighLatPct -= eps[k]
+			case 1:
+				up.LowThptPct += eps[k]
+				down.LowThptPct -= eps[k]
+			case 2:
+				up.MaxDropFrac += eps[k]
+				down.MaxDropFrac -= eps[k]
+			}
+			grad[k] = (eval(up) - eval(down)) / (2 * eps[k])
+		}
+		norm := math.Sqrt(grad[0]*grad[0] + grad[1]*grad[1] + grad[2]*grad[2])
+		if norm < 1e-9 {
+			break
+		}
+		next := cur
+		next.HighLatPct += step * grad[0] / norm
+		next.LowThptPct += step * grad[1] / norm
+		next.MaxDropFrac += step * 0.02 * grad[2] / norm
+		next = clampThresholds(next)
+		nextScore := eval(next)
+		if nextScore > curScore {
+			cur, curScore = next, nextScore
+		} else {
+			step /= 2
+			if step < 0.25 {
+				break
+			}
+		}
+	}
+	return cur, curScore
+}
+
+func clampThresholds(t Thresholds) Thresholds {
+	t.HighLatPct = clamp(t.HighLatPct, 60, 99.5)
+	t.LowThptPct = clamp(t.LowThptPct, 5, 60)
+	t.MaxDropFrac = clamp(t.MaxDropFrac, 0.05, 0.9)
+	return t
+}

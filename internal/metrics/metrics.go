@@ -1,0 +1,298 @@
+// Package metrics implements the five accuracy metrics the paper reports
+// (ROC-AUC, PR-AUC, F1, FNR, FPR — §6.4) and the latency statistics used
+// throughout the evaluation (percentiles, means, CDFs).
+//
+// Convention, following §6.4: the positive class is "slow" (label 1, decline
+// the I/O). A true positive is an I/O correctly identified as slow.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Confusion holds binary-classification counts at a fixed threshold.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse computes the confusion counts of probabilistic scores against 0/1
+// labels at the given threshold (score >= threshold predicts positive/slow).
+func Confuse(scores []float64, labels []int, threshold float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		pred := s >= threshold
+		pos := labels[i] == 1
+		switch {
+		case pred && pos:
+			c.TP++
+		case pred && !pos:
+			c.FP++
+		case !pred && pos:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for empty input.
+func (c Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) (true positive rate), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FNR returns the false-negative rate FN/(FN+TP): slow I/Os falsely admitted.
+func (c Confusion) FNR() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}
+
+// FPR returns the false-positive rate FP/(FP+TN): fast I/Os falsely rerouted.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// ROCAUC computes the area under the ROC curve. It equals the probability
+// that a random positive example scores higher than a random negative one
+// (ties count half). Returns 0.5 when either class is empty, the
+// uninformative default.
+func ROCAUC(scores []float64, labels []int) float64 {
+	type sc struct {
+		s   float64
+		pos bool
+	}
+	pts := make([]sc, len(scores))
+	var nPos, nNeg int
+	for i, s := range scores {
+		pos := labels[i] == 1
+		pts[i] = sc{s, pos}
+		if pos {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].s < pts[j].s })
+	// Rank-sum (Mann-Whitney) formulation with midranks for ties.
+	var rankSumPos float64
+	i := 0
+	for i < len(pts) {
+		j := i
+		for j < len(pts) && pts[j].s == pts[i].s {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if pts[k].pos {
+				rankSumPos += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// PRAUC computes the area under the precision-recall curve using the
+// step-wise interpolation of Davis & Goadrich. Returns the positive-class
+// prevalence when either class is empty.
+func PRAUC(scores []float64, labels []int) float64 {
+	n := len(scores)
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var totalPos int
+	for _, l := range labels {
+		if l == 1 {
+			totalPos++
+		}
+	}
+	if totalPos == 0 || totalPos == n {
+		return float64(totalPos) / float64(n)
+	}
+	var tp, fp int
+	var auc, prevRecall float64
+	i := 0
+	for i < n {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		recall := float64(tp) / float64(totalPos)
+		precision := float64(tp) / float64(tp+fp)
+		auc += (recall - prevRecall) * precision
+		prevRecall = recall
+		i = j
+	}
+	return auc
+}
+
+// Report bundles the five paper metrics at the 0.5 decision threshold.
+type Report struct {
+	ROCAUC, PRAUC, F1, FNR, FPR float64
+	Confusion                   Confusion
+}
+
+// Evaluate computes the full metric report at the 0.5 threshold.
+func Evaluate(scores []float64, labels []int) Report {
+	return EvaluateAt(scores, labels, 0.5)
+}
+
+// EvaluateAt computes the full metric report with the threshold-sensitive
+// metrics (F1, FNR, FPR) taken at the model's operating point.
+func EvaluateAt(scores []float64, labels []int, threshold float64) Report {
+	c := Confuse(scores, labels, threshold)
+	return Report{
+		ROCAUC:    ROCAUC(scores, labels),
+		PRAUC:     PRAUC(scores, labels),
+		F1:        c.F1(),
+		FNR:       c.FNR(),
+		FPR:       c.FPR(),
+		Confusion: c,
+	}
+}
+
+// LatencyStats summarizes a latency sample.
+type LatencyStats struct {
+	N                               int
+	Mean                            time.Duration
+	P50, P90, P95, P99, P999, P9999 time.Duration
+	Max                             time.Duration
+	sorted                          []float64 // ns, ascending
+}
+
+// Latencies computes the statistics of a latency sample given in
+// nanoseconds. The input is not modified.
+func Latencies(ns []int64) LatencyStats {
+	var st LatencyStats
+	st.N = len(ns)
+	if st.N == 0 {
+		return st
+	}
+	f := make([]float64, len(ns))
+	var sum float64
+	for i, v := range ns {
+		f[i] = float64(v)
+		sum += f[i]
+	}
+	sort.Float64s(f)
+	st.sorted = f
+	st.Mean = time.Duration(sum / float64(len(f)))
+	st.P50 = time.Duration(pct(f, 50))
+	st.P90 = time.Duration(pct(f, 90))
+	st.P95 = time.Duration(pct(f, 95))
+	st.P99 = time.Duration(pct(f, 99))
+	st.P999 = time.Duration(pct(f, 99.9))
+	st.P9999 = time.Duration(pct(f, 99.99))
+	st.Max = time.Duration(f[len(f)-1])
+	return st
+}
+
+// Percentile returns an arbitrary percentile of the sample.
+func (s LatencyStats) Percentile(p float64) time.Duration {
+	return time.Duration(pct(s.sorted, p))
+}
+
+// CDF returns the empirical fraction of latencies <= d.
+func (s LatencyStats) CDF(d time.Duration) float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(s.sorted, float64(d)+0.5)
+	return float64(i) / float64(len(s.sorted))
+}
+
+func pct(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of a float slice, 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of a float slice.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []int{1, 0, 1, 0}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Errorf("accuracy %v", got)
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("precision %v", got)
+	}
+	if got := c.Recall(); got != 0.5 {
+		t.Errorf("recall %v", got)
+	}
+	if got := c.F1(); got != 0.5 {
+		t.Errorf("f1 %v", got)
+	}
+	if got := c.FNR(); got != 0.5 {
+		t.Errorf("fnr %v", got)
+	}
+	if got := c.FPR(); got != 0.5 {
+		t.Errorf("fpr %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	for _, v := range []float64{c.Accuracy(), c.Precision(), c.Recall(), c.F1(), c.FNR(), c.FPR()} {
+		if v != 0 {
+			t.Fatalf("degenerate confusion produced %v", v)
+		}
+	}
+}
+
+func TestROCAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if got := ROCAUC(scores, labels); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	inverted := []int{0, 0, 1, 1}
+	if got := ROCAUC(scores, inverted); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+}
+
+func TestROCAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via midranks.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	if got := ROCAUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestROCAUCSingleClass(t *testing.T) {
+	if got := ROCAUC([]float64{0.1, 0.9}, []int{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %v", got)
+	}
+}
+
+func TestROCAUCMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 30
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = math.Round(rng.Float64()*10) / 10 // induce ties
+			labels[i] = rng.Intn(2)
+		}
+		var pos, neg bool
+		for _, l := range labels {
+			if l == 1 {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			continue
+		}
+		// Brute-force pairwise probability.
+		var wins, ties, pairs float64
+		for i := range scores {
+			if labels[i] != 1 {
+				continue
+			}
+			for j := range scores {
+				if labels[j] != 0 {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					ties++
+				}
+			}
+		}
+		want := (wins + ties/2) / pairs
+		if got := ROCAUC(scores, labels); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: AUC %v, pairwise %v", trial, got, want)
+		}
+	}
+}
+
+func TestPRAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	if got := PRAUC(scores, labels); got != 1 {
+		t.Fatalf("perfect PR-AUC = %v", got)
+	}
+}
+
+func TestPRAUCPrevalenceFloor(t *testing.T) {
+	// Random scores: PR-AUC should be near prevalence, and always within
+	// [0, 1].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = rng.Intn(2)
+		}
+		auc := PRAUC(scores, labels)
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateBundles(t *testing.T) {
+	scores := []float64{0.9, 0.1}
+	labels := []int{1, 0}
+	r := Evaluate(scores, labels)
+	if r.ROCAUC != 1 || r.F1 != 1 || r.FNR != 0 || r.FPR != 0 {
+		t.Fatalf("report %+v", r)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(i+1) * 1000 // 1µs .. 100µs
+	}
+	s := Latencies(ns)
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != time.Duration(50500) {
+		t.Errorf("mean %v", s.Mean)
+	}
+	if s.Max != 100*time.Microsecond {
+		t.Errorf("max %v", s.Max)
+	}
+	if s.P50 < 50*time.Microsecond || s.P50 > 51*time.Microsecond {
+		t.Errorf("p50 %v", s.P50)
+	}
+	if s.P99 < 99*time.Microsecond || s.P99 > 100*time.Microsecond {
+		t.Errorf("p99 %v", s.P99)
+	}
+	if got := s.CDF(50 * time.Microsecond); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("CDF(50µs) = %v", got)
+	}
+	if got := s.CDF(time.Second); got != 1 {
+		t.Errorf("CDF(max+) = %v", got)
+	}
+	if got := s.Percentile(0); got != time.Microsecond {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestLatencyStatsEmpty(t *testing.T) {
+	s := Latencies(nil)
+	if s.N != 0 || s.Mean != 0 || s.CDF(time.Second) != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ns := make([]int64, 50)
+		for i := range ns {
+			ns[i] = rng.Int63n(1e9)
+		}
+		s := Latencies(ns)
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty mean/std not zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("mean %v", got)
+	}
+	if got := Std(xs); got != 2 {
+		t.Errorf("std %v", got)
+	}
+}

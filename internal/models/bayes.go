@@ -1,0 +1,253 @@
+package models
+
+import (
+	"math"
+	"sort"
+)
+
+// GaussianNB is Gaussian naive Bayes.
+type GaussianNB struct {
+	prior [2]float64
+	mean  [2][]float64
+	vari  [2][]float64
+}
+
+// NewGaussianNB constructs the classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{} }
+
+// Name implements Classifier.
+func (c *GaussianNB) Name() string { return "gaussian-nb" }
+
+// Fit implements Classifier.
+func (c *GaussianNB) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	var count [2]float64
+	for k := 0; k < 2; k++ {
+		c.mean[k] = make([]float64, d)
+		c.vari[k] = make([]float64, d)
+	}
+	for i, x := range X {
+		k := y[i]
+		count[k]++
+		for j, v := range x {
+			c.mean[k][j] += v
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for j := range c.mean[k] {
+			c.mean[k][j] /= count[k]
+		}
+		c.prior[k] = count[k] / float64(len(X))
+	}
+	for i, x := range X {
+		k := y[i]
+		for j, v := range x {
+			dv := v - c.mean[k][j]
+			c.vari[k][j] += dv * dv
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for j := range c.vari[k] {
+			c.vari[k][j] = c.vari[k][j]/count[k] + 1e-9
+		}
+	}
+	return nil
+}
+
+func (c *GaussianNB) logLik(x []float64, k int) float64 {
+	ll := math.Log(c.prior[k] + 1e-12)
+	for j, v := range x {
+		if j >= len(c.mean[k]) {
+			break
+		}
+		dv := v - c.mean[k][j]
+		ll += -0.5*math.Log(2*math.Pi*c.vari[k][j]) - dv*dv/(2*c.vari[k][j])
+	}
+	return ll
+}
+
+// PredictProba implements Classifier.
+func (c *GaussianNB) PredictProba(x []float64) float64 {
+	if c.mean[0] == nil {
+		return 0.5
+	}
+	l0, l1 := c.logLik(x, 0), c.logLik(x, 1)
+	return sigmoid(l1 - l0)
+}
+
+// BernoulliNB is Bernoulli naive Bayes over features binarized at their
+// training medians.
+type BernoulliNB struct {
+	alpha  float64
+	median []float64
+	prior  [2]float64
+	prob   [2][]float64 // P(feature above median | class)
+}
+
+// NewBernoulliNB constructs the classifier with Laplace smoothing alpha.
+func NewBernoulliNB(alpha float64) *BernoulliNB { return &BernoulliNB{alpha: alpha} }
+
+// Name implements Classifier.
+func (c *BernoulliNB) Name() string { return "bernoulli-nb" }
+
+// Fit implements Classifier.
+func (c *BernoulliNB) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	c.median = columnMedians(X)
+	var count [2]float64
+	var above [2][]float64
+	for k := 0; k < 2; k++ {
+		above[k] = make([]float64, d)
+	}
+	for i, x := range X {
+		k := y[i]
+		count[k]++
+		for j, v := range x {
+			if v > c.median[j] {
+				above[k][j]++
+			}
+		}
+	}
+	for k := 0; k < 2; k++ {
+		c.prior[k] = count[k] / float64(len(X))
+		c.prob[k] = make([]float64, d)
+		for j := range c.prob[k] {
+			c.prob[k][j] = (above[k][j] + c.alpha) / (count[k] + 2*c.alpha)
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *BernoulliNB) PredictProba(x []float64) float64 {
+	if c.median == nil {
+		return 0.5
+	}
+	ll := [2]float64{}
+	for k := 0; k < 2; k++ {
+		ll[k] = math.Log(c.prior[k] + 1e-12)
+		for j, v := range x {
+			if j >= len(c.median) {
+				break
+			}
+			p := c.prob[k][j]
+			if v > c.median[j] {
+				ll[k] += math.Log(p)
+			} else {
+				ll[k] += math.Log(1 - p)
+			}
+		}
+	}
+	return sigmoid(ll[1] - ll[0])
+}
+
+// MultinomialNB is multinomial naive Bayes; features must be non-negative
+// (they are, after min-max scaling).
+type MultinomialNB struct {
+	alpha float64
+	prior [2]float64
+	logp  [2][]float64
+	min   []float64
+}
+
+// NewMultinomialNB constructs the classifier with smoothing alpha.
+func NewMultinomialNB(alpha float64) *MultinomialNB { return &MultinomialNB{alpha: alpha} }
+
+// Name implements Classifier.
+func (c *MultinomialNB) Name() string { return "multinomial-nb" }
+
+// Fit implements Classifier.
+func (c *MultinomialNB) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	// Shift features to be non-negative.
+	c.min = make([]float64, d)
+	for _, x := range X {
+		for j, v := range x {
+			if v < c.min[j] {
+				c.min[j] = v
+			}
+		}
+	}
+	var count [2]float64
+	var sum [2][]float64
+	var total [2]float64
+	for k := 0; k < 2; k++ {
+		sum[k] = make([]float64, d)
+	}
+	for i, x := range X {
+		k := y[i]
+		count[k]++
+		for j, v := range x {
+			nv := v - c.min[j]
+			sum[k][j] += nv
+			total[k] += nv
+		}
+	}
+	for k := 0; k < 2; k++ {
+		c.prior[k] = count[k] / float64(len(X))
+		c.logp[k] = make([]float64, d)
+		for j := range c.logp[k] {
+			c.logp[k][j] = math.Log((sum[k][j] + c.alpha) / (total[k] + c.alpha*float64(d)))
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *MultinomialNB) PredictProba(x []float64) float64 {
+	if c.min == nil {
+		return 0.5
+	}
+	ll := [2]float64{}
+	for k := 0; k < 2; k++ {
+		ll[k] = math.Log(c.prior[k] + 1e-12)
+		for j, v := range x {
+			if j >= len(c.min) {
+				break
+			}
+			nv := v - c.min[j]
+			if nv < 0 {
+				nv = 0
+			}
+			ll[k] += nv * c.logp[k][j]
+		}
+	}
+	return sigmoid(ll[1] - ll[0])
+}
+
+func columnMedians(X [][]float64) []float64 {
+	d := len(X[0])
+	out := make([]float64, d)
+	col := make([]float64, len(X))
+	for j := 0; j < d; j++ {
+		for i, x := range X {
+			col[i] = x[j]
+		}
+		out[j] = medianInPlace(col)
+	}
+	return out
+}
+
+func medianInPlace(v []float64) float64 {
+	// Insertion-free: copy and quickselect would be ideal; a sort is fine at
+	// our training sizes.
+	tmp := append([]float64(nil), v...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}

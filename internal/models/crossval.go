@@ -1,0 +1,100 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+)
+
+// CrossValidate runs k-fold cross-validation — the pipeline's model
+// validation stage (MV in the paper's Fig. 1 taxonomy). Folds are assigned
+// by a deterministic shuffle of the row indices; each fold is scored with
+// ROC-AUC against its held-out labels using a fresh classifier from build.
+//
+// Returns the per-fold scores (length k) and their mean.
+func CrossValidate(build func() Classifier, X [][]float64, y []int, k int, seed int64) ([]float64, float64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("models: k-fold needs k >= 2, got %d", k)
+	}
+	if len(X) < k {
+		return nil, 0, fmt.Errorf("models: %d rows cannot fill %d folds", len(X), k)
+	}
+	if len(X) != len(y) {
+		return nil, 0, fmt.Errorf("models: %d rows vs %d labels", len(X), len(y))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(X))
+
+	scores := make([]float64, 0, k)
+	var sum float64
+	for fold := 0; fold < k; fold++ {
+		lo := fold * len(idx) / k
+		hi := (fold + 1) * len(idx) / k
+		var trX [][]float64
+		var trY []int
+		var teX [][]float64
+		var teY []int
+		for pos, i := range idx {
+			if pos >= lo && pos < hi {
+				teX = append(teX, X[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		clf := build()
+		if err := clf.Fit(trX, trY); err != nil {
+			// A fold can be degenerate (single class) on skewed data; score
+			// it as uninformative rather than aborting the whole validation.
+			scores = append(scores, 0.5)
+			sum += 0.5
+			continue
+		}
+		pred := make([]float64, len(teX))
+		for i, x := range teX {
+			pred[i] = clf.PredictProba(x)
+		}
+		s := metrics.ROCAUC(pred, teY)
+		scores = append(scores, s)
+		sum += s
+	}
+	return scores, sum / float64(k), nil
+}
+
+// SelectByCV picks the candidate with the best mean k-fold score. builders
+// maps a display name to a classifier constructor. Returns the winning name
+// and its mean score. Deterministic in seed.
+func SelectByCV(builders map[string]func() Classifier, X [][]float64, y []int, k int, seed int64) (string, float64, error) {
+	bestName := ""
+	bestScore := -1.0
+	// Map iteration order is random; collect and sort names for
+	// reproducibility.
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		_, mean, err := CrossValidate(builders[n], X, y, k, seed)
+		if err != nil {
+			return "", 0, fmt.Errorf("models: cv %q: %w", n, err)
+		}
+		if mean > bestScore {
+			bestName, bestScore = n, mean
+		}
+	}
+	if bestName == "" {
+		return "", 0, fmt.Errorf("models: no candidates")
+	}
+	return bestName, bestScore, nil
+}
+
+func sortStrings(v []string) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

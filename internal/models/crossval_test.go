@@ -1,0 +1,96 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestCrossValidateSeparable(t *testing.T) {
+	X, y := blobs(21, 600, 4)
+	scores, mean, err := CrossValidate(func() Classifier {
+		return NewSGDClassifier(1, 0.05, 5)
+	}, X, y, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("folds %d", len(scores))
+	}
+	if mean < 0.9 {
+		t.Fatalf("mean CV AUC %.3f on separable blobs", mean)
+	}
+	for i, s := range scores {
+		if s < 0.8 {
+			t.Fatalf("fold %d AUC %.3f", i, s)
+		}
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	X, y := blobs(22, 300, 3)
+	_, a, err := CrossValidate(func() Classifier { return NewDecisionTree(4, 8, 3) }, X, y, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := CrossValidate(func() Classifier { return NewDecisionTree(4, 8, 3) }, X, y, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cross-validation not deterministic")
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X, y := blobs(23, 50, 2)
+	if _, _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, X, y, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, X[:3], y[:3], 5, 1); err == nil {
+		t.Fatal("fewer rows than folds accepted")
+	}
+	if _, _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, X, y[:10], 5, 1); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+func TestCrossValidateDegenerateFoldScoresNeutral(t *testing.T) {
+	// Nearly single-class data: folds without both classes must score 0.5,
+	// not abort.
+	X := make([][]float64, 40)
+	y := make([]int, 40)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	y[0] = 1 // a single positive
+	scores, _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, X, y, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral := 0
+	for _, s := range scores {
+		if s == 0.5 {
+			neutral++
+		}
+	}
+	if neutral < 3 {
+		t.Fatalf("expected most folds neutral, got %d", neutral)
+	}
+}
+
+func TestSelectByCV(t *testing.T) {
+	// Rings: the tree should beat the linear model.
+	X, y := rings(24, 800)
+	name, score, err := SelectByCV(map[string]func() Classifier{
+		"linear": func() Classifier { return NewSGDClassifier(1, 0.05, 5) },
+		"tree":   func() Classifier { return NewDecisionTree(8, 8, 1) },
+	}, X, y, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tree" {
+		t.Fatalf("selected %q (%.3f), want tree", name, score)
+	}
+	if _, _, err := SelectByCV(nil, X, y, 4, 1); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+}

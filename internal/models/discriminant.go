@@ -1,0 +1,244 @@
+package models
+
+import "math"
+
+// LDA is linear discriminant analysis with a pooled, regularized covariance.
+type LDA struct {
+	reg   float64
+	w     []float64
+	b     float64
+	ready bool
+}
+
+// NewLDA constructs the classifier with ridge regularization reg added to
+// the covariance diagonal.
+func NewLDA(reg float64) *LDA { return &LDA{reg: reg} }
+
+// Name implements Classifier.
+func (c *LDA) Name() string { return "lda" }
+
+// Fit implements Classifier.
+func (c *LDA) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	mean := [2][]float64{make([]float64, d), make([]float64, d)}
+	var count [2]float64
+	for i, x := range X {
+		k := y[i]
+		count[k]++
+		for j, v := range x {
+			mean[k][j] += v
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for j := range mean[k] {
+			mean[k][j] /= count[k]
+		}
+	}
+	// Pooled covariance.
+	cov := newMat(d)
+	for i, x := range X {
+		k := y[i]
+		for a := 0; a < d; a++ {
+			da := x[a] - mean[k][a]
+			for b := a; b < d; b++ {
+				cov[a][b] += da * (x[b] - mean[k][b])
+			}
+		}
+	}
+	n := float64(len(X))
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov[a][b] / n
+			cov[a][b] = v
+			cov[b][a] = v
+		}
+		cov[a][a] += c.reg
+	}
+	inv, ok := invert(cov)
+	if !ok {
+		return ErrSingleClass
+	}
+	// w = Σ^-1 (μ1 - μ0); b from priors and means.
+	diff := make([]float64, d)
+	for j := range diff {
+		diff[j] = mean[1][j] - mean[0][j]
+	}
+	c.w = matVec(inv, diff)
+	m0w := dot(c.w, mean[0])
+	m1w := dot(c.w, mean[1])
+	c.b = -(m0w+m1w)/2 + math.Log(count[1]/count[0])
+	c.ready = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *LDA) PredictProba(x []float64) float64 {
+	if !c.ready {
+		return 0.5
+	}
+	return sigmoid(dot(c.w, x) + c.b)
+}
+
+// QDA is quadratic discriminant analysis with per-class regularized
+// covariance matrices.
+type QDA struct {
+	reg    float64
+	prior  [2]float64
+	mean   [2][]float64
+	inv    [2][][]float64
+	logDet [2]float64
+	ready  bool
+}
+
+// NewQDA constructs the classifier.
+func NewQDA(reg float64) *QDA { return &QDA{reg: reg} }
+
+// Name implements Classifier.
+func (c *QDA) Name() string { return "qda" }
+
+// Fit implements Classifier.
+func (c *QDA) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	var count [2]float64
+	for k := 0; k < 2; k++ {
+		c.mean[k] = make([]float64, d)
+	}
+	for i, x := range X {
+		k := y[i]
+		count[k]++
+		for j, v := range x {
+			c.mean[k][j] += v
+		}
+	}
+	for k := 0; k < 2; k++ {
+		for j := range c.mean[k] {
+			c.mean[k][j] /= count[k]
+		}
+		c.prior[k] = count[k] / float64(len(X))
+	}
+	for k := 0; k < 2; k++ {
+		cov := newMat(d)
+		for i, x := range X {
+			if y[i] != k {
+				continue
+			}
+			for a := 0; a < d; a++ {
+				da := x[a] - c.mean[k][a]
+				for b := a; b < d; b++ {
+					cov[a][b] += da * (x[b] - c.mean[k][b])
+				}
+			}
+		}
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				v := cov[a][b] / count[k]
+				cov[a][b] = v
+				cov[b][a] = v
+			}
+			cov[a][a] += c.reg
+		}
+		var det float64
+		inv, ok := invertLogDet(cov, &det)
+		if !ok {
+			return ErrSingleClass
+		}
+		c.inv[k] = inv
+		c.logDet[k] = det
+	}
+	c.ready = true
+	return nil
+}
+
+func (c *QDA) logLik(x []float64, k int) float64 {
+	d := len(c.mean[k])
+	diff := make([]float64, d)
+	for j := 0; j < d && j < len(x); j++ {
+		diff[j] = x[j] - c.mean[k][j]
+	}
+	md := dot(diff, matVec(c.inv[k], diff))
+	return math.Log(c.prior[k]+1e-12) - 0.5*c.logDet[k] - 0.5*md
+}
+
+// PredictProba implements Classifier.
+func (c *QDA) PredictProba(x []float64) float64 {
+	if !c.ready {
+		return 0.5
+	}
+	return sigmoid(c.logLik(x, 1) - c.logLik(x, 0))
+}
+
+func newMat(d int) [][]float64 {
+	m := make([][]float64, d)
+	buf := make([]float64, d*d)
+	for i := range m {
+		m[i] = buf[i*d : (i+1)*d]
+	}
+	return m
+}
+
+func matVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = dot(row, v)
+	}
+	return out
+}
+
+// invert computes the inverse of a square matrix by Gauss-Jordan with
+// partial pivoting. It does not modify its input.
+func invert(m [][]float64) ([][]float64, bool) {
+	var dummy float64
+	return invertLogDet(m, &dummy)
+}
+
+func invertLogDet(m [][]float64, logDet *float64) ([][]float64, bool) {
+	d := len(m)
+	a := newMat(d)
+	inv := newMat(d)
+	for i := range m {
+		copy(a[i], m[i])
+		inv[i][i] = 1
+	}
+	*logDet = 0
+	for col := 0; col < d; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		p := a[col][col]
+		*logDet += math.Log(math.Abs(p))
+		invP := 1 / p
+		for j := 0; j < d; j++ {
+			a[col][j] *= invP
+			inv[col][j] *= invP
+		}
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				a[r][j] -= f * a[col][j]
+				inv[r][j] -= f * inv[col][j]
+			}
+		}
+	}
+	return inv, true
+}

@@ -1,0 +1,299 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling.
+type RandomForest struct {
+	trees    int
+	maxDepth int
+	seed     int64
+	extra    bool // ExtraTrees mode: random thresholds, no bootstrap
+	forest   []*cartTree
+}
+
+// NewRandomForest constructs the classifier.
+func NewRandomForest(trees, maxDepth int, seed int64) *RandomForest {
+	return &RandomForest{trees: trees, maxDepth: maxDepth, seed: seed}
+}
+
+// NewExtraTrees constructs an extremely-randomized-trees classifier.
+func NewExtraTrees(trees, maxDepth int, seed int64) *RandomForest {
+	return &RandomForest{trees: trees, maxDepth: maxDepth, seed: seed, extra: true}
+}
+
+// Name implements Classifier.
+func (c *RandomForest) Name() string {
+	if c.extra {
+		return "extra-trees"
+	}
+	return "random-forest"
+}
+
+// Fit implements Classifier.
+func (c *RandomForest) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	target := make([]float64, len(y))
+	for i, l := range y {
+		target[i] = float64(l)
+	}
+	d := len(X[0])
+	mtry := int(math.Sqrt(float64(d)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	c.forest = make([]*cartTree, c.trees)
+	for t := 0; t < c.trees; t++ {
+		rng := rand.New(rand.NewSource(c.seed + int64(t)*7919))
+		idx := make([]int, len(X))
+		if c.extra {
+			for i := range idx {
+				idx[i] = i
+			}
+		} else {
+			for i := range idx {
+				idx[i] = rng.Intn(len(X))
+			}
+		}
+		c.forest[t] = buildCART(X, target, idx, cartOpts{
+			maxDepth: c.maxDepth, minSamples: 8, maxFeatures: mtry,
+			randomSplit: c.extra, rng: rng,
+		})
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *RandomForest) PredictProba(x []float64) float64 {
+	if len(c.forest) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, t := range c.forest {
+		s += t.predict(x)
+	}
+	return s / float64(len(c.forest))
+}
+
+// stump is a one-level decision tree used by AdaBoost.
+type stump struct {
+	feat     int
+	thresh   float64
+	polarity float64 // +1: predict slow when value > thresh
+	alpha    float64
+}
+
+func (s stump) predict(x []float64) float64 {
+	v := 0.0
+	if s.feat < len(x) {
+		v = x[s.feat]
+	}
+	if (v > s.thresh) == (s.polarity > 0) {
+		return 1
+	}
+	return -1
+}
+
+// AdaBoost is SAMME AdaBoost over decision stumps.
+type AdaBoost struct {
+	rounds int
+	seed   int64
+	stumps []stump
+}
+
+// NewAdaBoost constructs the classifier.
+func NewAdaBoost(rounds int, seed int64) *AdaBoost {
+	return &AdaBoost{rounds: rounds, seed: seed}
+}
+
+// Name implements Classifier.
+func (c *AdaBoost) Name() string { return "adaboost" }
+
+// Fit implements Classifier.
+func (c *AdaBoost) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	d := len(X[0])
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	t := make([]float64, n) // ±1 targets
+	for i, l := range y {
+		t[i] = 2*float64(l) - 1
+	}
+	// Pre-sort each feature once.
+	order := make([][]int, d)
+	for f := 0; f < d; f++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		ff := f
+		sort.Slice(idx, func(a, b int) bool { return X[idx[a]][ff] < X[idx[b]][ff] })
+		order[f] = idx
+	}
+	c.stumps = c.stumps[:0]
+	for round := 0; round < c.rounds; round++ {
+		best := stump{feat: -1}
+		bestErr := math.Inf(1)
+		for f := 0; f < d; f++ {
+			idx := order[f]
+			// err(+1 polarity, thresh before first) = weighted positives
+			// below... scan thresholds accumulating weighted labels.
+			var posAbove, total float64
+			for i := range w {
+				if t[i] > 0 {
+					posAbove += w[i]
+				}
+				total += w[i]
+			}
+			negAbove := total - posAbove
+			// With everything "above" the threshold: polarity +1 predicts
+			// all slow → error = weight of negatives above.
+			errPlus := negAbove
+			if errPlus < bestErr {
+				bestErr = errPlus
+				best = stump{feat: f, thresh: math.Inf(-1), polarity: +1}
+			}
+			if total-errPlus < bestErr {
+				bestErr = total - errPlus
+				best = stump{feat: f, thresh: math.Inf(-1), polarity: -1}
+			}
+			for k := 0; k < n-1; k++ {
+				i := idx[k]
+				if t[i] > 0 {
+					posAbove -= w[i]
+					errPlus += w[i] // a positive moved below → misclassified by +1
+				} else {
+					errPlus -= w[i]
+				}
+				if X[idx[k]][f] == X[idx[k+1]][f] {
+					continue
+				}
+				th := (X[idx[k]][f] + X[idx[k+1]][f]) / 2
+				if errPlus < bestErr {
+					bestErr = errPlus
+					best = stump{feat: f, thresh: th, polarity: +1}
+				}
+				if total-errPlus < bestErr {
+					bestErr = total - errPlus
+					best = stump{feat: f, thresh: th, polarity: -1}
+				}
+			}
+		}
+		if best.feat < 0 {
+			break
+		}
+		eps := bestErr
+		if eps <= 1e-10 {
+			best.alpha = 10
+			c.stumps = append(c.stumps, best)
+			break
+		}
+		if eps >= 0.5 {
+			break
+		}
+		best.alpha = 0.5 * math.Log((1-eps)/eps)
+		c.stumps = append(c.stumps, best)
+		var sum float64
+		for i := range w {
+			w[i] *= math.Exp(-best.alpha * t[i] * best.predict(X[i]))
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *AdaBoost) PredictProba(x []float64) float64 {
+	if len(c.stumps) == 0 {
+		return 0.5
+	}
+	var s, norm float64
+	for _, st := range c.stumps {
+		s += st.alpha * st.predict(x)
+		norm += st.alpha
+	}
+	return sigmoid(2 * s / math.Max(norm, 1e-9))
+}
+
+// GradientBoosting is gradient-boosted regression trees on the logistic
+// loss — the stand-in for LightGBM in Fig. 8.
+type GradientBoosting struct {
+	rounds   int
+	maxDepth int
+	lr       float64
+	seed     int64
+	f0       float64
+	trees    []*cartTree
+}
+
+// NewGradientBoosting constructs the classifier.
+func NewGradientBoosting(rounds, maxDepth int, lr float64, seed int64) *GradientBoosting {
+	return &GradientBoosting{rounds: rounds, maxDepth: maxDepth, lr: lr, seed: seed}
+}
+
+// Name implements Classifier.
+func (c *GradientBoosting) Name() string { return "gradient-boosting" }
+
+// Fit implements Classifier.
+func (c *GradientBoosting) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	var pos float64
+	for _, l := range y {
+		pos += float64(l)
+	}
+	p := pos / float64(n)
+	c.f0 = math.Log(p / (1 - p))
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = c.f0
+	}
+	resid := make([]float64, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	c.trees = c.trees[:0]
+	for round := 0; round < c.rounds; round++ {
+		for i := range resid {
+			resid[i] = float64(y[i]) - sigmoid(f[i])
+		}
+		t := buildCART(X, resid, idx, cartOpts{
+			maxDepth: c.maxDepth, minSamples: 16, regression: true, rng: rng,
+		})
+		c.trees = append(c.trees, t)
+		for i := range f {
+			f[i] += c.lr * t.predict(X[i])
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *GradientBoosting) PredictProba(x []float64) float64 {
+	if len(c.trees) == 0 {
+		return 0.5
+	}
+	f := c.f0
+	for _, t := range c.trees {
+		f += c.lr * t.predict(x)
+	}
+	return sigmoid(f)
+}

@@ -1,0 +1,110 @@
+package models
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors classifier. To keep inference tractable the
+// training set is reservoir-subsampled to maxTrain points (scikit-learn's
+// exact KNN over millions of I/Os is precisely the kind of deployment cost
+// Fig. 8 penalizes).
+type KNN struct {
+	k        int
+	maxTrain int
+	seed     int64
+	X        [][]float64
+	y        []int
+}
+
+// NewKNN constructs the classifier.
+func NewKNN(k, maxTrain int, seed int64) *KNN {
+	if k < 1 {
+		k = 1
+	}
+	return &KNN{k: k, maxTrain: maxTrain, seed: seed}
+}
+
+// Name implements Classifier.
+func (c *KNN) Name() string { return "knn" }
+
+// Fit implements Classifier.
+func (c *KNN) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	if c.maxTrain <= 0 || len(X) <= c.maxTrain {
+		c.X = X
+		c.y = y
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	idx := shuffled(rng, len(X))[:c.maxTrain]
+	sort.Ints(idx)
+	c.X = make([][]float64, len(idx))
+	c.y = make([]int, len(idx))
+	for i, j := range idx {
+		c.X[i] = X[j]
+		c.y[i] = y[j]
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *KNN) PredictProba(x []float64) float64 {
+	if len(c.X) == 0 {
+		return 0.5
+	}
+	k := c.k
+	if k > len(c.X) {
+		k = len(c.X)
+	}
+	// Max-heap of the k smallest distances, tracked as a simple slice since
+	// k is tiny.
+	type nb struct {
+		d float64
+		y int
+	}
+	best := make([]nb, 0, k)
+	worst := -1.0
+	for i, p := range c.X {
+		var d float64
+		for j, v := range x {
+			if j >= len(p) {
+				break
+			}
+			dv := v - p[j]
+			d += dv * dv
+		}
+		if len(best) < k {
+			best = append(best, nb{d, c.y[i]})
+			if d > worst {
+				worst = d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Replace the current worst.
+		wi, wd := 0, -1.0
+		for bi, b := range best {
+			if b.d > wd {
+				wd = b.d
+				wi = bi
+			}
+		}
+		best[wi] = nb{d, c.y[i]}
+		worst = -1
+		for _, b := range best {
+			if b.d > worst {
+				worst = b.d
+			}
+		}
+	}
+	pos := 0
+	for _, b := range best {
+		pos += b.y
+	}
+	return float64(pos) / float64(len(best))
+}

@@ -1,0 +1,232 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SGDClassifier is logistic regression trained by stochastic gradient
+// descent — the "Stochastic Gradient Descent" and "LogReg" entries of the
+// figures.
+type SGDClassifier struct {
+	seed   int64
+	lr     float64
+	epochs int
+	w      []float64
+	b      float64
+}
+
+// NewSGDClassifier constructs the classifier.
+func NewSGDClassifier(seed int64, lr float64, epochs int) *SGDClassifier {
+	return &SGDClassifier{seed: seed, lr: lr, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *SGDClassifier) Name() string { return "sgd-logreg" }
+
+// Fit implements Classifier.
+func (c *SGDClassifier) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	c.w = make([]float64, len(X[0]))
+	c.b = 0
+	for e := 0; e < c.epochs; e++ {
+		lr := c.lr / (1 + 0.5*float64(e))
+		for _, i := range shuffled(rng, len(X)) {
+			p := sigmoid(dot(c.w, X[i]) + c.b)
+			g := p - float64(y[i])
+			for j, v := range X[i] {
+				c.w[j] -= lr * g * v
+			}
+			c.b -= lr * g
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *SGDClassifier) PredictProba(x []float64) float64 {
+	return sigmoid(dot(c.w, x) + c.b)
+}
+
+// PassiveAggressive is the PA-I online classifier with hinge loss.
+type PassiveAggressive struct {
+	seed   int64
+	c      float64 // aggressiveness cap
+	epochs int
+	w      []float64
+	b      float64
+}
+
+// NewPassiveAggressive constructs the classifier.
+func NewPassiveAggressive(seed int64, cap float64, epochs int) *PassiveAggressive {
+	return &PassiveAggressive{seed: seed, c: cap, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *PassiveAggressive) Name() string { return "passive-aggressive" }
+
+// Fit implements Classifier.
+func (c *PassiveAggressive) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	c.w = make([]float64, len(X[0]))
+	c.b = 0
+	for e := 0; e < c.epochs; e++ {
+		for _, i := range shuffled(rng, len(X)) {
+			t := 2*float64(y[i]) - 1 // ±1
+			margin := t * (dot(c.w, X[i]) + c.b)
+			loss := 1 - margin
+			if loss <= 0 {
+				continue
+			}
+			var norm float64
+			for _, v := range X[i] {
+				norm += v * v
+			}
+			norm++ // bias term
+			tau := loss / norm
+			if tau > c.c {
+				tau = c.c
+			}
+			for j, v := range X[i] {
+				c.w[j] += tau * t * v
+			}
+			c.b += tau * t
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *PassiveAggressive) PredictProba(x []float64) float64 {
+	return sigmoid(2 * (dot(c.w, x) + c.b))
+}
+
+// LinearSVM is a linear support vector machine trained with the Pegasos
+// subgradient method (hinge loss + L2).
+type LinearSVM struct {
+	seed   int64
+	lr     float64
+	lambda float64
+	epochs int
+	w      []float64
+	b      float64
+}
+
+// NewLinearSVM constructs the classifier.
+func NewLinearSVM(seed int64, lr, lambda float64, epochs int) *LinearSVM {
+	return &LinearSVM{seed: seed, lr: lr, lambda: lambda, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *LinearSVM) Name() string { return "linear-svm" }
+
+// Fit implements Classifier.
+func (c *LinearSVM) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	c.w = make([]float64, len(X[0]))
+	c.b = 0
+	t := 1.0
+	for e := 0; e < c.epochs; e++ {
+		for _, i := range shuffled(rng, len(X)) {
+			eta := 1 / (c.lambda * t)
+			if eta > c.lr*100 {
+				eta = c.lr * 100
+			}
+			ti := 2*float64(y[i]) - 1
+			margin := ti * (dot(c.w, X[i]) + c.b)
+			for j := range c.w {
+				c.w[j] *= 1 - eta*c.lambda
+			}
+			if margin < 1 {
+				for j, v := range X[i] {
+					c.w[j] += eta * ti * v
+				}
+				c.b += eta * ti
+			}
+			t++
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *LinearSVM) PredictProba(x []float64) float64 {
+	return sigmoid(2 * (dot(c.w, x) + c.b))
+}
+
+// SVC approximates a Gaussian-kernel support vector classifier using random
+// Fourier features (Rahimi–Recht) followed by a linear hinge model. The
+// approximation keeps training linear-time, which the real kernel SVC is
+// not; accuracy behaviour on our feature scales is equivalent.
+type SVC struct {
+	seed     int64
+	features int
+	gamma    float64
+	lr       float64
+	epochs   int
+
+	omega [][]float64
+	phase []float64
+	lin   *LinearSVM
+}
+
+// NewSVC constructs the classifier with the given number of random Fourier
+// features and RBF bandwidth gamma.
+func NewSVC(seed int64, features int, gamma, lr float64, epochs int) *SVC {
+	return &SVC{seed: seed, features: features, gamma: gamma, lr: lr, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *SVC) Name() string { return "svc-rbf" }
+
+func (c *SVC) lift(x []float64) []float64 {
+	out := make([]float64, c.features)
+	scale := math.Sqrt(2 / float64(c.features))
+	for k := 0; k < c.features; k++ {
+		out[k] = scale * math.Cos(dot(c.omega[k], x)+c.phase[k])
+	}
+	return out
+}
+
+// Fit implements Classifier.
+func (c *SVC) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	d := len(X[0])
+	c.omega = make([][]float64, c.features)
+	c.phase = make([]float64, c.features)
+	sigma := math.Sqrt(2 * c.gamma)
+	for k := range c.omega {
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.NormFloat64() * sigma
+		}
+		c.omega[k] = w
+		c.phase[k] = rng.Float64() * 2 * math.Pi
+	}
+	lifted := make([][]float64, len(X))
+	for i, x := range X {
+		lifted[i] = c.lift(x)
+	}
+	c.lin = NewLinearSVM(c.seed+1, c.lr, 1e-4, c.epochs)
+	return c.lin.Fit(lifted, y)
+}
+
+// PredictProba implements Classifier.
+func (c *SVC) PredictProba(x []float64) float64 {
+	if c.lin == nil {
+		return 0.5
+	}
+	return c.lin.PredictProba(c.lift(x))
+}

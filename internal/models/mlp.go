@@ -1,0 +1,214 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// MLP is a multi-layer perceptron backed by the nn package — the "NN" /
+// "Multi-Layer Perceptron" zoo entry and the architecture Heimdall itself
+// refines in §3.5.
+type MLP struct {
+	seed   int64
+	hidden []int
+	epochs int
+	net    *nn.Network
+}
+
+// NewMLP constructs the classifier with the given hidden layer widths.
+func NewMLP(seed int64, hidden []int, epochs int) *MLP {
+	return &MLP{seed: seed, hidden: hidden, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *MLP) Name() string { return "mlp" }
+
+// Fit implements Classifier.
+func (c *MLP) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	layers := make([]nn.LayerSpec, 0, len(c.hidden)+1)
+	for _, h := range c.hidden {
+		layers = append(layers, nn.LayerSpec{Units: h, Act: nn.ReLU})
+	}
+	layers = append(layers, nn.LayerSpec{Units: 1, Act: nn.Sigmoid})
+	net, err := nn.New(nn.Config{
+		Inputs: len(X[0]), Layers: layers, Seed: c.seed,
+		Optimizer: nn.Adam, Loss: nn.BCE, LR: 0.005, Epochs: c.epochs, Batch: 64,
+	})
+	if err != nil {
+		return err
+	}
+	yf := make([]float64, len(y))
+	for i, l := range y {
+		yf[i] = float64(l)
+	}
+	if _, err := net.Train(X, yf); err != nil {
+		return err
+	}
+	c.net = net
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *MLP) PredictProba(x []float64) float64 {
+	if c.net == nil {
+		return 0.5
+	}
+	return c.net.Predict(x)
+}
+
+// RNN is a minimal Elman recurrent network. The flat feature vector is
+// interpreted as a short sequence (one step per historical depth), which is
+// the natural reading of Heimdall's history features. It exists for the
+// Fig. 8 model-exploration comparison.
+type RNN struct {
+	seed   int64
+	hidden int
+	epochs int
+
+	steps, stepW int
+	wxh, whh     []float64 // hidden x step, hidden x hidden
+	bh           []float64
+	why          []float64 // 1 x hidden
+	by           float64
+}
+
+// NewRNN constructs the classifier.
+func NewRNN(seed int64, hidden, epochs int) *RNN {
+	return &RNN{seed: seed, hidden: hidden, epochs: epochs}
+}
+
+// Name implements Classifier.
+func (c *RNN) Name() string { return "rnn" }
+
+// reshape splits a flat feature vector into timesteps. We use 3 steps when
+// divisible, otherwise one feature per step.
+func (c *RNN) reshape(x []float64) [][]float64 {
+	steps := c.steps
+	stepW := c.stepW
+	out := make([][]float64, steps)
+	for s := 0; s < steps; s++ {
+		lo := s * stepW
+		hi := lo + stepW
+		if hi > len(x) {
+			hi = len(x)
+		}
+		if lo >= len(x) {
+			out[s] = make([]float64, stepW)
+			continue
+		}
+		step := make([]float64, stepW)
+		copy(step, x[lo:hi])
+		out[s] = step
+	}
+	return out
+}
+
+func (c *RNN) chooseShape(width int) {
+	for _, steps := range []int{3, 4, 2} {
+		if width%steps == 0 {
+			c.steps, c.stepW = steps, width/steps
+			return
+		}
+	}
+	c.steps, c.stepW = width, 1
+}
+
+// Fit implements Classifier via truncated BPTT with SGD.
+func (c *RNN) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	c.chooseShape(len(X[0]))
+	rng := rand.New(rand.NewSource(c.seed))
+	h := c.hidden
+	c.wxh = randSlice(rng, h*c.stepW, math.Sqrt(1/float64(c.stepW)))
+	c.whh = randSlice(rng, h*h, math.Sqrt(1/float64(h)))
+	c.bh = make([]float64, h)
+	c.why = randSlice(rng, h, math.Sqrt(1/float64(h)))
+	c.by = 0
+
+	lr := 0.01
+	hs := make([][]float64, c.steps+1)
+	for e := 0; e < c.epochs; e++ {
+		for _, i := range shuffled(rng, len(X)) {
+			seq := c.reshape(X[i])
+			// Forward.
+			hs[0] = make([]float64, h)
+			for s := 0; s < c.steps; s++ {
+				cur := make([]float64, h)
+				for j := 0; j < h; j++ {
+					z := c.bh[j] + dot(c.wxh[j*c.stepW:(j+1)*c.stepW], seq[s])
+					for k := 0; k < h; k++ {
+						z += c.whh[j*h+k] * hs[s][k]
+					}
+					cur[j] = math.Tanh(z)
+				}
+				hs[s+1] = cur
+			}
+			p := sigmoid(dot(c.why, hs[c.steps]) + c.by)
+			dz := p - float64(y[i])
+			// Backward through time.
+			dh := make([]float64, h)
+			for j := 0; j < h; j++ {
+				dh[j] = dz * c.why[j]
+				c.why[j] -= lr * dz * hs[c.steps][j]
+			}
+			c.by -= lr * dz
+			for s := c.steps - 1; s >= 0; s-- {
+				dzh := make([]float64, h)
+				for j := 0; j < h; j++ {
+					dzh[j] = dh[j] * (1 - hs[s+1][j]*hs[s+1][j])
+				}
+				next := make([]float64, h)
+				for j := 0; j < h; j++ {
+					g := dzh[j]
+					for k := 0; k < c.stepW; k++ {
+						c.wxh[j*c.stepW+k] -= lr * g * seq[s][k]
+					}
+					for k := 0; k < h; k++ {
+						next[k] += c.whh[j*h+k] * g
+						c.whh[j*h+k] -= lr * g * hs[s][k]
+					}
+					c.bh[j] -= lr * g
+				}
+				dh = next
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *RNN) PredictProba(x []float64) float64 {
+	if c.wxh == nil {
+		return 0.5
+	}
+	seq := c.reshape(x)
+	h := c.hidden
+	prev := make([]float64, h)
+	cur := make([]float64, h)
+	for s := 0; s < c.steps; s++ {
+		for j := 0; j < h; j++ {
+			z := c.bh[j] + dot(c.wxh[j*c.stepW:(j+1)*c.stepW], seq[s])
+			for k := 0; k < h; k++ {
+				z += c.whh[j*h+k] * prev[k]
+			}
+			cur[j] = math.Tanh(z)
+		}
+		prev, cur = cur, prev
+	}
+	return sigmoid(dot(c.why, prev) + c.by)
+}
+
+func randSlice(rng *rand.Rand, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * scale
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package models is the classifier zoo behind the model-exploration stage
+// (§3.4, Fig. 8) and the AutoML comparison (§8.2, Fig. 18): sixteen model
+// families implemented from scratch on the standard library, sharing one
+// interface.
+//
+// All classifiers are binary with the positive class "slow" and return a
+// probability-like score in [0, 1]. Training is deterministic given the
+// model's seed.
+package models
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Classifier is a binary classifier over dense float feature vectors.
+type Classifier interface {
+	Name() string
+	// Fit trains on rows X with 0/1 labels y.
+	Fit(X [][]float64, y []int) error
+	// PredictProba scores one row: higher means more likely slow.
+	PredictProba(x []float64) float64
+}
+
+// ErrEmptyTrainingSet is returned by Fit on empty input.
+var ErrEmptyTrainingSet = errors.New("models: empty training set")
+
+// ErrSingleClass is returned when training data contains only one class.
+var ErrSingleClass = errors.New("models: training data has a single class")
+
+func checkXY(X [][]float64, y []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return ErrEmptyTrainingSet
+	}
+	var pos, neg bool
+	for _, l := range y {
+		if l == 1 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	if !pos || !neg {
+		return ErrSingleClass
+	}
+	return nil
+}
+
+// Zoo returns the sixteen classifiers of Fig. 18, in the figure's order,
+// with their default hyperparameters.
+func Zoo(seed int64) []Classifier {
+	return []Classifier{
+		NewSGDClassifier(seed, 0.05, 5),
+		NewPassiveAggressive(seed, 1.0, 5),
+		NewLinearSVM(seed, 0.05, 1e-4, 5),
+		NewSVC(seed, 64, 0.5, 0.05, 5),
+		NewKNN(7, 2000, seed),
+		NewBernoulliNB(1.0),
+		NewGaussianNB(),
+		NewMultinomialNB(1.0),
+		NewDecisionTree(8, 20, seed),
+		NewQDA(1e-3),
+		NewLDA(1e-3),
+		NewAdaBoost(40, seed),
+		NewGradientBoosting(60, 3, 0.1, seed),
+		NewRandomForest(40, 10, seed),
+		NewExtraTrees(40, 10, seed),
+		NewMLP(seed, []int{64, 16}, 15),
+	}
+}
+
+// Fig8Models returns the eight model families compared in Fig. 8.
+func Fig8Models(seed int64) []Classifier {
+	return []Classifier{
+		NewMLP(seed, []int{128, 16}, 20), // "NN"
+		NewRNN(seed, 16, 10),
+		NewSVC(seed, 64, 0.5, 0.05, 5),
+		NewKNN(7, 2000, seed),
+		NewSGDClassifier(seed, 0.05, 8), // "LogReg"
+		NewAdaBoost(40, seed),
+		NewGradientBoosting(60, 3, 0.1, seed), // "LightGBM" stand-in
+		NewRandomForest(40, 10, seed),
+	}
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func dot(w, x []float64) float64 {
+	var s float64
+	for i, v := range x {
+		if i >= len(w) {
+			break
+		}
+		s += w[i] * v
+	}
+	return s
+}
+
+func shuffled(rng *rand.Rand, n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}
+
+func clamp01p(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,304 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// blobs generates two noisy Gaussian clusters, linearly separable-ish.
+func blobs(seed int64, n, d int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, d)
+		cls := rng.Intn(2)
+		for j := range row {
+			center := 0.3
+			if cls == 1 {
+				center = 0.7
+			}
+			row[j] = center + rng.NormFloat64()*0.15
+		}
+		X[i] = row
+		y[i] = cls
+	}
+	return X, y
+}
+
+// rings generates a nonlinear (XOR-quadrant) dataset only nonlinear models
+// can fit.
+func rings(seed int64, n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		X[i] = []float64{a, b}
+		if (a > 0) != (b > 0) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func auc(c Classifier, X [][]float64, y []int) float64 {
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = c.PredictProba(x)
+	}
+	return metrics.ROCAUC(scores, y)
+}
+
+func TestZooOnSeparableBlobs(t *testing.T) {
+	trainX, trainY := blobs(1, 800, 6)
+	testX, testY := blobs(2, 400, 6)
+	for _, c := range Zoo(7) {
+		if err := c.Fit(trainX, trainY); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		want := 0.85
+		if c.Name() == "multinomial-nb" {
+			// Multinomial NB discriminates by feature *proportions*; these
+			// blobs differ only in magnitude, so it can only do modestly
+			// better than chance. Still must beat it.
+			want = 0.55
+		}
+		if got := auc(c, testX, testY); got < want {
+			t.Errorf("%s: AUC %.3f on separable blobs, want >= %.2f", c.Name(), got, want)
+		}
+	}
+}
+
+func TestZooSize(t *testing.T) {
+	zoo := Zoo(1)
+	if len(zoo) != 16 {
+		t.Fatalf("zoo has %d classifiers, want the 16 of Fig. 18", len(zoo))
+	}
+	names := map[string]bool{}
+	for _, c := range zoo {
+		if names[c.Name()] {
+			t.Fatalf("duplicate classifier name %q", c.Name())
+		}
+		names[c.Name()] = true
+	}
+	if len(Fig8Models(1)) != 8 {
+		t.Fatal("Fig8Models must return 8 families")
+	}
+}
+
+func TestNonlinearModelsOnRings(t *testing.T) {
+	trainX, trainY := rings(3, 1200)
+	testX, testY := rings(4, 500)
+	nonlinear := []Classifier{
+		NewDecisionTree(8, 10, 5),
+		NewRandomForest(30, 8, 5),
+		NewExtraTrees(30, 8, 5),
+		NewGradientBoosting(60, 3, 0.2, 5),
+		NewKNN(7, 2000, 5),
+		NewMLP(5, []int{16, 8}, 40),
+		NewSVC(5, 128, 2, 0.05, 8),
+		NewQDA(1e-3),
+	}
+	for _, c := range nonlinear {
+		if err := c.Fit(trainX, trainY); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if got := auc(c, testX, testY); got < 0.8 {
+			t.Errorf("%s: AUC %.3f on rings, want >= 0.8", c.Name(), got)
+		}
+	}
+	// A purely linear model cannot solve rings — sanity-check the dataset.
+	lin := NewSGDClassifier(5, 0.05, 10)
+	if err := lin.Fit(trainX, trainY); err != nil {
+		t.Fatal(err)
+	}
+	if got := auc(lin, testX, testY); got > 0.7 {
+		t.Errorf("linear model AUC %.3f on rings; dataset is not nonlinear", got)
+	}
+}
+
+func TestSingleClassRejected(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	for _, c := range Zoo(1) {
+		if err := c.Fit(X, y); err == nil {
+			t.Errorf("%s accepted single-class training data", c.Name())
+		}
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	for _, c := range Zoo(1) {
+		if err := c.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty training data", c.Name())
+		}
+	}
+}
+
+func TestUnfittedReturnsNeutral(t *testing.T) {
+	for _, c := range []Classifier{
+		NewGaussianNB(), NewBernoulliNB(1), NewMultinomialNB(1),
+		NewKNN(3, 100, 1), NewDecisionTree(4, 4, 1), NewQDA(1e-3), NewLDA(1e-3),
+		NewAdaBoost(5, 1), NewGradientBoosting(5, 2, 0.1, 1),
+		NewRandomForest(5, 4, 1), NewMLP(1, []int{4}, 2), NewSVC(1, 8, 1, 0.1, 2),
+		NewRNN(1, 4, 2),
+	} {
+		if got := c.PredictProba([]float64{1, 2}); got != 0.5 {
+			t.Errorf("%s unfitted proba %v, want 0.5", c.Name(), got)
+		}
+	}
+}
+
+func TestProbaBounded(t *testing.T) {
+	trainX, trainY := blobs(6, 300, 4)
+	f := func(a, b, c, d float64) bool {
+		x := []float64{math.Mod(a, 10), math.Mod(b, 10), math.Mod(c, 10), math.Mod(d, 10)}
+		for i := range x {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				x[i] = 0
+			}
+		}
+		for _, clf := range Zoo(9) {
+			if err := clf.Fit(trainX, trainY); err != nil {
+				return false
+			}
+			p := clf.PredictProba(x)
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNExactNeighbors(t *testing.T) {
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}}
+	y := []int{0, 0, 0, 1, 1}
+	knn := NewKNN(3, 0, 1)
+	if err := knn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := knn.PredictProba([]float64{0.1, 0.1}); p != 0 {
+		t.Fatalf("near cluster 0: proba %v", p)
+	}
+	if p := knn.PredictProba([]float64{10, 10.5}); p < 0.6 {
+		t.Fatalf("near cluster 1: proba %v", p)
+	}
+}
+
+func TestDecisionTreeLearnsThreshold(t *testing.T) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		X = append(X, []float64{v})
+		if v > 0.6 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	dt := NewDecisionTree(3, 2, 1)
+	if err := dt.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := dt.PredictProba([]float64{0.2}); p > 0.1 {
+		t.Fatalf("below threshold proba %v", p)
+	}
+	if p := dt.PredictProba([]float64{0.9}); p < 0.9 {
+		t.Fatalf("above threshold proba %v", p)
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	m := [][]float64{{4, 7}, {2, 6}}
+	inv, ok := invert(m)
+	if !ok {
+		t.Fatal("invert failed")
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(inv[i][j]-want[i][j]) > 1e-9 {
+				t.Fatalf("inv[%d][%d] = %v, want %v", i, j, inv[i][j], want[i][j])
+			}
+		}
+	}
+	if _, ok := invert([][]float64{{1, 2}, {2, 4}}); ok {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestAdaBoostWeightsConcentrate(t *testing.T) {
+	// AdaBoost on a clean threshold task should converge quickly with high
+	// confidence.
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		v := rng.Float64()
+		X = append(X, []float64{v, rng.Float64()})
+		if v > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	ab := NewAdaBoost(20, 1)
+	if err := ab.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := ab.PredictProba([]float64{0.9, 0.5}); p < 0.7 {
+		t.Fatalf("adaboost high side %v", p)
+	}
+	if p := ab.PredictProba([]float64{0.1, 0.5}); p > 0.3 {
+		t.Fatalf("adaboost low side %v", p)
+	}
+}
+
+func TestDeterministicFits(t *testing.T) {
+	trainX, trainY := blobs(10, 400, 5)
+	probe := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	for _, build := range []func() Classifier{
+		func() Classifier { return NewRandomForest(10, 6, 3) },
+		func() Classifier { return NewMLP(3, []int{8}, 5) },
+		func() Classifier { return NewAdaBoost(10, 3) },
+		func() Classifier { return NewSGDClassifier(3, 0.05, 3) },
+		func() Classifier { return NewRNN(3, 8, 3) },
+	} {
+		a, b := build(), build()
+		if err := a.Fit(trainX, trainY); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(trainX, trainY); err != nil {
+			t.Fatal(err)
+		}
+		if a.PredictProba(probe) != b.PredictProba(probe) {
+			t.Errorf("%s not deterministic", a.Name())
+		}
+	}
+}
+
+func TestRNNShapes(t *testing.T) {
+	r := NewRNN(1, 8, 3)
+	r.chooseShape(12)
+	if r.steps != 3 || r.stepW != 4 {
+		t.Fatalf("12 features → %dx%d", r.steps, r.stepW)
+	}
+	r.chooseShape(11)
+	if r.steps != 11 || r.stepW != 1 {
+		t.Fatalf("prime width → %dx%d", r.steps, r.stepW)
+	}
+	r.chooseShape(8)
+	if r.steps != 4 || r.stepW != 2 {
+		t.Fatalf("8 features → %dx%d", r.steps, r.stepW)
+	}
+}

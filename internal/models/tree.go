@@ -1,0 +1,262 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART tree. Leaves have feat == -1 and carry the
+// prediction in value.
+type treeNode struct {
+	feat        int
+	thresh      float64
+	left, right int32 // child indices; -1 for none
+	value       float64
+}
+
+// cartTree is a compact array-backed CART tree usable for classification
+// (leaf value = positive fraction) or regression (leaf value = mean target).
+type cartTree struct {
+	nodes []treeNode
+}
+
+func (t *cartTree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feat < 0 {
+			return n.value
+		}
+		f := 0.0
+		if n.feat < len(x) {
+			f = x[n.feat]
+		}
+		if f <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// cartOpts controls the builder.
+type cartOpts struct {
+	maxDepth    int
+	minSamples  int
+	maxFeatures int  // per split; 0 = all
+	randomSplit bool // ExtraTrees: random threshold instead of best
+	regression  bool // variance reduction instead of gini
+	rng         *rand.Rand
+}
+
+// buildCART grows a tree over the sample indices idx. X rows are shared,
+// target is y (0/1 for classification, arbitrary floats for regression).
+func buildCART(X [][]float64, target []float64, idx []int, o cartOpts) *cartTree {
+	t := &cartTree{}
+	t.grow(X, target, idx, 0, o)
+	return t
+}
+
+func (t *cartTree) grow(X [][]float64, target []float64, idx []int, depth int, o cartOpts) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feat: -1, left: -1, right: -1})
+
+	var sum float64
+	for _, i := range idx {
+		sum += target[i]
+	}
+	mean := sum / float64(len(idx))
+	t.nodes[self].value = mean
+
+	if depth >= o.maxDepth || len(idx) < o.minSamples || pure(target, idx) {
+		return self
+	}
+
+	d := len(X[idx[0]])
+	feats := make([]int, d)
+	for i := range feats {
+		feats[i] = i
+	}
+	if o.maxFeatures > 0 && o.maxFeatures < d {
+		o.rng.Shuffle(d, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:o.maxFeatures]
+	}
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	for _, f := range feats {
+		var thresh float64
+		var score float64
+		var ok bool
+		if o.randomSplit {
+			thresh, score, ok = randomSplitScore(X, target, idx, f, o)
+		} else {
+			thresh, score, ok = bestSplitScore(X, target, idx, f, o)
+		}
+		if ok && score < bestScore {
+			bestFeat, bestThresh, bestScore = f, thresh, score
+		}
+	}
+	if bestFeat < 0 {
+		return self
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return self
+	}
+	t.nodes[self].feat = bestFeat
+	t.nodes[self].thresh = bestThresh
+	l := t.grow(X, target, left, depth+1, o)
+	r := t.grow(X, target, right, depth+1, o)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+func pure(target []float64, idx []int) bool {
+	first := target[idx[0]]
+	for _, i := range idx[1:] {
+		if target[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// impurity of a child partition: gini for classification, variance for
+// regression, both weighted by size.
+func impurity(sum, sumSq, n float64, regression bool) float64 {
+	if n == 0 {
+		return 0
+	}
+	if regression {
+		mean := sum / n
+		return sumSq - n*mean*mean // n * variance
+	}
+	p := sum / n
+	return n * 2 * p * (1 - p) // n * gini (binary)
+}
+
+func bestSplitScore(X [][]float64, target []float64, idx []int, f int, o cartOpts) (thresh, score float64, ok bool) {
+	type pair struct {
+		v, t float64
+	}
+	pairs := make([]pair, len(idx))
+	var totSum, totSq float64
+	for i, id := range idx {
+		pairs[i] = pair{X[id][f], target[id]}
+		totSum += target[id]
+		totSq += target[id] * target[id]
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+	if pairs[0].v == pairs[len(pairs)-1].v {
+		return 0, 0, false
+	}
+	var leftSum, leftSq float64
+	best := math.Inf(1)
+	n := float64(len(pairs))
+	for i := 0; i < len(pairs)-1; i++ {
+		leftSum += pairs[i].t
+		leftSq += pairs[i].t * pairs[i].t
+		if pairs[i].v == pairs[i+1].v {
+			continue
+		}
+		ln := float64(i + 1)
+		s := impurity(leftSum, leftSq, ln, o.regression) +
+			impurity(totSum-leftSum, totSq-leftSq, n-ln, o.regression)
+		if s < best {
+			best = s
+			thresh = (pairs[i].v + pairs[i+1].v) / 2
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, 0, false
+	}
+	return thresh, best, true
+}
+
+func randomSplitScore(X [][]float64, target []float64, idx []int, f int, o cartOpts) (thresh, score float64, ok bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, id := range idx {
+		v := X[id][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		return 0, 0, false
+	}
+	thresh = lo + o.rng.Float64()*(hi-lo)
+	var lSum, lSq, rSum, rSq, ln, rn float64
+	for _, id := range idx {
+		t := target[id]
+		if X[id][f] <= thresh {
+			lSum += t
+			lSq += t * t
+			ln++
+		} else {
+			rSum += t
+			rSq += t * t
+			rn++
+		}
+	}
+	if ln == 0 || rn == 0 {
+		return 0, 0, false
+	}
+	return thresh, impurity(lSum, lSq, ln, o.regression) + impurity(rSum, rSq, rn, o.regression), true
+}
+
+// DecisionTree is a single CART classifier.
+type DecisionTree struct {
+	maxDepth   int
+	minSamples int
+	seed       int64
+	tree       *cartTree
+}
+
+// NewDecisionTree constructs the classifier.
+func NewDecisionTree(maxDepth, minSamples int, seed int64) *DecisionTree {
+	return &DecisionTree{maxDepth: maxDepth, minSamples: minSamples, seed: seed}
+}
+
+// Name implements Classifier.
+func (c *DecisionTree) Name() string { return "decision-tree" }
+
+// Fit implements Classifier.
+func (c *DecisionTree) Fit(X [][]float64, y []int) error {
+	if err := checkXY(X, y); err != nil {
+		return err
+	}
+	target := make([]float64, len(y))
+	for i, l := range y {
+		target[i] = float64(l)
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	c.tree = buildCART(X, target, idx, cartOpts{
+		maxDepth: c.maxDepth, minSamples: c.minSamples,
+		rng: rand.New(rand.NewSource(c.seed)),
+	})
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (c *DecisionTree) PredictProba(x []float64) float64 {
+	if c.tree == nil {
+		return 0.5
+	}
+	return c.tree.predict(x)
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizedInference drives arbitrary (scaled-range) inputs through the
+// float and quantized paths: both must stay finite, probabilities in [0,1],
+// and decisions must agree except in a narrow probability band around 0.5
+// where fixed-point rounding can legitimately flip them.
+func FuzzQuantizedInference(f *testing.F) {
+	net, err := New(Config{
+		Inputs: 4,
+		Layers: []LayerSpec{{16, ReLU}, {8, ReLU}, {1, Sigmoid}},
+		Seed:   42, LR: 0.02, Epochs: 40, Batch: 16,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Train on a simple separable rule so the network is non-degenerate.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 256; i++ {
+		v := float64(i%16) / 16
+		w := float64((i/16)%16) / 16
+		X = append(X, []float64{v, w, 1 - v, 0.5})
+		if v+w > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	if _, err := net.Train(X, y); err != nil {
+		f.Fatal(err)
+	}
+	q, err := net.Quantize()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(0.1, 0.9, 0.3, 0.5)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		x := []float64{clamp01f(a), clamp01f(b), clamp01f(c), clamp01f(d)}
+		pf := net.Infer(x)
+		pq := q.Predict(x)
+		if math.IsNaN(pf) || math.IsNaN(pq) || pf < 0 || pf > 1 || pq < 0 || pq > 1 {
+			t.Fatalf("non-probability output: float %v quant %v for %v", pf, pq, x)
+		}
+		if math.Abs(pf-pq) > 0.05 {
+			t.Fatalf("quantization drift %v (float %v quant %v) at %v", pf-pq, pf, pq, x)
+		}
+		if (pf >= 0.5) != (pq >= 0.5) && math.Abs(pf-0.5) > 0.02 {
+			t.Fatalf("confident decision flipped by quantization: float %v quant %v at %v", pf, pq, x)
+		}
+	})
+}
+
+func clamp01f(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

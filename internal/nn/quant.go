@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"errors"
+	"math"
+)
+
+// QuantScale is the fixed-point scale of §4.1: weights are multiplied by
+// 1024, capturing the non-zero digits of most weights within 4 decimal
+// points.
+const QuantScale = 1024
+
+const quantShift = 10 // log2(QuantScale)
+
+type quantLayer struct {
+	in, out int
+	act     Activation
+	w       []int32 // scale 2^10
+	b       []int64 // scale 2^20 (weight scale * activation scale)
+}
+
+// QuantNetwork is the quantized deployment form of a Network: int32
+// weights, integer accumulation, one shift per layer. It allocates nothing
+// per inference when used with PredictInto and is safe for concurrent use
+// with per-goroutine scratch buffers.
+type QuantNetwork struct {
+	inputs int
+	layers []quantLayer
+	maxw   int
+}
+
+// Quantize converts a trained network to fixed point. Only ReLU-family
+// hidden activations and sigmoid/softmax/linear outputs are supported — the
+// configurations Heimdall deploys.
+func (n *Network) Quantize() (*QuantNetwork, error) {
+	q := &QuantNetwork{inputs: n.cfg.Inputs, maxw: n.cfg.Inputs}
+	for _, l := range n.layers {
+		switch l.act {
+		case ReLU, LeakyReLU, PReLU, Linear, Sigmoid, Softmax:
+		default:
+			return nil, errors.New("nn: quantization supports relu-family hidden layers and sigmoid/softmax/linear outputs")
+		}
+		ql := quantLayer{in: l.in, out: l.out, act: l.act}
+		ql.w = make([]int32, len(l.w))
+		for i, w := range l.w {
+			ql.w[i] = int32(math.Round(w * QuantScale))
+		}
+		ql.b = make([]int64, len(l.b))
+		for i, b := range l.b {
+			ql.b[i] = int64(math.Round(b * QuantScale * QuantScale))
+		}
+		q.layers = append(q.layers, ql)
+		if l.out > q.maxw {
+			q.maxw = l.out
+		}
+	}
+	return q, nil
+}
+
+// ScratchSize returns the length of the scratch buffers PredictInto needs.
+func (q *QuantNetwork) ScratchSize() int { return q.maxw }
+
+// Predict runs a quantized forward pass, allocating scratch internally.
+func (q *QuantNetwork) Predict(x []float64) float64 {
+	a := make([]int64, q.maxw)
+	b := make([]int64, q.maxw)
+	return q.PredictInto(x, a, b)
+}
+
+// PredictInto runs a quantized forward pass using caller-provided scratch
+// slices (each at least ScratchSize long). This is the sub-microsecond
+// deployment path: integer multiply-accumulate, one shift per layer, one
+// float sigmoid at the end.
+func (q *QuantNetwork) PredictInto(x []float64, cur, next []int64) float64 {
+	// Quantize the (already feature-scaled) inputs to 2^10.
+	for i, v := range x {
+		cur[i] = int64(v*QuantScale + 0.5)
+	}
+	width := len(x)
+	for li := range q.layers {
+		l := &q.layers[li]
+		for o := 0; o < l.out; o++ {
+			acc := l.b[o] // scale 2^20
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := 0; i < width; i++ {
+				acc += int64(row[i]) * cur[i] // 2^10 * 2^10 = 2^20
+			}
+			if li < len(q.layers)-1 {
+				// Hidden activation in integer domain, then rescale to 2^10.
+				switch l.act {
+				case ReLU:
+					if acc < 0 {
+						acc = 0
+					}
+				case LeakyReLU:
+					if acc < 0 {
+						acc /= 100
+					}
+				case PReLU:
+					if acc < 0 {
+						acc /= 4
+					}
+				}
+				acc >>= quantShift
+			}
+			next[o] = acc
+		}
+		cur, next = next, cur
+		width = l.out
+	}
+	// Output layer pre-activations are at 2^20.
+	out := q.layers[len(q.layers)-1]
+	const outScale = float64(QuantScale * QuantScale)
+	switch out.act {
+	case Sigmoid:
+		z := float64(cur[0]) / outScale
+		return 1 / (1 + math.Exp(-z))
+	case Softmax:
+		// Two-class: P(class 1).
+		z0 := float64(cur[0]) / outScale
+		z1 := float64(cur[1]) / outScale
+		m := math.Max(z0, z1)
+		e0, e1 := math.Exp(z0-m), math.Exp(z1-m)
+		return e1 / (e0 + e1)
+	default:
+		return float64(cur[0]) / outScale
+	}
+}
+
+// DecideInto returns the binary admit/decline decision without computing the
+// sigmoid: for a single sigmoid output, P >= 0.5 iff the pre-activation is
+// non-negative, so the decision needs integer arithmetic only.
+func (q *QuantNetwork) DecideInto(x []float64, cur, next []int64) bool {
+	for i, v := range x {
+		cur[i] = int64(v*QuantScale + 0.5)
+	}
+	width := len(x)
+	for li := range q.layers {
+		l := &q.layers[li]
+		for o := 0; o < l.out; o++ {
+			acc := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i := 0; i < width; i++ {
+				acc += int64(row[i]) * cur[i]
+			}
+			if li < len(q.layers)-1 {
+				switch l.act {
+				case ReLU:
+					if acc < 0 {
+						acc = 0
+					}
+				case LeakyReLU:
+					if acc < 0 {
+						acc /= 100
+					}
+				case PReLU:
+					if acc < 0 {
+						acc /= 4
+					}
+				}
+				acc >>= quantShift
+			}
+			next[o] = acc
+		}
+		cur, next = next, cur
+		width = l.out
+	}
+	out := q.layers[len(q.layers)-1]
+	if out.act == Softmax && out.out == 2 {
+		return cur[1] > cur[0] // P(slow) > P(fast)
+	}
+	return cur[0] >= 0 // sigmoid(z) >= 0.5 iff z >= 0
+}
+
+// ParamCount mirrors Network.ParamCount for the quantized form.
+func (q *QuantNetwork) ParamCount() (weights, biases int) {
+	for _, l := range q.layers {
+		weights += len(l.w)
+		biases += len(l.b)
+	}
+	return weights, biases
+}
+
+// MemoryBytes is the deployed footprint: 4-byte weights plus 8-byte biases.
+func (q *QuantNetwork) MemoryBytes() int {
+	w, b := q.ParamCount()
+	return 4*w + 8*b
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the serializable form of a trained network: the architecture
+// plus all weights and biases. It is what a deployment ships from the
+// training host to the storage node (§2: "the neuron weights from training
+// are then applied to the in-kernel model").
+type Snapshot struct {
+	Inputs  int
+	Layers  []LayerSpec
+	Weights [][]float64 // per layer, row-major by output neuron
+	Biases  [][]float64
+}
+
+// Snapshot captures the current parameters.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{Inputs: n.cfg.Inputs, Layers: append([]LayerSpec(nil), n.cfg.Layers...)}
+	for _, l := range n.layers {
+		s.Weights = append(s.Weights, append([]float64(nil), l.w...))
+		s.Biases = append(s.Biases, append([]float64(nil), l.b...))
+	}
+	return s
+}
+
+// Validate checks the snapshot's internal consistency.
+func (s Snapshot) Validate() error {
+	if s.Inputs <= 0 {
+		return errors.New("nn: snapshot has no inputs")
+	}
+	if len(s.Layers) == 0 {
+		return errors.New("nn: snapshot has no layers")
+	}
+	if len(s.Weights) != len(s.Layers) || len(s.Biases) != len(s.Layers) {
+		return fmt.Errorf("nn: snapshot has %d layers but %d weight and %d bias blocks",
+			len(s.Layers), len(s.Weights), len(s.Biases))
+	}
+	in := s.Inputs
+	for li, spec := range s.Layers {
+		if spec.Units <= 0 {
+			return fmt.Errorf("nn: layer %d has %d units", li, spec.Units)
+		}
+		if len(s.Weights[li]) != in*spec.Units {
+			return fmt.Errorf("nn: layer %d has %d weights, want %d", li, len(s.Weights[li]), in*spec.Units)
+		}
+		if len(s.Biases[li]) != spec.Units {
+			return fmt.Errorf("nn: layer %d has %d biases, want %d", li, len(s.Biases[li]), spec.Units)
+		}
+		in = spec.Units
+	}
+	return nil
+}
+
+// FromSnapshot reconstructs an inference-ready network. The network can be
+// trained further (optimizer state starts fresh).
+func FromSnapshot(s Snapshot) (*Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := New(Config{Inputs: s.Inputs, Layers: s.Layers})
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range n.layers {
+		copy(l.w, s.Weights[li])
+		copy(l.b, s.Biases[li])
+	}
+	return n, nil
+}
+
+// Encode serializes the snapshot with gob.
+func (s Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot deserializes and validates a snapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}

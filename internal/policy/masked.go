@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// MaskedHeimdall is the "inaccuracy masking" extension (the OM stage of the
+// paper's pipeline taxonomy, Fig. 1): admission decisions whose score falls
+// inside an uncertainty band around the decision threshold are not trusted
+// outright — the I/O is admitted to the cheaper target but a hedge is armed
+// so a wrong call costs one timeout instead of a full tail latency.
+//
+// Decisions outside the band behave exactly like the plain Heimdall policy,
+// so the masking overhead is proportional to the model's uncertainty rate.
+type MaskedHeimdall struct {
+	Models []*core.Model
+	// Band is the half-width of the uncertainty zone around each model's
+	// calibrated threshold (default 0.1).
+	Band float64
+	// HedgeAfter is the backup timeout for masked decisions (default 2ms).
+	HedgeAfter time.Duration
+}
+
+// Name implements Selector.
+func (*MaskedHeimdall) Name() string { return "heimdall+mask" }
+
+// Decide implements Selector.
+func (p *MaskedHeimdall) Decide(_ int64, size int32, primary int, views []View) Decision {
+	band := p.Band
+	if band == 0 {
+		band = 0.1
+	}
+	hedge := p.HedgeAfter
+	if hedge == 0 {
+		hedge = 2 * time.Millisecond
+	}
+	m := p.Models[primary]
+	raw := m.Features(views[primary].QueueLen, size, views[primary].Hist)
+	score := m.Score(raw)
+	th := m.Threshold()
+
+	d := Decision{Target: primary, Inferences: 1}
+	if score >= th {
+		d.Target = other(primary, len(views))
+	}
+	if score > th-band && score < th+band {
+		// Uncertain: mask the potential inaccuracy with a hedge to the
+		// replica the decision did not pick.
+		d.HedgeAfter = hedge
+		d.HedgeTarget = other(d.Target, len(views))
+	}
+	return d
+}

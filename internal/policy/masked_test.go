@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func maskedModels(t *testing.T) []*core.Model {
+	t.Helper()
+	tr := trace.Generate(trace.MSRStyle(41, 2*time.Second))
+	dev := ssd.New(ssd.Samsung970Pro(), 41)
+	log := iolog.Collect(tr, dev)
+	cfg := core.DefaultConfig(41)
+	cfg.Epochs = 5
+	cfg.MaxTrainSamples = 5000
+	m, err := core.Train(log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*core.Model{m, m}
+}
+
+func TestMaskedHeimdallHedgesOnlyUncertain(t *testing.T) {
+	models := maskedModels(t)
+	p := &MaskedHeimdall{Models: models, Band: 0.1}
+	v := views(0, 0)
+
+	// A clearly idle view: confident admit, no hedge.
+	d := p.Decide(0, 4096, 0, v)
+	if d.Target != 0 {
+		t.Fatalf("idle view declined: %+v", d)
+	}
+	if d.HedgeAfter != 0 {
+		score := models[0].Score(models[0].Features(0, 4096, v[0].Hist))
+		t.Fatalf("confident decision hedged (score %.3f, threshold %.3f)", score, models[0].Threshold())
+	}
+	if d.Inferences != 1 {
+		t.Fatalf("inferences %d", d.Inferences)
+	}
+
+	// A band of zero must behave like plain Heimdall but with defaults
+	// applied; a full-width band must hedge everything.
+	wide := &MaskedHeimdall{Models: models, Band: 1, HedgeAfter: time.Millisecond}
+	d = wide.Decide(0, 4096, 0, v)
+	if d.HedgeAfter != time.Millisecond {
+		t.Fatalf("full-width band did not hedge: %+v", d)
+	}
+	if d.HedgeTarget == d.Target {
+		t.Fatal("hedge target equals primary target")
+	}
+}
+
+func TestMaskedHeimdallAgreesWithPlainOutsideBand(t *testing.T) {
+	models := maskedModels(t)
+	plain := &Heimdall{Models: models}
+	masked := &MaskedHeimdall{Models: models, Band: 1e-9}
+	for q := 0; q < 60; q += 10 {
+		v := views(q, 0)
+		dp := plain.Decide(0, 4096, 0, v)
+		dm := masked.Decide(0, 4096, 0, v)
+		if dp.Target != dm.Target {
+			t.Fatalf("qlen %d: masked target %d vs plain %d", q, dm.Target, dp.Target)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package policy defines the admission/replica-selection interface the
+// replayer drives, and implements the heuristic baselines the paper compares
+// against (§6.1): always-admit baseline, random selection, hedging
+// (Dean & Barroso), C3 (Suresh et al.), AMS (Jiang et al.), and Heron
+// (Jaiman et al.), plus adapters for the LinnOS and Heimdall ML models.
+//
+// The replayer calls Decide once per read I/O with a live View of every
+// replica; writes always go to all replicas (replication) and are not
+// subject to admission.
+package policy
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/linnos"
+)
+
+// View is the observable state of one replica at decision time. It contains
+// only information a real deployment has — never simulator ground truth —
+// and it distinguishes two vantage points:
+//
+//   - QueueLen is the replica's instantaneous block-layer queue depth. Only
+//     the *backend* sees this; it is what the in-kernel ML models (Heimdall,
+//     LinnOS) consume, since they run on the storage node itself (§2).
+//   - FeedbackQueueLen is the queue depth piggybacked on the most recent
+//     completed response — the stale, client-side signal replica-selection
+//     heuristics like C3 actually operate on (Suresh et al. §3). During a
+//     busy-period onset this lags reality, which is precisely where the
+//     paper's ML models gain their edge.
+type View struct {
+	QueueLen         int
+	FeedbackQueueLen float64
+	Hist             *feature.Window // completed reads: latency ns, qlen, MB/s
+	EWMALatency      float64         // client-observed response time EWMA (ns)
+	EWMAService      float64         // estimated service time EWMA (ns)
+	Outstanding      int             // requests sent by this client, not yet done
+}
+
+// Decision tells the replayer where to send an I/O.
+type Decision struct {
+	// Target is the replica index to submit to.
+	Target int
+	// HedgeAfter, when positive, requests a backup submission to HedgeTarget
+	// if the primary has not completed within the delay.
+	HedgeAfter  time.Duration
+	HedgeTarget int
+	// Inferences is the number of model invocations this decision cost
+	// (0 for heuristics), for CPU-overhead accounting (§6.6).
+	Inferences int
+}
+
+// Selector decides the replica for each read I/O.
+type Selector interface {
+	Name() string
+	Decide(now int64, size int32, primary int, views []View) Decision
+}
+
+// other returns the replica index that is not primary (2-replica helper);
+// for larger groups it returns the next replica round-robin.
+func other(primary, n int) int {
+	if n <= 1 {
+		return primary
+	}
+	return (primary + 1) % n
+}
+
+// Baseline always admits to the primary replica — the paper's "baseline".
+type Baseline struct{}
+
+// Name implements Selector.
+func (Baseline) Name() string { return "baseline" }
+
+// Decide implements Selector.
+func (Baseline) Decide(_ int64, _ int32, primary int, _ []View) Decision {
+	return Decision{Target: primary}
+}
+
+// Random sends each I/O to a uniformly random replica.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom constructs the policy.
+func NewRandom(seed int64) *Random { return &Random{rng: rand.New(rand.NewSource(seed))} }
+
+// Name implements Selector.
+func (*Random) Name() string { return "random" }
+
+// Decide implements Selector.
+func (r *Random) Decide(_ int64, _ int32, _ int, views []View) Decision {
+	return Decision{Target: r.rng.Intn(len(views))}
+}
+
+// Hedging submits to the primary and fires a backup to the other replica
+// after a fixed timeout (Dean & Barroso's "hedged requests"; the paper uses
+// a 2ms timeout in §6.1).
+type Hedging struct {
+	Timeout time.Duration
+}
+
+// NewHedging constructs the policy; zero timeout defaults to 2ms.
+func NewHedging(timeout time.Duration) *Hedging {
+	if timeout == 0 {
+		timeout = 2 * time.Millisecond
+	}
+	return &Hedging{Timeout: timeout}
+}
+
+// Name implements Selector.
+func (*Hedging) Name() string { return "hedging" }
+
+// Decide implements Selector.
+func (h *Hedging) Decide(_ int64, _ int32, primary int, views []View) Decision {
+	return Decision{
+		Target:      primary,
+		HedgeAfter:  h.Timeout,
+		HedgeTarget: other(primary, len(views)),
+	}
+}
+
+// C3 implements the cubic replica-selection score of Suresh et al.
+// (NSDI '15): rank replicas by expected response accounting for queue depth
+// cubed, and pick the minimum.
+type C3 struct{}
+
+// Name implements Selector.
+func (C3) Name() string { return "c3" }
+
+// Decide implements Selector.
+func (C3) Decide(_ int64, _ int32, _ int, views []View) Decision {
+	best, bestScore := 0, 0.0
+	for i, v := range views {
+		q := 1 + float64(v.Outstanding) + v.FeedbackQueueLen
+		score := v.EWMALatency - v.EWMAService + q*q*q*v.EWMAService
+		if i == 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return Decision{Target: best}
+}
+
+// AMS is the adaptive multiget scheduling heuristic (Jiang et al., TCC '23),
+// reduced to the single-get case: estimate each replica's completion time
+// from its queue and service EWMA with an adaptive penalty on the recently
+// slow replica.
+type AMS struct{}
+
+// Name implements Selector.
+func (AMS) Name() string { return "ams" }
+
+// Decide implements Selector.
+func (AMS) Decide(_ int64, _ int32, _ int, views []View) Decision {
+	best, bestScore := 0, 0.0
+	for i, v := range views {
+		wait := (v.FeedbackQueueLen + float64(v.Outstanding)) * v.EWMAService
+		// Adaptive term: weight recent observed latency when it diverges
+		// from the service estimate (a slow period is in progress).
+		adapt := 0.5 * (v.EWMALatency - v.EWMAService)
+		if adapt < 0 {
+			adapt = 0
+		}
+		score := wait + v.EWMAService + adapt
+		if i == 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return Decision{Target: best}
+}
+
+// Heron (Jaiman et al., SRDS '18) avoids replicas predicted to serve a tail
+// request: it tracks a per-replica slow flag from the last observed latency
+// against a global threshold and falls back to least-outstanding selection.
+type Heron struct {
+	// Multiple of the fleet-wide EWMA latency above which a replica is
+	// flagged slow (Heron's default behaviour; 2 when zero).
+	SlowFactor float64
+}
+
+// Name implements Selector.
+func (*Heron) Name() string { return "heron" }
+
+// Decide implements Selector.
+func (h *Heron) Decide(_ int64, _ int32, _ int, views []View) Decision {
+	factor := h.SlowFactor
+	if factor == 0 {
+		factor = 2
+	}
+	var fleet float64
+	for _, v := range views {
+		fleet += v.EWMALatency
+	}
+	fleet /= float64(len(views))
+	best, bestScore := -1, 0.0
+	for i, v := range views {
+		if v.Hist.Len() > 0 && v.Hist.At(0).Latency > factor*fleet {
+			continue // flagged slow
+		}
+		score := v.FeedbackQueueLen + float64(v.Outstanding)
+		if best < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		// Every replica flagged: fall back to least outstanding.
+		for i, v := range views {
+			score := v.FeedbackQueueLen + float64(v.Outstanding)
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+	}
+	return Decision{Target: best}
+}
+
+// Heimdall admits via a per-replica trained core.Model: predicted-fast I/Os
+// go to the primary; predicted-slow I/Os reroute to the other replica, which
+// admits by default (§2).
+type Heimdall struct {
+	Models []*core.Model // one per replica
+}
+
+// Name implements Selector.
+func (*Heimdall) Name() string { return "heimdall" }
+
+// Decide implements Selector.
+func (p *Heimdall) Decide(_ int64, size int32, primary int, views []View) Decision {
+	m := p.Models[primary]
+	raw := m.Features(views[primary].QueueLen, size, views[primary].Hist)
+	if m.Admit(raw) {
+		return Decision{Target: primary, Inferences: 1}
+	}
+	return Decision{Target: other(primary, len(views)), Inferences: 1}
+}
+
+// LinnOS admits via a per-replica LinnOS model with per-page inference.
+type LinnOS struct {
+	Models []*linnos.Model
+	// Hedge additionally arms a hedging timeout (the "LinnOS+Hedge"
+	// combination of Fig. 12).
+	Hedge time.Duration
+}
+
+// Name implements Selector.
+func (p *LinnOS) Name() string {
+	if p.Hedge > 0 {
+		return "linnos+hedge"
+	}
+	return "linnos"
+}
+
+// Decide implements Selector.
+func (p *LinnOS) Decide(_ int64, size int32, primary int, views []View) Decision {
+	m := p.Models[primary]
+	admit, inf := m.AdmitIO(views[primary].QueueLen, size, views[primary].Hist)
+	d := Decision{Target: primary, Inferences: inf}
+	if !admit {
+		d.Target = other(primary, len(views))
+	}
+	if p.Hedge > 0 {
+		d.HedgeAfter = p.Hedge
+		d.HedgeTarget = other(d.Target, len(views))
+	}
+	return d
+}

@@ -1,0 +1,145 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+)
+
+func views(qlens ...int) []View {
+	out := make([]View, len(qlens))
+	for i, q := range qlens {
+		out[i] = View{
+			QueueLen:         q,
+			FeedbackQueueLen: float64(q),
+			Hist:             feature.NewWindow(4),
+			EWMALatency:      1e5,
+			EWMAService:      8e4,
+		}
+	}
+	return out
+}
+
+func TestBaselineAlwaysPrimary(t *testing.T) {
+	d := Baseline{}.Decide(0, 4096, 1, views(100, 0))
+	if d.Target != 1 || d.HedgeAfter != 0 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestRandomCoversReplicas(t *testing.T) {
+	r := NewRandom(1)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Decide(0, 4096, 0, views(0, 0)).Target] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("random never picked both replicas: %v", seen)
+	}
+}
+
+func TestHedgingFields(t *testing.T) {
+	h := NewHedging(0)
+	if h.Timeout != 2*time.Millisecond {
+		t.Fatalf("default timeout %v, want the paper's 2ms", h.Timeout)
+	}
+	d := h.Decide(0, 4096, 0, views(0, 0))
+	if d.Target != 0 || d.HedgeAfter != 2*time.Millisecond || d.HedgeTarget != 1 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestC3PrefersShallowQueue(t *testing.T) {
+	v := views(50, 1)
+	v[0].Outstanding = 10
+	d := C3{}.Decide(0, 4096, 0, v)
+	if d.Target != 1 {
+		t.Fatalf("C3 chose deep queue: %+v", d)
+	}
+}
+
+func TestC3CubicPenalty(t *testing.T) {
+	// Queue difference is tiny but cubic: 4^3 vs 2^3 dominates a modest
+	// latency advantage of replica 0.
+	v := views(3, 1)
+	v[0].EWMALatency = 5e4 // replica 0 looks faster historically
+	d := C3{}.Decide(0, 4096, 0, v)
+	if d.Target != 1 {
+		t.Fatalf("cubic term did not dominate: %+v", d)
+	}
+}
+
+func TestAMSPrefersFasterCompletion(t *testing.T) {
+	v := views(10, 2)
+	d := AMS{}.Decide(0, 4096, 0, v)
+	if d.Target != 1 {
+		t.Fatalf("AMS chose slower replica: %+v", d)
+	}
+}
+
+func TestAMSAdaptivePenalty(t *testing.T) {
+	// Equal queues, but replica 0's observed latency diverged from its
+	// service estimate (slow period in progress).
+	v := views(2, 2)
+	v[0].EWMALatency = 5e6
+	d := AMS{}.Decide(0, 4096, 0, v)
+	if d.Target != 1 {
+		t.Fatalf("AMS ignored latency divergence: %+v", d)
+	}
+}
+
+func TestHeronAvoidsFlaggedSlowReplica(t *testing.T) {
+	v := views(1, 5)
+	// Replica 0's last observed latency is way above the fleet EWMA.
+	v[0].Hist.Push(feature.Hist{Latency: 10e6})
+	v[1].Hist.Push(feature.Hist{Latency: 1e5})
+	d := (&Heron{}).Decide(0, 4096, 0, v)
+	if d.Target != 1 {
+		t.Fatalf("Heron picked the flagged replica: %+v", d)
+	}
+}
+
+func TestHeronFallbackWhenAllFlagged(t *testing.T) {
+	v := views(3, 7)
+	v[0].Hist.Push(feature.Hist{Latency: 10e6})
+	v[1].Hist.Push(feature.Hist{Latency: 10e6})
+	d := (&Heron{}).Decide(0, 4096, 0, v)
+	if d.Target != 0 {
+		t.Fatalf("fallback should pick least outstanding: %+v", d)
+	}
+}
+
+func TestOtherHelper(t *testing.T) {
+	if other(0, 2) != 1 || other(1, 2) != 0 {
+		t.Fatal("2-replica other() broken")
+	}
+	if other(0, 1) != 0 {
+		t.Fatal("single replica must stay put")
+	}
+	if other(2, 3) != 0 {
+		t.Fatal("round-robin other() broken")
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	sels := []Selector{
+		Baseline{}, NewRandom(1), NewHedging(0), C3{}, AMS{}, &Heron{},
+	}
+	seen := map[string]bool{}
+	for _, s := range sels {
+		if s.Name() == "" || seen[s.Name()] {
+			t.Fatalf("bad or duplicate name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	if (&LinnOS{}).Name() != "linnos" {
+		t.Fatal("linnos name")
+	}
+	if (&LinnOS{Hedge: time.Millisecond}).Name() != "linnos+hedge" {
+		t.Fatal("linnos+hedge name")
+	}
+	if (&Heimdall{}).Name() != "heimdall" {
+		t.Fatal("heimdall name")
+	}
+}

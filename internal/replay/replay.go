@@ -1,0 +1,316 @@
+// Package replay is the user-level storage evaluation harness (§6.1): it
+// replays block traces against a replicated set of simulated SSDs, routing
+// each read through an admission policy, and reports the resulting read
+// latency distribution.
+//
+// The replayer is a discrete-event simulation: submissions, hedge timeouts,
+// and completions are processed in global time order, so per-device
+// queueing, rerouting load, and hedging side effects are all modeled
+// faithfully. Writes are replicated to every device (keeping GC pressure
+// realistic) and are not subject to admission (§2: write tails are absorbed
+// by device buffers).
+package replay
+
+import (
+	"container/heap"
+
+	"repro/internal/feature"
+	"repro/internal/iolog"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Options configures a replay run.
+type Options struct {
+	Devices []ssd.Config
+	// Seed drives device behaviour; device i uses Seed+i.
+	Seed int64
+	// Selector routes reads. nil means Baseline.
+	Selector policy.Selector
+	// HistDepth is the per-device completed-read history kept for ML
+	// features (default 4 — enough for both LinnOS and Heimdall).
+	HistDepth int
+	// EWMAAlpha smooths the observed latency/service estimates (default 0.1).
+	EWMAAlpha float64
+	// ClientThreads models the paper's concurrent submission threads (§6.1,
+	// N>8): each client thread only observes its own completions, so the
+	// client-side EWMAs (which heuristics like C3 consult) update on a
+	// 1-in-N sample of responses. Backend-side ML policies are unaffected —
+	// they read the device's own state. Default 8.
+	ClientThreads int
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Policy     string
+	ReadLat    metrics.LatencyStats
+	Reads      int
+	Writes     int
+	Reroutes   int // reads sent somewhere other than their primary
+	Hedges     int // backup requests actually fired
+	Inferences int // total model invocations
+
+	// Ground-truth instrumentation (simulator-only; a real deployment
+	// cannot observe these): how many reads arrived while their primary was
+	// inside an internal busy period, and how many of those the policy
+	// routed away.
+	BusyPrimary int
+	BusyAvoided int
+}
+
+type eventKind uint8
+
+const (
+	evSubmit eventKind = iota
+	evHedge
+)
+
+type event struct {
+	at   int64
+	seq  int64 // FIFO tie-break
+	kind eventKind
+
+	// submit
+	op      trace.Op
+	size    int32
+	primary int
+
+	// hedge
+	origComplete int64
+	submitAt     int64
+	target       int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// tracker is the client-side observable state of one device.
+type tracker struct {
+	dev     *ssd.Device
+	hist    *feature.Window
+	pending completions
+	ewmaLat float64
+	ewmaSvc float64
+	ewmaQ   float64 // EWMA of queue-depth feedback (C3's smoothed q̄s)
+	alpha   float64
+	threads int // client threads: EWMAs sample 1-in-threads completions
+	seen    int
+}
+
+type completion struct {
+	at       int64
+	latency  float64
+	queueLen float64
+	thpt     float64
+	service  float64
+}
+
+type completions []completion
+
+func (h completions) Len() int            { return len(h) }
+func (h completions) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completions) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completions) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completions) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (t *tracker) advance(now int64) {
+	for t.pending.Len() > 0 && t.pending[0].at <= now {
+		c := heap.Pop(&t.pending).(completion)
+		// The backend-side history window sees every completion (it lives on
+		// the storage node).
+		t.hist.Push(feature.Hist{Latency: c.latency, QueueLen: c.queueLen, Thpt: c.thpt})
+		// The client-side estimates only see this thread's share of the
+		// responses.
+		t.seen++
+		if t.threads > 1 && t.seen%t.threads != 0 {
+			continue
+		}
+		t.ewmaLat = t.ewmaLat*(1-t.alpha) + c.latency*t.alpha
+		t.ewmaSvc = t.ewmaSvc*(1-t.alpha) + c.service*t.alpha
+		// Queue feedback is piggybacked raw on every response, so it tracks
+		// faster than the latency estimates (C3 piggybacks fresh samples).
+		qa := 3 * t.alpha
+		if qa > 0.5 {
+			qa = 0.5
+		}
+		t.ewmaQ = t.ewmaQ*(1-qa) + c.queueLen*qa
+	}
+}
+
+func (t *tracker) view(now int64) policy.View {
+	return policy.View{
+		QueueLen:         t.dev.QueueLen(now),
+		FeedbackQueueLen: t.ewmaQ,
+		Hist:             t.hist,
+		EWMALatency:      t.ewmaLat,
+		EWMAService:      t.ewmaSvc,
+		Outstanding:      t.pending.Len(),
+	}
+}
+
+func (t *tracker) record(submitAt int64, size int32, res ssd.Result) {
+	lat := float64(res.Complete - submitAt)
+	thpt := 0.0
+	if lat > 0 {
+		thpt = float64(size) / (1 << 20) / (lat / 1e9)
+	}
+	heap.Push(&t.pending, completion{
+		at:       res.Complete,
+		latency:  lat,
+		queueLen: float64(res.QueueLen),
+		thpt:     thpt,
+		service:  float64(res.Complete - res.Start),
+	})
+}
+
+// Run replays the traces. traces[i] targets device i as its primary when the
+// counts match; a single trace over multiple devices is placed by offset
+// hash. Panics if no devices are configured.
+func Run(traces []*trace.Trace, opts Options) Result {
+	if len(opts.Devices) == 0 {
+		panic("replay: no devices")
+	}
+	sel := opts.Selector
+	if sel == nil {
+		sel = policy.Baseline{}
+	}
+	histDepth := opts.HistDepth
+	if histDepth == 0 {
+		histDepth = 4
+	}
+	alpha := opts.EWMAAlpha
+	if alpha == 0 {
+		alpha = 0.1
+	}
+	threads := opts.ClientThreads
+	if threads == 0 {
+		threads = 8
+	}
+
+	n := len(opts.Devices)
+	trackers := make([]*tracker, n)
+	for i, cfg := range opts.Devices {
+		trackers[i] = &tracker{
+			dev:     ssd.New(cfg, opts.Seed+int64(i)),
+			hist:    feature.NewWindow(histDepth),
+			alpha:   alpha,
+			threads: threads,
+			ewmaLat: 2e5, // 200µs optimistic prior until observations arrive
+			ewmaSvc: 1e5,
+		}
+	}
+
+	var events eventHeap
+	var seq int64
+	for ti, t := range traces {
+		for _, r := range t.Reqs {
+			primary := ti % n
+			if len(traces) != n {
+				primary = int(r.Offset/4096) % n
+			}
+			events = append(events, event{
+				at: r.Arrival, seq: seq, kind: evSubmit,
+				op: r.Op, size: r.Size, primary: primary,
+			})
+			seq++
+		}
+	}
+	heap.Init(&events)
+
+	res := Result{Policy: sel.Name()}
+	var readLats []int64
+	views := make([]policy.View, n)
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		now := ev.at
+		for _, tr := range trackers {
+			tr.advance(now)
+		}
+
+		switch ev.kind {
+		case evSubmit:
+			if ev.op == trace.Write {
+				res.Writes++
+				// Replicate writes to every device.
+				for _, tr := range trackers {
+					tr.dev.Submit(now, trace.Write, ev.size)
+				}
+				continue
+			}
+			res.Reads++
+			for i, tr := range trackers {
+				views[i] = tr.view(now)
+			}
+			d := sel.Decide(now, ev.size, ev.primary, views)
+			res.Inferences += d.Inferences
+			if d.Target != ev.primary {
+				res.Reroutes++
+			}
+			if trackers[ev.primary].dev.InBusy(now) {
+				res.BusyPrimary++
+				if d.Target != ev.primary {
+					res.BusyAvoided++
+				}
+			}
+			r := trackers[d.Target].dev.Submit(now, trace.Read, ev.size)
+			trackers[d.Target].record(now, ev.size, r)
+			if d.HedgeAfter > 0 && r.Complete > now+int64(d.HedgeAfter) {
+				// The request will still be outstanding at the timeout:
+				// schedule the backup.
+				seq++
+				heap.Push(&events, event{
+					at: now + int64(d.HedgeAfter), seq: seq, kind: evHedge,
+					size: ev.size, origComplete: r.Complete,
+					submitAt: now, target: d.HedgeTarget,
+				})
+			} else {
+				readLats = append(readLats, r.Complete-now)
+			}
+
+		case evHedge:
+			res.Hedges++
+			b := trackers[ev.target].dev.Submit(now, trace.Read, ev.size)
+			trackers[ev.target].record(now, ev.size, b)
+			done := ev.origComplete
+			if b.Complete < done {
+				done = b.Complete
+			}
+			readLats = append(readLats, done-ev.submitAt)
+		}
+	}
+
+	res.ReadLat = metrics.Latencies(readLats)
+	return res
+}
+
+// CollectLog replays a trace against a single fresh device with always-admit
+// and returns the training log plus the device (for ground-truth queries).
+func CollectLog(t *trace.Trace, cfg ssd.Config, seed int64) (*ssd.Device, []iolog.Record) {
+	dev := ssd.New(cfg, seed)
+	return dev, iolog.Collect(t, dev)
+}

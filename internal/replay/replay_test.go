@@ -1,0 +1,182 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func smallTrace(seed int64) *trace.Trace {
+	cfg := trace.MSRStyle(seed, 2*time.Second)
+	cfg.MeanIOPS = 8000
+	return trace.Generate(cfg)
+}
+
+func twoDevices() []ssd.Config {
+	return []ssd.Config{ssd.Samsung970Pro(), ssd.Samsung970Pro()}
+}
+
+func TestBaselineConservation(t *testing.T) {
+	tr := smallTrace(1)
+	st := trace.Measure(tr)
+	res := Run([]*trace.Trace{tr}, Options{Devices: twoDevices(), Seed: 1})
+	if res.Reads != st.Reads || res.Writes != st.Writes {
+		t.Fatalf("reads/writes %d/%d, want %d/%d", res.Reads, res.Writes, st.Reads, st.Writes)
+	}
+	if res.ReadLat.N != st.Reads {
+		t.Fatalf("latency samples %d, want %d (every read measured exactly once)", res.ReadLat.N, st.Reads)
+	}
+	if res.Reroutes != 0 || res.Hedges != 0 || res.Inferences != 0 {
+		t.Fatalf("baseline side effects: %+v", res)
+	}
+	if res.Policy != "baseline" {
+		t.Fatalf("policy %q", res.Policy)
+	}
+}
+
+func TestTwoTracesPrimaryPlacement(t *testing.T) {
+	a, b := smallTrace(2), smallTrace(3)
+	res := Run([]*trace.Trace{a, b}, Options{Devices: twoDevices(), Seed: 2})
+	wantReads := trace.Measure(a).Reads + trace.Measure(b).Reads
+	if res.Reads != wantReads {
+		t.Fatalf("reads %d, want %d", res.Reads, wantReads)
+	}
+}
+
+func TestRandomReroutes(t *testing.T) {
+	tr := smallTrace(4)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: twoDevices(), Seed: 4, Selector: policy.NewRandom(4),
+	})
+	if res.Reroutes == 0 {
+		t.Fatal("random policy never rerouted")
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatal("latency sample count mismatch")
+	}
+}
+
+func TestHedgingFiresUnderContention(t *testing.T) {
+	// A heavy trace on slow consumer devices: some reads must exceed the
+	// hedge timeout.
+	cfg := trace.MSRStyle(5, 2*time.Second)
+	cfg.MeanIOPS = 15000
+	tr := trace.Generate(cfg)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices:  []ssd.Config{ssd.IntelDCS3610(), ssd.SamsungPM961()},
+		Seed:     5,
+		Selector: policy.NewHedging(2 * time.Millisecond),
+	})
+	if res.Hedges == 0 {
+		t.Fatal("no hedges fired under heavy load on consumer SSDs")
+	}
+	if res.Hedges > res.Reads/2 {
+		t.Fatalf("hedges %d out of %d reads: timeout far too aggressive", res.Hedges, res.Reads)
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("every read must be measured exactly once: %d vs %d", res.ReadLat.N, res.Reads)
+	}
+}
+
+func TestHedgingImprovesTailNotMean(t *testing.T) {
+	cfg := trace.MSRStyle(6, 2*time.Second)
+	cfg.MeanIOPS = 15000
+	tr := trace.Generate(cfg)
+	opts := Options{Devices: twoDevices(), Seed: 6}
+	base := Run([]*trace.Trace{tr.Clone()}, opts)
+	opts.Selector = policy.NewHedging(2 * time.Millisecond)
+	hedge := Run([]*trace.Trace{tr.Clone()}, opts)
+	if hedge.ReadLat.P9999 > base.ReadLat.P9999*2 {
+		t.Fatalf("hedging made extreme tail much worse: %v vs %v", hedge.ReadLat.P9999, base.ReadLat.P9999)
+	}
+}
+
+func TestC3RunsAndBalances(t *testing.T) {
+	tr := smallTrace(7)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: twoDevices(), Seed: 7, Selector: policy.C3{},
+	})
+	if res.ReadLat.N != res.Reads {
+		t.Fatal("C3 lost reads")
+	}
+}
+
+func TestCollectLog(t *testing.T) {
+	tr := smallTrace(8)
+	dev, log := CollectLog(tr, ssd.Samsung970Pro(), 8)
+	if dev == nil || len(log) != tr.Len() {
+		t.Fatalf("collect log %d records", len(log))
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	tr := smallTrace(9)
+	opts := Options{Devices: twoDevices(), Seed: 9, Selector: policy.C3{}}
+	a := Run([]*trace.Trace{tr.Clone()}, opts)
+	b := Run([]*trace.Trace{tr.Clone()}, opts)
+	if a.ReadLat.Mean != b.ReadLat.Mean || a.Reroutes != b.Reroutes {
+		t.Fatal("replay not deterministic")
+	}
+}
+
+func TestNoDevicesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without devices")
+		}
+	}()
+	Run(nil, Options{})
+}
+
+func TestThreeReplicaPlacement(t *testing.T) {
+	// A single trace over three devices places primaries by offset hash and
+	// conserves all reads.
+	tr := smallTrace(10)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: []ssd.Config{ssd.Samsung970Pro(), ssd.Samsung970Pro(), ssd.SamsungPM961()},
+		Seed:    10, Selector: policy.C3{},
+	})
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("3-replica accounting broke: %d vs %d", res.ReadLat.N, res.Reads)
+	}
+}
+
+func TestHedgeLatencyNeverWorseThanPrimary(t *testing.T) {
+	// The recorded latency of a hedged read is min(primary, backup): with a
+	// fixed timeout T, no recorded latency may exceed primary completion,
+	// and any read slower than T must have been hedged or completed as-is.
+	cfg := trace.MSRStyle(11, time.Second)
+	cfg.MeanIOPS = 12000
+	tr := trace.Generate(cfg)
+	opts := Options{Devices: twoDevices(), Seed: 11}
+	base := Run([]*trace.Trace{tr.Clone()}, opts)
+	opts.Selector = policy.NewHedging(time.Millisecond)
+	hedged := Run([]*trace.Trace{tr.Clone()}, opts)
+	if hedged.Hedges == 0 {
+		t.Skip("no hedges fired at this load")
+	}
+	// Aggregate sanity: hedging can only improve the extreme maximum, never
+	// push it past baseline's maximum plus the backup's own service time
+	// envelope (generous 2x bound).
+	if hedged.ReadLat.Max > 2*base.ReadLat.Max+int64ToDur(2e6) {
+		t.Fatalf("hedged max %v wildly above baseline max %v", hedged.ReadLat.Max, base.ReadLat.Max)
+	}
+}
+
+func int64ToDur(ns int64) time.Duration { return time.Duration(ns) }
+
+func TestBusyInstrumentationConsistency(t *testing.T) {
+	tr := smallTrace(12)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: twoDevices(), Seed: 12, Selector: policy.NewRandom(3),
+	})
+	if res.BusyAvoided > res.BusyPrimary {
+		t.Fatalf("avoided %d > primary-busy %d", res.BusyAvoided, res.BusyPrimary)
+	}
+	if res.BusyPrimary > res.Reads {
+		t.Fatal("busy-primary exceeds reads")
+	}
+}

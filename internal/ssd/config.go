@@ -1,0 +1,213 @@
+// Package ssd is a discrete-event flash-device simulator. It stands in for
+// the real SSDs (and the FEMU emulator) the Heimdall paper evaluates on.
+//
+// The simulator reproduces the behaviours the paper's pipeline keys on:
+//
+//   - internal busy periods from garbage collection (triggered by write
+//     volume), write-buffer flushes, and wear leveling, which cause read
+//     latency spikes and throughput drops lasting many consecutive I/Os
+//     (the "periods" of §3.1);
+//   - per-channel parallelism and queueing delay, so queue length at arrival
+//     is an informative feature;
+//   - device-cache hits ("lucky" fast I/Os inside slow periods) and read
+//     retries (transient slow I/Os inside fast periods), the two outlier
+//     classes targeted by the 3-stage noise filter (§3.2);
+//   - a write buffer that absorbs write latency, which is why the paper (and
+//     this reproduction) optimizes read latency only.
+//
+// Every device records ground truth: which I/Os were affected by internal
+// contention. The labeling experiments (Fig. 5a, Fig. 14) measure labeling
+// and model quality against this truth, something impossible on real drives.
+package ssd
+
+import "time"
+
+// BusyKind identifies the internal activity behind a busy period.
+type BusyKind uint8
+
+const (
+	// BusyGC is a garbage-collection period.
+	BusyGC BusyKind = iota
+	// BusyFlush is a write-buffer flush period.
+	BusyFlush
+	// BusyWearLevel is a wear-leveling period.
+	BusyWearLevel
+)
+
+// String names the busy kind.
+func (k BusyKind) String() string {
+	switch k {
+	case BusyGC:
+		return "gc"
+	case BusyFlush:
+		return "flush"
+	case BusyWearLevel:
+		return "wear-level"
+	}
+	return "unknown"
+}
+
+// Interval is a half-open busy interval [Start, End) in simulation
+// nanoseconds.
+type Interval struct {
+	Start, End int64
+	Kind       BusyKind
+}
+
+// Config describes one SSD model. Zero-valued fields are filled by
+// (*Config).withDefaults when the device is created.
+type Config struct {
+	Name     string
+	PageSize int // bytes per flash page
+	Channels int // parallel flash channels
+
+	ReadPage      time.Duration // NAND read per page
+	PerIOOverhead time.Duration // firmware + interface overhead per request
+
+	CacheHitProb float64       // probability a read hits the device DRAM cache
+	CacheHitLat  time.Duration // cache-hit service time
+
+	WriteBufferLat   time.Duration // buffered-write acknowledgement latency
+	WriteBufferPages int           // flush when this many pages accumulate
+	ProgramPage      time.Duration // NAND program per page during flush
+
+	GCWriteThreshold int64         // bytes written between GC episodes (mean)
+	GCMin, GCMax     time.Duration // GC busy-period duration range
+	GCSlowdown       float64       // read service multiplier during busy periods
+
+	WearLevelMTBF time.Duration // mean time between wear-leveling periods
+	WearLevelDur  time.Duration
+
+	ReadRetryProb float64       // transient slow read in a fast period (§3.2 stage 2)
+	ReadRetryLat  time.Duration // added latency of a read retry
+	LuckyHitProb  float64       // extra cache-hit probability during busy periods (§3.2 stage 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4 << 10
+	}
+	if c.Channels == 0 {
+		c.Channels = 8
+	}
+	if c.ReadPage == 0 {
+		c.ReadPage = 75 * time.Microsecond
+	}
+	if c.PerIOOverhead == 0 {
+		c.PerIOOverhead = 8 * time.Microsecond
+	}
+	if c.CacheHitLat == 0 {
+		c.CacheHitLat = 15 * time.Microsecond
+	}
+	if c.WriteBufferLat == 0 {
+		c.WriteBufferLat = 22 * time.Microsecond
+	}
+	if c.WriteBufferPages == 0 {
+		c.WriteBufferPages = 8192 // 32 MB at 4 KB pages
+	}
+	if c.ProgramPage == 0 {
+		c.ProgramPage = 600 * time.Microsecond
+	}
+	if c.GCWriteThreshold == 0 {
+		c.GCWriteThreshold = 64 << 20
+	}
+	if c.GCMin == 0 {
+		c.GCMin = 4 * time.Millisecond
+	}
+	if c.GCMax == 0 {
+		c.GCMax = 30 * time.Millisecond
+	}
+	if c.GCSlowdown == 0 {
+		c.GCSlowdown = 5
+	}
+	if c.WearLevelMTBF == 0 {
+		c.WearLevelMTBF = 30 * time.Second
+	}
+	if c.WearLevelDur == 0 {
+		c.WearLevelDur = 8 * time.Millisecond
+	}
+	if c.ReadRetryLat == 0 {
+		c.ReadRetryLat = 3 * time.Millisecond
+	}
+	return c
+}
+
+// Samsung970Pro models the datacenter-homogeneous pair used in §6.1.
+func Samsung970Pro() Config {
+	return Config{
+		Name: "samsung-970-pro", Channels: 8,
+		ReadPage: 70 * time.Microsecond, CacheHitProb: 0.06,
+		GCWriteThreshold: 384 << 20, GCMin: 4 * time.Millisecond, GCMax: 24 * time.Millisecond,
+		GCSlowdown: 5, ReadRetryProb: 0.002, LuckyHitProb: 0.12,
+	}
+}
+
+// IntelDCS3610 models the consumer-grade SATA drive of §6.2: slower base
+// latency, fewer channels, more frequent GC.
+func IntelDCS3610() Config {
+	return Config{
+		Name: "intel-dc-s3610", Channels: 4,
+		ReadPage: 130 * time.Microsecond, PerIOOverhead: 20 * time.Microsecond,
+		CacheHitProb: 0.04, WriteBufferPages: 4096,
+		GCWriteThreshold: 96 << 20, GCMin: 6 * time.Millisecond, GCMax: 40 * time.Millisecond,
+		GCSlowdown: 7, ReadRetryProb: 0.004, LuckyHitProb: 0.10,
+	}
+}
+
+// SamsungPM961 models the second consumer drive of §6.2.
+func SamsungPM961() Config {
+	return Config{
+		Name: "samsung-pm961", Channels: 4,
+		ReadPage: 95 * time.Microsecond, CacheHitProb: 0.05,
+		WriteBufferPages: 4096,
+		GCWriteThreshold: 112 << 20, GCMin: 5 * time.Millisecond, GCMax: 32 * time.Millisecond,
+		GCSlowdown: 6, ReadRetryProb: 0.003, LuckyHitProb: 0.12,
+	}
+}
+
+// FEMUEmulated models the 100GB FEMU-emulated SSDs backing the Ceph OSDs in
+// §6.3: uniform latency, mild GC.
+func FEMUEmulated() Config {
+	return Config{
+		Name: "femu-emulated", Channels: 8,
+		ReadPage: 65 * time.Microsecond, CacheHitProb: 0.05,
+		GCWriteThreshold: 160 << 20, GCMin: 3 * time.Millisecond, GCMax: 18 * time.Millisecond,
+		GCSlowdown: 4, ReadRetryProb: 0.002, LuckyHitProb: 0.12,
+	}
+}
+
+// Models returns the ten device configs standing in for the ten SSD models of
+// the paper's testbed (§6, footnote 2). Values are class-plausible: the
+// enterprise NVMe parts are fast with rare GC; consumer parts are slower with
+// frequent GC.
+func Models() []Config {
+	return []Config{
+		Samsung970Pro(),
+		IntelDCS3610(),
+		SamsungPM961(),
+		{Name: "intel-dc-p4600", Channels: 16, ReadPage: 68 * time.Microsecond,
+			CacheHitProb: 0.07, GCWriteThreshold: 192 << 20, GCMin: 2 * time.Millisecond,
+			GCMax: 12 * time.Millisecond, GCSlowdown: 3, ReadRetryProb: 0.005, LuckyHitProb: 0.15},
+		{Name: "samsung-850-pro", Channels: 4, ReadPage: 140 * time.Microsecond,
+			PerIOOverhead: 22 * time.Microsecond, CacheHitProb: 0.04, WriteBufferPages: 3072,
+			GCWriteThreshold: 40 << 20, GCMin: 8 * time.Millisecond, GCMax: 48 * time.Millisecond,
+			GCSlowdown: 8, ReadRetryProb: 0.005, LuckyHitProb: 0.10},
+		{Name: "samsung-pm1733", Channels: 16, ReadPage: 60 * time.Microsecond,
+			CacheHitProb: 0.08, GCWriteThreshold: 256 << 20, GCMin: 2 * time.Millisecond,
+			GCMax: 10 * time.Millisecond, GCSlowdown: 3, ReadRetryProb: 0.0035, LuckyHitProb: 0.16},
+		{Name: "samsung-pm1725a", Channels: 16, ReadPage: 72 * time.Microsecond,
+			CacheHitProb: 0.07, GCWriteThreshold: 224 << 20, GCMin: 3 * time.Millisecond,
+			GCMax: 14 * time.Millisecond, GCSlowdown: 3, ReadRetryProb: 0.005, LuckyHitProb: 0.14},
+		{Name: "samsung-mzv-pv128", Channels: 4, ReadPage: 105 * time.Microsecond,
+			CacheHitProb: 0.05, WriteBufferPages: 4096, GCWriteThreshold: 96 << 20,
+			GCMin: 6 * time.Millisecond, GCMax: 36 * time.Millisecond, GCSlowdown: 6,
+			ReadRetryProb: 0.0035, LuckyHitProb: 0.11},
+		{Name: "samsung-mzh-pv128", Channels: 4, ReadPage: 110 * time.Microsecond,
+			CacheHitProb: 0.05, WriteBufferPages: 4096, GCWriteThreshold: 44 << 20,
+			GCMin: 6 * time.Millisecond, GCMax: 38 * time.Millisecond, GCSlowdown: 6,
+			ReadRetryProb: 0.0035, LuckyHitProb: 0.11},
+		{Name: "hitachi-sn260", Channels: 8, ReadPage: 85 * time.Microsecond,
+			CacheHitProb: 0.06, GCWriteThreshold: 128 << 20, GCMin: 4 * time.Millisecond,
+			GCMax: 20 * time.Millisecond, GCSlowdown: 4, ReadRetryProb: 0.002, LuckyHitProb: 0.13},
+	}
+}

@@ -1,0 +1,310 @@
+package ssd
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Result reports the simulated outcome of one submitted request.
+type Result struct {
+	Start    int64 // when service began (ns)
+	Complete int64 // completion time (ns)
+	QueueLen int   // in-flight requests at arrival, excluding this one
+	CacheHit bool  // served from the device cache
+	// Contended is ground truth: the request was slowed by an internal busy
+	// period (GC, flush, or wear leveling). It is what period-based labeling
+	// tries to recover from latency/throughput signals alone.
+	Contended bool
+	BusyKind  BusyKind // meaningful only when Contended
+}
+
+// Latency returns Complete minus the submission time recorded at Submit.
+func (r Result) Latency(arrival int64) int64 { return r.Complete - arrival }
+
+// Device is a single simulated SSD. It is not safe for concurrent use; the
+// replayer serializes submissions in event-time order. Submissions must have
+// non-decreasing timestamps.
+type Device struct {
+	cfg Config
+	rng *rand.Rand
+
+	chanBusy []int64 // per-channel busy-until (ns)
+
+	inflight completionHeap // completion times of outstanding requests
+
+	busyEnd  int64 // end of the current (merged) busy period, 0 if none
+	busyKind BusyKind
+	busyLog  []Interval
+
+	bufferPages   int
+	bytesToGC     int64 // writes remaining until next GC episode
+	nextWearLevel int64
+	retryStreak   int // reads left in an elevated-retry window
+
+	lastSubmit int64
+	submitted  int
+	reads      int
+	writes     int
+}
+
+// New creates a device with deterministic behaviour for the given seed.
+func New(cfg Config, seed int64) *Device {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	d := &Device{
+		cfg:      cfg,
+		rng:      rng,
+		chanBusy: make([]int64, cfg.Channels),
+	}
+	d.bytesToGC = d.nextGCBudget()
+	d.nextWearLevel = d.nextWearDelay(0)
+	return d
+}
+
+// Config returns the device configuration (with defaults applied).
+func (d *Device) Config() Config { return d.cfg }
+
+// Name returns the device model name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+func (d *Device) nextGCBudget() int64 {
+	base := d.cfg.GCWriteThreshold
+	// +-25% jitter so GC cadence is not metronomic.
+	return base*3/4 + d.rng.Int63n(base/2+1)
+}
+
+func (d *Device) nextWearDelay(now int64) int64 {
+	return now + int64(d.rng.ExpFloat64()*float64(d.cfg.WearLevelMTBF))
+}
+
+// QueueLen returns the number of in-flight requests at the given time.
+func (d *Device) QueueLen(now int64) int {
+	d.drain(now)
+	return d.inflight.Len()
+}
+
+// InBusy reports whether the device is inside an internal busy period at the
+// given time. This is ground truth, unavailable on real hardware.
+func (d *Device) InBusy(now int64) bool {
+	if now < d.busyEnd {
+		return true
+	}
+	// Also check the log for historical queries.
+	i := sort.Search(len(d.busyLog), func(i int) bool { return d.busyLog[i].End > now })
+	return i < len(d.busyLog) && d.busyLog[i].Start <= now
+}
+
+// BusyIntervals returns a copy of all busy periods recorded so far.
+func (d *Device) BusyIntervals() []Interval {
+	return append([]Interval(nil), d.busyLog...)
+}
+
+// Stats returns cumulative submission counters.
+func (d *Device) Stats() (submitted, reads, writes int) {
+	return d.submitted, d.reads, d.writes
+}
+
+func (d *Device) drain(now int64) {
+	for d.inflight.Len() > 0 && d.inflight[0] <= now {
+		heap.Pop(&d.inflight)
+	}
+}
+
+// beginBusy opens (or extends) an internal busy period. The internal
+// operation occupies a kind-dependent share of the flash channels until it
+// finishes, so foreground reads funnel into the remaining channels: queueing
+// delay builds up and throughput drops — the latency-spike/throughput-drop
+// signature of §3.1.
+func (d *Device) beginBusy(now int64, dur int64, kind BusyKind) {
+	end := now + dur
+	if end <= d.busyEnd {
+		return // subsumed by the current busy period
+	}
+	var blockFrac float64
+	switch kind {
+	case BusyGC:
+		blockFrac = 0.75
+	case BusyFlush:
+		blockFrac = 0.5
+	default: // wear leveling relocates whole blocks: everything stalls
+		blockFrac = 1.0
+	}
+	blocked := int(float64(len(d.chanBusy)) * blockFrac)
+	if blocked < 1 {
+		blocked = 1
+	}
+	for c := 0; c < blocked; c++ {
+		if d.chanBusy[c] < end {
+			d.chanBusy[c] = end
+		}
+	}
+	if now < d.busyEnd {
+		// Extend the current period; amend the last logged interval.
+		if n := len(d.busyLog); n > 0 && d.busyLog[n-1].End == d.busyEnd {
+			d.busyLog[n-1].End = end
+		} else {
+			d.busyLog = append(d.busyLog, Interval{Start: now, End: end, Kind: kind})
+		}
+	} else {
+		d.busyLog = append(d.busyLog, Interval{Start: now, End: end, Kind: kind})
+	}
+	d.busyEnd = end
+	d.busyKind = kind
+}
+
+func (d *Device) minChannel() int {
+	best := 0
+	for c := 1; c < len(d.chanBusy); c++ {
+		if d.chanBusy[c] < d.chanBusy[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Submit simulates one request arriving at time now and returns its outcome.
+// Timestamps must be non-decreasing across calls; Submit panics otherwise,
+// because out-of-order submission silently corrupts queueing statistics.
+func (d *Device) Submit(now int64, op trace.Op, size int32) Result {
+	if now < d.lastSubmit {
+		panic(fmt.Sprintf("ssd: out-of-order submit: %d after %d", now, d.lastSubmit))
+	}
+	d.lastSubmit = now
+	d.drain(now)
+	d.maybeWearLevel(now)
+
+	res := Result{QueueLen: d.inflight.Len()}
+	pages := (int(size) + d.cfg.PageSize - 1) / d.cfg.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+
+	if op == trace.Write {
+		d.writes++
+		d.submitted++
+		res.Start = now
+		res.Complete = now + int64(d.cfg.WriteBufferLat) + int64(d.cfg.PerIOOverhead) +
+			int64(pages-1)*int64(d.cfg.WriteBufferLat)/8
+		d.bufferPages += pages
+		d.bytesToGC -= int64(size)
+		if d.bufferPages >= d.cfg.WriteBufferPages {
+			// Flush: the device programs the buffered pages in the
+			// background, contending with reads. Programming is pipelined
+			// across channels and planes, so the visible contention window
+			// is bounded.
+			dur := int64(d.cfg.ProgramPage) * int64(d.bufferPages) / int64(d.cfg.Channels*8)
+			const minFlush, maxFlush = int64(1e6), int64(8e6) // 1–8 ms
+			if dur < minFlush {
+				dur = minFlush
+			} else if dur > maxFlush {
+				dur = maxFlush
+			}
+			d.beginBusy(now, dur, BusyFlush)
+			d.bufferPages = 0
+		}
+		if d.bytesToGC <= 0 {
+			dur := int64(d.cfg.GCMin) + d.rng.Int63n(int64(d.cfg.GCMax-d.cfg.GCMin)+1)
+			d.beginBusy(now, dur, BusyGC)
+			d.bytesToGC = d.nextGCBudget()
+		}
+		heap.Push(&d.inflight, res.Complete)
+		return res
+	}
+
+	d.reads++
+	d.submitted++
+	busyNow := now < d.busyEnd
+
+	// Device-cache hit: bypasses NAND entirely. During busy periods some
+	// reads are "lucky" and still hit the cache (§3.2, stage-1 outliers).
+	// A lucky hit is still marked Contended: ground truth records slow
+	// *period* membership (what period labeling recovers), not whether this
+	// particular I/O happened to dodge the contention.
+	hitProb := d.cfg.CacheHitProb
+	if busyNow {
+		hitProb = d.cfg.LuckyHitProb
+	}
+	if d.rng.Float64() < hitProb {
+		res.CacheHit = true
+		res.Contended = busyNow
+		if busyNow {
+			res.BusyKind = d.busyKind
+		}
+		res.Start = now
+		res.Complete = now + int64(d.cfg.CacheHitLat) + int64(d.cfg.PerIOOverhead)
+		heap.Push(&d.inflight, res.Complete)
+		return res
+	}
+
+	c := d.minChannel()
+	start := now
+	if d.chanBusy[c] > start {
+		start = d.chanBusy[c]
+	}
+	// Pages spread across channels; service is the per-channel critical
+	// path, with +-8% jitter (NAND read time varies with cell state and
+	// location — without it, discrete sizes produce artificial latency
+	// plateaus in every CDF).
+	perChan := (pages + d.cfg.Channels - 1) / d.cfg.Channels
+	svc := int64(d.cfg.ReadPage) * int64(perChan)
+	svc = int64(float64(svc) * (0.92 + 0.16*d.rng.Float64()))
+
+	if now < d.busyEnd || start < d.busyEnd {
+		// The read lands inside an internal busy period: it either queues
+		// behind the blocked channels or shares die time with the internal
+		// operation, so its NAND service slows down.
+		res.Contended = true
+		res.BusyKind = d.busyKind
+		svc = int64(float64(svc) * d.cfg.GCSlowdown)
+	} else {
+		// Transient read retries (voltage mismatch / ECC), §3.2 stage-2
+		// outliers: slow I/Os inside a fast period, not marked Contended —
+		// there is no device-level busyness behind them. Retries come in
+		// short storms: a marginal voltage region affects the next few
+		// reads too, which is exactly the "short noise" class stage 3 of
+		// the noise filter exists for.
+		p := d.cfg.ReadRetryProb
+		if d.retryStreak > 0 {
+			d.retryStreak--
+			p = 0.5
+		}
+		if d.rng.Float64() < p {
+			svc += int64(d.cfg.ReadRetryLat)
+			if d.retryStreak == 0 {
+				d.retryStreak = 1 + d.rng.Intn(3)
+			}
+		}
+	}
+
+	d.chanBusy[c] = start + svc
+	res.Start = start
+	res.Complete = start + svc + int64(d.cfg.PerIOOverhead)
+	heap.Push(&d.inflight, res.Complete)
+	return res
+}
+
+func (d *Device) maybeWearLevel(now int64) {
+	for now >= d.nextWearLevel {
+		d.beginBusy(d.nextWearLevel, int64(d.cfg.WearLevelDur), BusyWearLevel)
+		d.nextWearLevel = d.nextWearDelay(d.nextWearLevel)
+	}
+}
+
+// completionHeap is a min-heap of completion timestamps.
+type completionHeap []int64
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,112 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestRetryStorms verifies the transient-retry process: retries exist, are
+// never marked Contended, and cluster into short storms (a retry is far more
+// likely immediately after another retry).
+func TestRetryStorms(t *testing.T) {
+	cfg := Samsung970Pro()
+	cfg.CacheHitProb = 0
+	cfg.LuckyHitProb = 0
+	cfg.ReadRetryProb = 0.01 // elevated to get counts quickly
+	cfg.GCWriteThreshold = 1 << 40
+	cfg.WearLevelMTBF = time.Hour // reads only, no busy periods
+	d := New(cfg, 11)
+
+	retryLat := int64(d.cfg.ReadRetryLat) // resolved default (cfg's own field is zero)
+	now := int64(0)
+	var isRetry []bool
+	for i := 0; i < 50000; i++ {
+		r := d.Submit(now, trace.Read, 4096)
+		if r.Contended {
+			t.Fatal("retry marked contended with busy periods disabled")
+		}
+		isRetry = append(isRetry, r.Complete-r.Start >= retryLat)
+		now += 1_000_000 // spaced out: no queueing
+	}
+	total, retries, pairs := 0, 0, 0
+	for i, r := range isRetry {
+		total++
+		if r {
+			retries++
+			if i+1 < len(isRetry) && isRetry[i+1] {
+				pairs++
+			}
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no retries observed")
+	}
+	baseRate := float64(retries) / float64(total)
+	afterRetryRate := float64(pairs) / float64(retries)
+	if afterRetryRate < 5*baseRate {
+		t.Fatalf("retries not clustered: P(retry|retry)=%.3f vs base %.3f", afterRetryRate, baseRate)
+	}
+}
+
+// TestServiceJitter checks the NAND-read jitter stays within its +-8% band.
+func TestServiceJitter(t *testing.T) {
+	cfg := Samsung970Pro()
+	cfg.CacheHitProb = 0
+	cfg.LuckyHitProb = 0
+	cfg.ReadRetryProb = 0
+	cfg.GCWriteThreshold = 1 << 40
+	cfg.WearLevelMTBF = time.Hour
+	d := New(cfg, 12)
+	base := float64(cfg.ReadPage)
+	now := int64(0)
+	var lo, hi float64 = 1e18, 0
+	for i := 0; i < 5000; i++ {
+		r := d.Submit(now, trace.Read, 4096)
+		svc := float64(r.Complete - r.Start - int64(d.cfg.PerIOOverhead))
+		if svc < lo {
+			lo = svc
+		}
+		if svc > hi {
+			hi = svc
+		}
+		now += 1_000_000
+	}
+	if lo < base*0.91 || hi > base*1.09 {
+		t.Fatalf("jitter out of band: [%.0f, %.0f] vs base %.0f", lo, hi, base)
+	}
+	if hi-lo < base*0.05 {
+		t.Fatalf("jitter too narrow: [%.0f, %.0f]", lo, hi)
+	}
+}
+
+// TestLuckyHitsDuringBusy verifies stage-1 noise exists: some reads inside a
+// busy period hit the device cache and complete fast, yet are marked
+// Contended (ground truth is period membership).
+func TestLuckyHitsDuringBusy(t *testing.T) {
+	cfg := Samsung970Pro()
+	cfg.LuckyHitProb = 0.5
+	cfg.ReadRetryProb = 0
+	d := New(cfg, 13)
+	// Trigger GC, then read a lot during the busy window.
+	now := int64(0)
+	for w := int64(0); w < 2*cfg.GCWriteThreshold; w += 1 << 20 {
+		d.Submit(now, trace.Write, 1<<20)
+		now += 100_000
+	}
+	if !d.InBusy(now) {
+		t.Skip("not busy at probe time (GC jitter)")
+	}
+	luckyContended := 0
+	for i := 0; i < 50 && d.InBusy(now); i++ {
+		r := d.Submit(now, trace.Read, 4096)
+		if r.CacheHit && r.Contended {
+			luckyContended++
+		}
+		now += 10_000
+	}
+	if luckyContended == 0 {
+		t.Fatal("no lucky cache hits marked contended inside a busy period")
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import "fmt"
+
+// Augmentation is one of the paper's five data-augmentation functions
+// (§6.1): 0.1x rerate, 0.5x rerate, 2x rerate, 2x resize, 4x resize.
+type Augmentation struct {
+	Name   string
+	Rerate float64 // interarrival scale: >1 means higher IOPS (gaps shrink)
+	Resize float64 // size multiplier
+}
+
+// StandardAugmentations returns the paper's five augmentation functions plus
+// the identity, in a stable order.
+func StandardAugmentations() []Augmentation {
+	return []Augmentation{
+		{Name: "identity", Rerate: 1, Resize: 1},
+		{Name: "rerate-0.1x", Rerate: 0.1, Resize: 1},
+		{Name: "rerate-0.5x", Rerate: 0.5, Resize: 1},
+		{Name: "rerate-2x", Rerate: 2, Resize: 1},
+		{Name: "resize-2x", Rerate: 1, Resize: 2},
+		{Name: "resize-4x", Rerate: 1, Resize: 4},
+	}
+}
+
+// Apply returns a new trace with the augmentation applied. Rerating by
+// factor f divides every interarrival gap by f (f=2 doubles the IOPS);
+// resizing multiplies every request size. Sizes are capped at 2MB, the
+// largest request the paper considers.
+func (a Augmentation) Apply(t *Trace) *Trace {
+	const maxSize = 2 << 20
+	out := &Trace{Name: fmt.Sprintf("%s+%s", t.Name, a.Name), Reqs: make([]Request, len(t.Reqs))}
+	rerate := a.Rerate
+	if rerate <= 0 {
+		rerate = 1
+	}
+	resize := a.Resize
+	if resize <= 0 {
+		resize = 1
+	}
+	for i, r := range t.Reqs {
+		r.Arrival = int64(float64(r.Arrival) / rerate)
+		s := int64(float64(r.Size) * resize)
+		if s > maxSize {
+			s = maxSize
+		}
+		if s < 512 {
+			s = 512
+		}
+		r.Size = int32(s)
+		out.Reqs[i] = r
+	}
+	return out
+}

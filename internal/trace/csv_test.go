@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(MSRStyle(3, 500*time.Millisecond))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("length %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Reqs {
+		if orig.Reqs[i] != back.Reqs[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, orig.Reqs[i], back.Reqs[i])
+		}
+	}
+}
+
+func TestReadCSVFormats(t *testing.T) {
+	in := "arrival_ns,op,offset,size\n100,R,0,4096\n200,w,4096,8192\n300,1,8192,4096\n"
+	tr, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if tr.Reqs[0].Op != Read || tr.Reqs[1].Op != Write || tr.Reqs[2].Op != Write {
+		t.Fatalf("ops %v %v %v", tr.Reqs[0].Op, tr.Reqs[1].Op, tr.Reqs[2].Op)
+	}
+	// Header optional.
+	tr2, err := ReadCSV(strings.NewReader("0,R,0,512\n"), "nh")
+	if err != nil || tr2.Len() != 1 {
+		t.Fatalf("headerless parse: %v len %d", err, tr2.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad fields":   "100,R,0\n",
+		"bad op":       "100,X,0,4096\n",
+		"bad arrival":  "abc,R,0,4096\n",
+		"bad size":     "100,R,0,zero\n",
+		"zero size":    "100,R,0,0\n",
+		"out of order": "200,R,0,4096\n100,R,0,4096\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), name); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVBlankLines(t *testing.T) {
+	in := "arrival_ns,op,offset,size\n\n100,R,0,4096\n\n"
+	tr, err := ReadCSV(strings.NewReader(in), "b")
+	if err != nil || tr.Len() != 1 {
+		t.Fatalf("blank lines: %v len %d", err, tr.Len())
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the parser never panics and that everything it accepts
+// round-trips through WriteCSV byte-for-byte (after normalizing ops to R/W).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("arrival_ns,op,offset,size\n100,R,0,4096\n200,W,4096,8192\n")
+	f.Add("0,r,0,512\n")
+	f.Add("1,1,1,1\n")
+	f.Add("")
+	f.Add("arrival_ns,op,offset,size\n")
+	f.Add("x,y,z\n")
+	f.Add("9223372036854775807,R,0,2147483647\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		// Accepted input: invariants must hold and it must round-trip.
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails validation: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, tr); werr != nil {
+			t.Fatalf("write: %v", werr)
+		}
+		back, rerr := ReadCSV(&buf, "roundtrip")
+		if rerr != nil {
+			t.Fatalf("reparse: %v", rerr)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip length %d vs %d", back.Len(), tr.Len())
+		}
+		for i := range tr.Reqs {
+			if tr.Reqs[i] != back.Reqs[i] {
+				t.Fatalf("round trip request %d differs", i)
+			}
+		}
+	})
+}

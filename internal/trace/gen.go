@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SizeBucket is one component of a request-size mixture distribution.
+type SizeBucket struct {
+	Size   int32   // bytes; multiples of 4KB in practice
+	Weight float64 // relative probability mass
+}
+
+// GenConfig parameterizes the synthetic trace generator. The defaults of the
+// three Style constructors below are calibrated to the published
+// characteristics of the production traces the paper uses.
+type GenConfig struct {
+	Name      string
+	Seed      int64
+	Duration  time.Duration
+	MeanIOPS  float64 // long-run request rate
+	ReadRatio float64 // fraction of reads
+
+	// Burstiness drives a two-state Markov-modulated Poisson process:
+	// 0 means a plain Poisson arrival stream, 1 means heavy on/off bursts.
+	Burstiness float64
+	// BurstFactor is the rate multiplier while in the burst state.
+	BurstFactor float64
+	// ConstantInterarrival replaces the Poisson process with a fixed
+	// interarrival time (the Tencent trace behaviour noted in §7).
+	ConstantInterarrival bool
+
+	// Sequentiality is the probability that a request continues the previous
+	// request's offset run instead of seeking randomly.
+	Sequentiality float64
+	WorkingSet    int64 // bytes of addressable space
+
+	Sizes []SizeBucket // request size mixture
+
+	// DriftPeriod, when non-zero, slowly rotates the workload mix over time
+	// (read ratio and size mixture shift), used by the long-term retraining
+	// experiment (§7) to induce input drift.
+	DriftPeriod time.Duration
+
+	// BurstSeed seeds the burst schedule separately from request sampling.
+	// Two configs with the same BurstSeed, Burstiness, and Duration burst in
+	// phase — modeling co-located tenants whose load peaks together, the
+	// regime where blind rerouting overloads the other replica (§6.1). Zero
+	// derives it from Seed (independent bursts).
+	BurstSeed int64
+}
+
+// MSRStyle returns a generator config in the style of the MSR Cambridge
+// volumes: small random I/Os, moderate read share, strong burstiness.
+func MSRStyle(seed int64, d time.Duration) GenConfig {
+	return GenConfig{
+		Name: "msr", Seed: seed, Duration: d,
+		MeanIOPS: 20000, ReadRatio: 0.55,
+		Burstiness: 0.7, BurstFactor: 2.5,
+		Sequentiality: 0.15, WorkingSet: 64 << 30,
+		Sizes: []SizeBucket{
+			{Size: 4 << 10, Weight: 0.52}, {Size: 8 << 10, Weight: 0.20},
+			{Size: 16 << 10, Weight: 0.12}, {Size: 32 << 10, Weight: 0.08},
+			{Size: 64 << 10, Weight: 0.05}, {Size: 128 << 10, Weight: 0.03},
+		},
+	}
+}
+
+// AlibabaStyle returns a generator config in the style of the Alibaba block
+// traces: mixed sizes with a heavy tail up to 2MB, read-dominant, moderate
+// burstiness.
+func AlibabaStyle(seed int64, d time.Duration) GenConfig {
+	return GenConfig{
+		Name: "alibaba", Seed: seed, Duration: d,
+		MeanIOPS: 2400, ReadRatio: 0.70,
+		Burstiness: 0.5, BurstFactor: 2.5,
+		Sequentiality: 0.30, WorkingSet: 256 << 30,
+		Sizes: []SizeBucket{
+			{Size: 4 << 10, Weight: 0.40}, {Size: 16 << 10, Weight: 0.22},
+			{Size: 64 << 10, Weight: 0.18}, {Size: 128 << 10, Weight: 0.10},
+			{Size: 512 << 10, Weight: 0.07}, {Size: 2 << 20, Weight: 0.03},
+		},
+	}
+}
+
+// TencentStyle returns a generator config in the style of the Tencent block
+// traces: write-IOPS-dominant (writes ~2x reads, §7), near-constant
+// interarrival times, small-to-medium sizes.
+func TencentStyle(seed int64, d time.Duration) GenConfig {
+	return GenConfig{
+		Name: "tencent", Seed: seed, Duration: d,
+		MeanIOPS: 12000, ReadRatio: 0.33,
+		Burstiness: 0.1, BurstFactor: 2, ConstantInterarrival: true,
+		Sequentiality: 0.45, WorkingSet: 128 << 30,
+		Sizes: []SizeBucket{
+			{Size: 4 << 10, Weight: 0.35}, {Size: 8 << 10, Weight: 0.30},
+			{Size: 32 << 10, Weight: 0.20}, {Size: 128 << 10, Weight: 0.15},
+		},
+	}
+}
+
+// Styles returns one config per production-trace family at the given seed and
+// duration, in a stable order.
+func Styles(seed int64, d time.Duration) []GenConfig {
+	return []GenConfig{MSRStyle(seed, d), AlibabaStyle(seed+1, d), TencentStyle(seed+2, d)}
+}
+
+// Generate produces a synthetic trace from the config. Generation is
+// deterministic in cfg.Seed.
+func Generate(cfg GenConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MeanIOPS <= 0 {
+		cfg.MeanIOPS = 1000
+	}
+	if cfg.WorkingSet <= 0 {
+		cfg.WorkingSet = 64 << 30
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []SizeBucket{{4 << 10, 1}}
+	}
+	var totalW float64
+	for _, b := range cfg.Sizes {
+		totalW += b.Weight
+	}
+
+	t := &Trace{Name: fmt.Sprintf("%s-seed%d", cfg.Name, cfg.Seed)}
+	end := int64(cfg.Duration)
+	now := int64(0)
+
+	// Two-state MMPP: calm rate and burst rate around the requested mean.
+	calmRate := cfg.MeanIOPS
+	burstRate := cfg.MeanIOPS
+	if cfg.Burstiness > 0 && cfg.BurstFactor > 1 {
+		// Split the mean so that time-averaged rate stays ~MeanIOPS when the
+		// process spends Burstiness-weighted time bursting.
+		burstRate = cfg.MeanIOPS * cfg.BurstFactor
+		calmRate = cfg.MeanIOPS * math.Max(0.1, 1-cfg.Burstiness*0.8)
+	}
+
+	// The burst schedule comes from its own RNG so that traces sharing a
+	// BurstSeed burst in phase regardless of their request sampling.
+	burstSeed := cfg.BurstSeed
+	if burstSeed == 0 {
+		burstSeed = cfg.Seed*31 + 7
+	}
+	bursts := burstSchedule(burstSeed, cfg.Burstiness, end)
+	burstIdx := 0
+
+	seqOffset := alignDown(rng.Int63n(cfg.WorkingSet), 4<<10)
+
+	for now < end {
+		for burstIdx < len(bursts) && now >= bursts[burstIdx].end {
+			burstIdx++
+		}
+		rate := calmRate
+		if burstIdx < len(bursts) && now >= bursts[burstIdx].start {
+			rate = burstRate
+		}
+		var gap int64
+		if cfg.ConstantInterarrival {
+			gap = int64(1e9 / rate)
+			// Tiny jitter so events do not alias perfectly.
+			gap += rng.Int63n(gap/16 + 1)
+		} else {
+			gap = int64(rng.ExpFloat64() / rate * 1e9)
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		now += gap
+		if now >= end {
+			break
+		}
+
+		readRatio, sizes := cfg.ReadRatio, cfg.Sizes
+		sizeScale := 1.0
+		if cfg.DriftPeriod > 0 {
+			phase := math.Sin(2 * math.Pi * float64(now) / float64(cfg.DriftPeriod))
+			readRatio = clamp01(readRatio + 0.25*phase)
+			// Positive half-cycles grow the request sizes up to 2.25x: the
+			// workload's working profile genuinely changes, which is what
+			// erodes a train-once model (§7's input drift).
+			if phase > 0 {
+				sizeScale = 1 + 1.25*phase
+			}
+		}
+
+		op := Write
+		if rng.Float64() < readRatio {
+			op = Read
+		}
+		size := pickSize(rng, sizes, totalW)
+		if sizeScale != 1 {
+			scaled := float64(size) * sizeScale
+			if scaled > 2<<20 {
+				scaled = 2 << 20
+			}
+			size = int32(scaled)
+		}
+		var off int64
+		if rng.Float64() < cfg.Sequentiality {
+			off = seqOffset
+		} else {
+			off = alignDown(rng.Int63n(cfg.WorkingSet), 4<<10)
+		}
+		seqOffset = off + int64(size)
+		if seqOffset >= cfg.WorkingSet {
+			seqOffset = 0
+		}
+		t.Reqs = append(t.Reqs, Request{Arrival: now, Offset: off, Size: size, Op: op})
+	}
+	return t
+}
+
+type burstWindow struct {
+	start, end int64
+}
+
+// burstSchedule precomputes the on/off burst windows: short burst episodes
+// (tens of ms) separated by longer calm stretches, with the burst share
+// governed by burstiness.
+func burstSchedule(seed int64, burstiness float64, horizon int64) []burstWindow {
+	if burstiness <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []burstWindow
+	now := int64(0)
+	for now < horizon {
+		if rng.Float64() < burstiness*0.4 {
+			dur := int64(5*time.Millisecond) + rng.Int63n(int64(60*time.Millisecond))
+			out = append(out, burstWindow{start: now, end: now + dur})
+			now += dur
+		} else {
+			now += int64(20*time.Millisecond) + rng.Int63n(int64(300*time.Millisecond))
+		}
+	}
+	return out
+}
+
+func pickSize(rng *rand.Rand, sizes []SizeBucket, totalW float64) int32 {
+	x := rng.Float64() * totalW
+	for _, b := range sizes {
+		x -= b.Weight
+		if x <= 0 {
+			return b.Size
+		}
+	}
+	return sizes[len(sizes)-1].Size
+}
+
+func alignDown(v, a int64) int64 { return v - v%a }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

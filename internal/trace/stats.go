@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Stats summarizes the workload characteristics the paper's trace-selection
+// procedure measures (§6.1): read/write ratio, size, IOPS, randomness, and an
+// overall ranking score.
+type Stats struct {
+	Requests   int
+	Reads      int
+	Writes     int
+	ReadRatio  float64       // reads / requests
+	MeanSize   float64       // bytes
+	P50Size    float64       // bytes
+	MaxSize    int32         // bytes
+	IOPS       float64       // requests per second over the trace span
+	ReadBW     float64       // bytes/sec of read payload
+	WriteBW    float64       // bytes/sec of write payload
+	Randomness float64       // fraction of requests not sequential to predecessor
+	Duration   time.Duration // arrival span
+}
+
+// Rank is the "overall ranking" criterion from §6.1: a single scalar that
+// grows with load intensity (IOPS, size, randomness, and write share all
+// contribute, since all of them pressure the device).
+func (s Stats) Rank() float64 {
+	return s.IOPS * math.Log1p(s.MeanSize) * (1 + s.Randomness) * (1 + (1 - s.ReadRatio))
+}
+
+// Measure computes Stats over a trace.
+func Measure(t *Trace) Stats {
+	var s Stats
+	s.Requests = len(t.Reqs)
+	if s.Requests == 0 {
+		return s
+	}
+	sizes := make([]float64, 0, len(t.Reqs))
+	var sizeSum float64
+	var nonSeq int
+	var prevEnd int64 = -1
+	for _, r := range t.Reqs {
+		if r.Op == Read {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		sizeSum += float64(r.Size)
+		sizes = append(sizes, float64(r.Size))
+		if r.Size > s.MaxSize {
+			s.MaxSize = r.Size
+		}
+		if prevEnd >= 0 && r.Offset != prevEnd {
+			nonSeq++
+		}
+		prevEnd = r.Offset + int64(r.Size)
+	}
+	s.ReadRatio = float64(s.Reads) / float64(s.Requests)
+	s.MeanSize = sizeSum / float64(s.Requests)
+	sort.Float64s(sizes)
+	s.P50Size = Percentile(sizes, 50)
+	s.Duration = t.Duration()
+	span := s.Duration.Seconds()
+	if span <= 0 {
+		span = 1e-9
+	}
+	s.IOPS = float64(s.Requests) / span
+	var rb, wb float64
+	for _, r := range t.Reqs {
+		if r.Op == Read {
+			rb += float64(r.Size)
+		} else {
+			wb += float64(r.Size)
+		}
+	}
+	s.ReadBW = rb / span
+	s.WriteBW = wb / span
+	if s.Requests > 1 {
+		s.Randomness = float64(nonSeq) / float64(s.Requests-1)
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted (ascending)
+// values using linear interpolation. It returns 0 for empty input.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

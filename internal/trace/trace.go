@@ -1,0 +1,134 @@
+// Package trace models block-level I/O traces and provides synthetic
+// generators calibrated to the characteristics of the production traces the
+// Heimdall paper evaluates on (MSR Cambridge, Alibaba, Tencent), plus the
+// paper's five data-augmentation functions (§6.1).
+//
+// All timestamps are nanoseconds from the start of the trace. All sizes and
+// offsets are bytes.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is the I/O request type.
+type Op uint8
+
+const (
+	// Read is a block read request.
+	Read Op = iota
+	// Write is a block write request.
+	Write
+)
+
+// String returns "R" for reads and "W" for writes.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is a single block I/O request.
+type Request struct {
+	Arrival int64 // nanoseconds since trace start
+	Offset  int64 // byte offset on the device
+	Size    int32 // bytes
+	Op      Op
+}
+
+// Pages returns the number of pageSize pages the request spans.
+func (r Request) Pages(pageSize int) int {
+	if pageSize <= 0 {
+		return 1
+	}
+	n := (int(r.Size) + pageSize - 1) / pageSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Trace is an ordered sequence of requests. Requests must be sorted by
+// arrival time; generators and transforms in this package maintain that
+// invariant.
+type Trace struct {
+	Name string
+	Reqs []Request
+}
+
+// Len returns the number of requests.
+func (t *Trace) Len() int { return len(t.Reqs) }
+
+// Duration returns the arrival span of the trace.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Reqs) == 0 {
+		return 0
+	}
+	return time.Duration(t.Reqs[len(t.Reqs)-1].Arrival - t.Reqs[0].Arrival)
+}
+
+// Validate checks the ordering and field invariants of the trace.
+func (t *Trace) Validate() error {
+	prev := int64(-1)
+	for i, r := range t.Reqs {
+		if r.Arrival < prev {
+			return fmt.Errorf("trace %q: request %d arrival %d before previous %d", t.Name, i, r.Arrival, prev)
+		}
+		if r.Size <= 0 {
+			return fmt.Errorf("trace %q: request %d has non-positive size %d", t.Name, i, r.Size)
+		}
+		if r.Offset < 0 {
+			return fmt.Errorf("trace %q: request %d has negative offset", t.Name, i)
+		}
+		prev = r.Arrival
+	}
+	return nil
+}
+
+// Slice returns the sub-trace with arrivals in [from, to), rebased so the
+// first request arrives at time 0.
+func (t *Trace) Slice(from, to time.Duration) *Trace {
+	lo := sort.Search(len(t.Reqs), func(i int) bool { return t.Reqs[i].Arrival >= int64(from) })
+	hi := sort.Search(len(t.Reqs), func(i int) bool { return t.Reqs[i].Arrival >= int64(to) })
+	out := &Trace{Name: fmt.Sprintf("%s[%v,%v)", t.Name, from, to)}
+	if lo >= hi {
+		return out
+	}
+	base := t.Reqs[lo].Arrival
+	out.Reqs = make([]Request, hi-lo)
+	for i, r := range t.Reqs[lo:hi] {
+		r.Arrival -= base
+		out.Reqs[i] = r
+	}
+	return out
+}
+
+// SplitHalf splits the trace 50:50 by request count, the train/test
+// methodology used throughout the paper's evaluation (§6). The second half is
+// rebased to start at time zero.
+func (t *Trace) SplitHalf() (train, test *Trace) {
+	mid := len(t.Reqs) / 2
+	train = &Trace{Name: t.Name + "/train", Reqs: append([]Request(nil), t.Reqs[:mid]...)}
+	test = &Trace{Name: t.Name + "/test"}
+	if mid < len(t.Reqs) {
+		base := t.Reqs[mid].Arrival
+		test.Reqs = make([]Request, len(t.Reqs)-mid)
+		for i, r := range t.Reqs[mid:] {
+			r.Arrival -= base
+			test.Reqs[i] = r
+		}
+	}
+	return train, test
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Name: t.Name, Reqs: append([]Request(nil), t.Reqs...)}
+}
+
+// ErrEmptyTrace is returned by operations that need at least one request.
+var ErrEmptyTrace = errors.New("trace: empty trace")

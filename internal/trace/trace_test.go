@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkTrace(arrivals []int64) *Trace {
+	t := &Trace{Name: "t"}
+	for _, a := range arrivals {
+		t.Reqs = append(t.Reqs, Request{Arrival: a, Size: 4096, Op: Read})
+	}
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	ok := mkTrace([]int64{0, 5, 5, 9})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := mkTrace([]int64{5, 3})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	zero := &Trace{Reqs: []Request{{Arrival: 0, Size: 0}}}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero-size request accepted")
+	}
+}
+
+func TestPages(t *testing.T) {
+	cases := []struct {
+		size int32
+		want int
+	}{{1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {2 << 20, 512}}
+	for _, c := range cases {
+		r := Request{Size: c.size}
+		if got := r.Pages(4096); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	if got := (Request{Size: 100}).Pages(0); got != 1 {
+		t.Errorf("Pages with zero page size = %d, want 1", got)
+	}
+}
+
+func TestSliceRebases(t *testing.T) {
+	tr := mkTrace([]int64{0, 100, 200, 300, 400})
+	s := tr.Slice(150*time.Nanosecond/time.Nanosecond, 350)
+	// Slice takes durations; 150ns..350ns window picks arrivals 200, 300.
+	if s.Len() != 2 {
+		t.Fatalf("slice len = %d, want 2", s.Len())
+	}
+	if s.Reqs[0].Arrival != 0 || s.Reqs[1].Arrival != 100 {
+		t.Fatalf("slice not rebased: %v", s.Reqs)
+	}
+}
+
+func TestSplitHalf(t *testing.T) {
+	tr := mkTrace([]int64{0, 10, 20, 30, 40, 50})
+	a, b := tr.SplitHalf()
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("split sizes %d/%d, want 3/3", a.Len(), b.Len())
+	}
+	if b.Reqs[0].Arrival != 0 {
+		t.Fatalf("second half not rebased: first arrival %d", b.Reqs[0].Arrival)
+	}
+	if b.Reqs[2].Arrival != 20 {
+		t.Fatalf("second half arrival spacing wrong: %d", b.Reqs[2].Arrival)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(v, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(v, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(vals, p)
+		return got >= vals[0] && got <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	tr := &Trace{Reqs: []Request{
+		{Arrival: 0, Offset: 0, Size: 4096, Op: Read},
+		{Arrival: 5e8, Offset: 4096, Size: 4096, Op: Write},   // sequential
+		{Arrival: 1e9, Offset: 9999360, Size: 8192, Op: Read}, // random
+	}}
+	s := Measure(tr)
+	if s.Requests != 3 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if math.Abs(s.ReadRatio-2.0/3) > 1e-9 {
+		t.Errorf("read ratio %v", s.ReadRatio)
+	}
+	if math.Abs(s.Randomness-0.5) > 1e-9 {
+		t.Errorf("randomness %v, want 0.5", s.Randomness)
+	}
+	if s.IOPS < 2.9 || s.IOPS > 3.1 {
+		t.Errorf("IOPS %v, want ~3", s.IOPS)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := MSRStyle(7, time.Second)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i] != b.Reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	for _, cfg := range Styles(3, 2*time.Second) {
+		tr := Generate(cfg)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s: empty trace", cfg.Name)
+		}
+		s := Measure(tr)
+		if math.Abs(s.ReadRatio-cfg.ReadRatio) > 0.1 {
+			t.Errorf("%s: read ratio %.2f, want ~%.2f", cfg.Name, s.ReadRatio, cfg.ReadRatio)
+		}
+		if s.IOPS < cfg.MeanIOPS*0.5 || s.IOPS > cfg.MeanIOPS*2 {
+			t.Errorf("%s: IOPS %.0f, want ~%.0f", cfg.Name, s.IOPS, cfg.MeanIOPS)
+		}
+		for _, r := range tr.Reqs {
+			if r.Offset%4096 != 0 {
+				t.Fatalf("%s: unaligned offset %d", cfg.Name, r.Offset)
+			}
+			if r.Offset >= cfg.WorkingSet {
+				t.Fatalf("%s: offset beyond working set", cfg.Name)
+			}
+		}
+	}
+}
+
+func TestAugmentations(t *testing.T) {
+	base := Generate(MSRStyle(11, time.Second))
+	augs := StandardAugmentations()
+	if len(augs) != 6 {
+		t.Fatalf("want 6 augmentations (identity + paper's five), got %d", len(augs))
+	}
+	for _, a := range augs {
+		out := a.Apply(base)
+		if out.Len() != base.Len() {
+			t.Fatalf("%s: length changed", a.Name)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	// rerate 2x halves the duration.
+	rerate := Augmentation{Name: "r", Rerate: 2, Resize: 1}.Apply(base)
+	ratio := float64(rerate.Duration()) / float64(base.Duration())
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Errorf("rerate-2x duration ratio %.3f, want 0.5", ratio)
+	}
+	// resize 4x quadruples sizes up to the 2MB cap.
+	resize := Augmentation{Name: "s", Rerate: 1, Resize: 4}.Apply(base)
+	for i, r := range resize.Reqs {
+		want := int64(base.Reqs[i].Size) * 4
+		if want > 2<<20 {
+			want = 2 << 20
+		}
+		if int64(r.Size) != want {
+			t.Fatalf("resize: req %d size %d, want %d", i, r.Size, want)
+		}
+	}
+}
+
+func TestWindowsAndSelection(t *testing.T) {
+	tr := Generate(MSRStyle(5, 4*time.Second))
+	ws := Windows(tr, time.Second, 10)
+	if len(ws) < 3 {
+		t.Fatalf("expected >=3 windows, got %d", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Duration() > time.Second+time.Millisecond {
+			t.Fatalf("window too long: %v", w.Duration())
+		}
+	}
+	sel := SelectWindows(tr, time.Second, 10)
+	if len(sel) == 0 {
+		t.Fatal("selection empty")
+	}
+	if len(sel) > len(Criteria())*len(SelectionPercentiles) {
+		t.Fatalf("selection too large: %d", len(sel))
+	}
+}
+
+func TestCriterionValues(t *testing.T) {
+	s := Stats{ReadRatio: 0.5, MeanSize: 100, IOPS: 10, Randomness: 0.3}
+	for _, c := range Criteria() {
+		if c.String() == "unknown" {
+			t.Fatalf("criterion %d unnamed", c)
+		}
+		_ = c.value(s)
+	}
+	if ByRank.value(s) != s.Rank() {
+		t.Error("rank criterion mismatch")
+	}
+}

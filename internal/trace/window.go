@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Criterion is one of the five trace-selection criteria from §6.1.
+type Criterion int
+
+const (
+	// ByReadRatio selects windows by read/write ratio.
+	ByReadRatio Criterion = iota
+	// BySize selects windows by mean request size.
+	BySize
+	// ByIOPS selects windows by request rate.
+	ByIOPS
+	// ByRandomness selects windows by access randomness.
+	ByRandomness
+	// ByRank selects windows by the overall ranking score.
+	ByRank
+	numCriteria
+)
+
+// Criteria lists all selection criteria in a stable order.
+func Criteria() []Criterion {
+	return []Criterion{ByReadRatio, BySize, ByIOPS, ByRandomness, ByRank}
+}
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case ByReadRatio:
+		return "read-ratio"
+	case BySize:
+		return "size"
+	case ByIOPS:
+		return "iops"
+	case ByRandomness:
+		return "randomness"
+	case ByRank:
+		return "rank"
+	}
+	return "unknown"
+}
+
+func (c Criterion) value(s Stats) float64 {
+	switch c {
+	case ByReadRatio:
+		return s.ReadRatio
+	case BySize:
+		return s.MeanSize
+	case ByIOPS:
+		return s.IOPS
+	case ByRandomness:
+		return s.Randomness
+	default:
+		return s.Rank()
+	}
+}
+
+// SelectionPercentiles are the percentile picks the paper uses per criterion.
+var SelectionPercentiles = []float64{10, 25, 50, 75, 90, 100}
+
+// Windows chops the trace into consecutive windows of the given duration.
+// Windows with fewer than minReqs requests are dropped.
+func Windows(t *Trace, window time.Duration, minReqs int) []*Trace {
+	var out []*Trace
+	d := t.Duration()
+	for from := time.Duration(0); from < d; from += window {
+		w := t.Slice(from, from+window)
+		if len(w.Reqs) >= minReqs {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SelectWindows implements the paper's unbiased trace-selection procedure:
+// for each of the five criteria, pick the window whose criterion value sits
+// at each of the selection percentiles across all windows. Duplicate picks
+// are deduplicated, so the result has at most
+// len(Criteria())*len(SelectionPercentiles) windows.
+func SelectWindows(t *Trace, window time.Duration, minReqs int) []*Trace {
+	ws := Windows(t, window, minReqs)
+	if len(ws) == 0 {
+		return nil
+	}
+	stats := make([]Stats, len(ws))
+	for i, w := range ws {
+		stats[i] = Measure(w)
+	}
+	picked := map[int]bool{}
+	var out []*Trace
+	for _, c := range Criteria() {
+		idx := make([]int, len(ws))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return c.value(stats[idx[a]]) < c.value(stats[idx[b]]) })
+		for _, p := range SelectionPercentiles {
+			pos := int(p / 100 * float64(len(idx)-1))
+			w := idx[pos]
+			if !picked[w] {
+				picked[w] = true
+				out = append(out, ws[w])
+			}
+		}
+	}
+	return out
+}
