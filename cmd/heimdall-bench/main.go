@@ -9,7 +9,12 @@
 //
 // Experiments: fig5a fig5b fig7a fig7b fig7c fig7d fig8 fig9a fig9b fig9c
 // fig9d fig9e fig10 fig11 fig12 fig13 fig14 fig15a fig15b fig15c fig16
-// fig17 fig18 train-time loc all
+// fig17 fig18 train-time faults loc all
+//
+// The faults experiment is not a paper figure: it injects device brownouts,
+// transient read errors, and offline windows into the replay and compares
+// always-admit, hedging, Heimdall, and circuit-breaker-guarded Heimdall
+// under each scenario.
 package main
 
 import (
@@ -51,6 +56,7 @@ var runners = map[string]func(experiments.Scale) experiments.Table{
 	"fig18":      experiments.Fig18,
 	"train-time": experiments.TrainTime,
 	"ablation":   experiments.Ablation,
+	"faults":     experiments.Faults,
 }
 
 func main() {

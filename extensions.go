@@ -2,14 +2,17 @@ package heimdall
 
 // Façade exports for the deployment and long-run extensions: model
 // serialization, C code generation, inaccuracy masking, dynamic joint-size
-// control, and drift detection.
+// control, drift detection, fault injection, and guarded degraded-mode
+// admission.
 
 import (
 	"io"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drift"
+	"repro/internal/fault"
 	"repro/internal/policy"
 )
 
@@ -52,3 +55,69 @@ func RetrainOnAccuracy(below float64) RetrainStrategy {
 	return drift.OnAccuracy{Below: below}
 }
 func RetrainOnInputDrift() RetrainStrategy { return drift.OnInputDrift{} }
+
+// ---- Fault injection & degraded mode ----
+
+// FaultSchedule is a deterministic schedule of device fault windows
+// (brownouts, transient read errors, offline periods). Attach schedules to a
+// replay via ReplayOptions.Faults; combine with NewFaultInjector to wrap a
+// standalone device.
+type FaultSchedule = fault.Schedule
+
+// NewFaultSchedule starts an empty schedule; chain Brownout, ReadErrors, and
+// Offline to populate it.
+func NewFaultSchedule() *FaultSchedule { return fault.NewSchedule() }
+
+// FaultInjector wraps a Device and applies a FaultSchedule to its I/O.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector wraps dev with the schedule; the injector draws read-error
+// coin flips from its own seeded stream, so an empty schedule reproduces the
+// bare device bit-for-bit.
+func NewFaultInjector(dev *Device, sched *FaultSchedule, seed int64) *FaultInjector {
+	return fault.NewInjector(dev, sched, seed)
+}
+
+// Fault errors surfaced by an Injector.
+var (
+	ErrDeviceOffline = fault.ErrOffline
+	ErrReadFailed    = fault.ErrReadFailed
+)
+
+// GuardedPolicy is a circuit breaker around any Selector: it watches
+// windowed decline rate, latency regret, and (optionally) input drift per
+// primary, trips to a fallback heuristic when the inner policy misbehaves,
+// and probes its way back through a half-open state.
+type GuardedPolicy = policy.Guarded
+
+// BreakerState is the circuit state of one primary's guard.
+type BreakerState = policy.BreakerState
+
+// Circuit breaker states.
+const (
+	BreakerClosed   = policy.BreakerClosed
+	BreakerOpen     = policy.BreakerOpen
+	BreakerHalfOpen = policy.BreakerHalfOpen
+)
+
+// BreakerTransition is one logged state change of a guarded policy.
+type BreakerTransition = policy.BreakerTransition
+
+// GuardPolicy wraps inner with a circuit breaker; a nil fallback uses 2ms
+// hedging, which bounds tail latency no matter which replica is faulty.
+func GuardPolicy(inner, fallback Selector) *GuardedPolicy {
+	return policy.NewGuarded(inner, fallback)
+}
+
+// PolicyView is the per-replica state a Selector sees at decision time.
+type PolicyView = policy.View
+
+// GuardObservation converts a routing decision's view into a feature row for
+// a GuardedPolicy's input-drift detector.
+func GuardObservation(primary int, views []PolicyView) []float64 {
+	return policy.GuardObservation(primary, views)
+}
+
+// OSDFailure schedules one OSD outage window in a cluster run; set
+// ClusterConfig.Failures to enable degraded-mode routing.
+type OSDFailure = cluster.OSDFailure

@@ -1,0 +1,155 @@
+package heimdall
+
+// Fault-tolerance acceptance tests: a mid-trace brownout on the primary
+// replica, survived through the public façade — fault schedules, timeout
+// retries, and the circuit-breaker-guarded admission policy.
+
+import (
+	"testing"
+	"time"
+)
+
+// faultFixture trains per-device models on the healthy halves and returns
+// everything a degraded replay needs.
+type faultFixture struct {
+	devices []DeviceConfig
+	models  []*Model
+	tests   []*Trace
+}
+
+func buildFaultFixture(t *testing.T, seed int64) faultFixture {
+	t.Helper()
+	heavyCfg := MSRStyle(seed, 4*time.Second)
+	heavyCfg.BurstSeed = seed + 9
+	lightCfg := heavyCfg
+	lightCfg.Seed += 5
+	lightCfg.MeanIOPS *= 0.85
+	heavyTrain, heavyTest := Generate(heavyCfg).SplitHalf()
+	lightTrain, lightTest := Generate(lightCfg).SplitHalf()
+	devices := []DeviceConfig{Samsung970Pro(), Samsung970Pro()}
+
+	cfg := DefaultConfig(seed)
+	cfg.Epochs = 8
+	cfg.MaxTrainSamples = 10000
+	models := make([]*Model, 2)
+	for d, tr := range []*Trace{heavyTrain, lightTrain} {
+		m, err := Train(Collect(tr, NewDevice(devices[d], seed+int64(d))), cfg)
+		if err != nil {
+			t.Fatalf("device %d: %v", d, err)
+		}
+		models[d] = m
+	}
+	return faultFixture{devices: devices, models: models, tests: []*Trace{heavyTest, lightTest}}
+}
+
+const (
+	brownoutStart = 400 * time.Millisecond
+	brownoutDur   = 800 * time.Millisecond
+)
+
+// degradedReplay runs the test halves with an 8x brownout on device 0 and
+// 2ms timeout retries armed, under the given policy.
+func (f faultFixture) degradedReplay(sel Selector, seed int64) ReplayResult {
+	return Replay(f.tests, ReplayOptions{
+		Devices:     f.devices,
+		Seed:        seed,
+		Selector:    sel,
+		Faults:      []*FaultSchedule{NewFaultSchedule().Brownout(brownoutStart, brownoutDur, 8)},
+		ReadTimeout: 2 * time.Millisecond,
+	})
+}
+
+// TestIntegrationGuardedSurvivesBrownout is the acceptance scenario: with the
+// primary replica browned out mid-trace, guarded Heimdall admission must keep
+// the p99 read latency no worse than always-admit, lose no reads, and the
+// breaker must observably trip inside the fault window and recover
+// (half-open -> closed) afterwards.
+func TestIntegrationGuardedSurvivesBrownout(t *testing.T) {
+	seed := int64(41)
+	f := buildFaultFixture(t, seed)
+
+	base := f.degradedReplay(BaselinePolicy(), seed+999)
+	guard := GuardPolicy(HeimdallPolicy(f.models), nil)
+	// Size the cooldown to the fault being ridden out: ~4096 decisions spans
+	// a few hundred ms at this workload's read rate, so an open breaker keeps
+	// the hedging fallback in control for most of the brownout.
+	guard.Cooldown = 4096
+	res := f.degradedReplay(guard, seed+999)
+
+	if res.Reads != base.Reads {
+		t.Fatalf("read counts diverged: %d vs %d", res.Reads, base.Reads)
+	}
+	if res.Failed != 0 || res.ReadLat.N != res.Reads {
+		t.Fatalf("reads lost under brownout: failed=%d samples=%d reads=%d",
+			res.Failed, res.ReadLat.N, res.Reads)
+	}
+	if res.TimedOut == 0 || res.Retries == 0 {
+		t.Fatalf("brownout exercised no timeout/retry machinery: %+v", res)
+	}
+	if res.ReadLat.P99 > base.ReadLat.P99 {
+		t.Errorf("guarded p99 %v worse than always-admit %v under brownout",
+			res.ReadLat.P99, base.ReadLat.P99)
+	}
+
+	// The breaker trips while the fault is live...
+	winStart, winEnd := int64(brownoutStart), int64(brownoutStart+brownoutDur)
+	tripped := false
+	for _, tr := range guard.Transitions() {
+		if tr.From == BreakerClosed && tr.To == BreakerOpen && tr.At >= winStart && tr.At < winEnd {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatalf("breaker never tripped inside the fault window; transitions: %+v",
+			guard.Transitions())
+	}
+	// ...and heals once the device does: a half-open probe phase closes the
+	// breaker again after the window.
+	recovered := false
+	for _, tr := range guard.Transitions() {
+		if tr.From == BreakerHalfOpen && tr.To == BreakerClosed && tr.At >= winEnd {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("breaker never recovered after the fault window; transitions: %+v",
+			guard.Transitions())
+	}
+}
+
+// TestIntegrationFaultScenarioDeterministic reruns the whole degraded
+// scenario — same seed, fresh policy state — and demands identical results
+// down to the breaker's transition log.
+func TestIntegrationFaultScenarioDeterministic(t *testing.T) {
+	seed := int64(43)
+	f := buildFaultFixture(t, seed)
+
+	run := func() (ReplayResult, *GuardedPolicy) {
+		g := GuardPolicy(HeimdallPolicy(f.models), nil)
+		return f.degradedReplay(g, seed+999), g
+	}
+	a, ga := run()
+	b, gb := run()
+	if a.Reads != b.Reads || a.Retries != b.Retries || a.TimedOut != b.TimedOut ||
+		a.Failed != b.Failed || a.Reroutes != b.Reroutes {
+		t.Fatalf("counters diverged:\n%+v\n%+v", a, b)
+	}
+	if a.ReadLat.Mean != b.ReadLat.Mean || a.ReadLat.P99 != b.ReadLat.P99 {
+		t.Fatalf("latency diverged: %v/%v vs %v/%v",
+			a.ReadLat.Mean, a.ReadLat.P99, b.ReadLat.Mean, b.ReadLat.P99)
+	}
+	ta, tb := ga.Transitions(), gb.Transitions()
+	if len(ta) != len(tb) {
+		t.Fatalf("transition logs diverged: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("transition %d diverged: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+	if ga.Trips() == 0 {
+		t.Fatal("scenario never tripped the breaker — nothing was tested")
+	}
+}

@@ -66,7 +66,29 @@ type Config struct {
 	NoiseIOPS      float64 // per injector
 	NoiseWriteFrac float64
 
+	// Failures schedules OSD outages: inside a window the OSD rejects every
+	// request and the cluster routes around it (degraded mode); at End the
+	// OSD recovers and serves again.
+	Failures []OSDFailure
+
 	Seed int64
+}
+
+// OSDFailure is one scheduled outage of one OSD over the half-open
+// simulation-time window [Start, End).
+type OSDFailure struct {
+	OSD        int
+	Start, End time.Duration
+}
+
+// down reports whether OSD i is inside a failure window at now.
+func (c Config) down(i int, now int64) bool {
+	for _, f := range c.Failures {
+		if f.OSD == i && now >= int64(f.Start) && now < int64(f.End) {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultConfig returns a scaled-down version of the paper's testbed that
@@ -87,6 +109,11 @@ type Result struct {
 	UserLat metrics.LatencyStats // end-user request latency (max of SF fan-out)
 	SubLat  metrics.LatencyStats // individual sub-request latency
 	Reroute int
+
+	// Degraded-mode accounting: client sub-requests rerouted around a
+	// failed OSD, and sub-requests lost because both replicas were down.
+	Degraded int
+	Failed   int
 
 	// Ground-truth instrumentation (simulator-only): client sub-requests
 	// whose primary OSD was inside a busy period, and how many landed on a
@@ -316,63 +343,107 @@ func run(cfg Config, pol Policy, model *core.Model, collectLogs bool) (Result, [
 		osds[prim].advance(now)
 		osds[sec].advance(now)
 
+		primUp := !cfg.down(prim, now)
+		secUp := !cfg.down(sec, now)
+
 		if ev.op == trace.Write {
-			// Replicated write to both OSDs.
-			wr := osds[prim].dev.Submit(now, trace.Write, ev.size)
-			osds[sec].dev.Submit(now, trace.Write, ev.size)
-			if collectLogs {
-				osds[prim].log = append(osds[prim].log, iolog.Record{
-					Arrival: now, Size: ev.size, Op: trace.Write,
-					Latency: wr.Complete - now, QueueLen: wr.QueueLen,
-				})
+			// Replicated write to every live OSD; a downed replica misses
+			// the write (degraded replication — recovery backfill is out of
+			// scope for this simulation).
+			if primUp {
+				wr := osds[prim].dev.Submit(now, trace.Write, ev.size)
+				if collectLogs {
+					osds[prim].log = append(osds[prim].log, iolog.Record{
+						Arrival: now, Size: ev.size, Op: trace.Write,
+						Latency: wr.Complete - now, QueueLen: wr.QueueLen,
+					})
+				}
+			}
+			if secUp {
+				osds[sec].dev.Submit(now, trace.Write, ev.size)
 			}
 			continue
 		}
 
 		primBusy := osds[prim].dev.InBusy(now)
-		target := prim
 		if ev.req < 0 {
 			// Noise traffic belongs to other tenants: it always hits the
-			// primary, outside our policy's control.
-			lat := osds[prim].submitRead(now, ev.size, collectLogs)
-			_ = lat
+			// primary, outside our policy's control; it vanishes with a
+			// downed primary.
+			if primUp {
+				osds[prim].submitRead(now, ev.size, collectLogs)
+			}
 			continue
 		}
+		target := prim
 		switch pol {
 		case Random:
 			if rng.Intn(2) == 1 {
 				target = sec
 			}
 		case Heimdall:
-			o := osds[prim]
-			raw := model.Features(o.dev.QueueLen(now), ev.size, o.hist)
-			if !model.Admit(raw) {
-				target = sec
+			// Admission only runs on a live primary; a downed one cannot
+			// serve inference (its model is unreachable with the OSD), so
+			// the degraded-mode override below takes over.
+			if primUp {
+				o := osds[prim]
+				raw := model.Features(o.dev.QueueLen(now), ev.size, o.hist)
+				if !model.Admit(raw) {
+					target = sec
+				}
 			}
 		}
-		if target != prim {
-			res.Reroute++
+		// Degraded-mode override: route around a failed target; with both
+		// replicas down the sub-request is lost.
+		if target == prim && !primUp {
+			target = sec
+			if secUp {
+				res.Degraded++
+			}
+		} else if target == sec && !secUp {
+			target = prim
+			if primUp {
+				res.Degraded++
+			}
 		}
-		targetBusy := osds[target].dev.InBusy(now)
-		lat := osds[target].submitRead(now, ev.size, collectLogs)
+		targetUp := primUp
+		if target == sec {
+			targetUp = secUp
+		}
+		var lat int64 = -1
+		if targetUp {
+			if target != prim {
+				res.Reroute++
+			}
+			if osds[target].dev.InBusy(now) {
+				res.BusyHit++
+			}
+			lat = osds[target].submitRead(now, ev.size, collectLogs)
+		} else {
+			res.Failed++
+		}
 
 		if primBusy {
 			res.BusyPrimary++
 		}
-		if targetBusy {
-			res.BusyHit++
-		}
-		subLats = append(subLats, lat)
 		if _, ok := userStart[ev.req]; !ok {
 			userStart[ev.req] = now
 			userLeft[ev.req] = cfg.SF
 			userDone[ev.req] = 0
 		}
-		if done := now + lat; done > userDone[ev.req] {
-			userDone[ev.req] = done
+		if lat >= 0 {
+			subLats = append(subLats, lat)
+			if done := now + lat; done > userDone[ev.req] {
+				userDone[ev.req] = done
+			}
 		}
 		userLeft[ev.req]--
 		if userLeft[ev.req] == 0 {
+			// A user request whose every sub-request failed never started
+			// any I/O: report it as zero-latency rather than negative.
+			if userDone[ev.req] < userStart[ev.req] {
+				userDone[ev.req] = userStart[ev.req]
+			}
 			userLats = append(userLats, userDone[ev.req]-userStart[ev.req])
 			delete(userDone, ev.req)
 			delete(userStart, ev.req)

@@ -119,3 +119,79 @@ func TestPolicyStrings(t *testing.T) {
 		t.Fatal("policy names")
 	}
 }
+
+func TestDegradedRoutingAroundFailedOSD(t *testing.T) {
+	cfg := tinyConfig(7)
+	cfg.Failures = []OSDFailure{{OSD: 0, Start: 400 * time.Millisecond, End: 1400 * time.Millisecond}}
+	res := Run(cfg, Baseline, nil)
+	if res.Degraded == 0 {
+		t.Fatal("no sub-requests rerouted around the failed OSD")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("single-OSD outage lost %d sub-requests despite a live peer", res.Failed)
+	}
+	// Degraded reroutes hit the secondary, so they are a subset of reroutes.
+	if res.Reroute < res.Degraded {
+		t.Fatalf("degraded reroutes %d not reflected in reroute count %d", res.Degraded, res.Reroute)
+	}
+	// Every user request still completes: a single-OSD outage degrades the
+	// cluster, it never drops work.
+	healthy := Run(tinyConfig(7), Baseline, nil)
+	if res.UserLat.N != healthy.UserLat.N || res.SubLat.N != healthy.SubLat.N {
+		t.Fatalf("requests not conserved: user %d vs %d, sub %d vs %d",
+			res.UserLat.N, healthy.UserLat.N, res.SubLat.N, healthy.SubLat.N)
+	}
+}
+
+func TestFullOutageFailsLoudlyAndRecovers(t *testing.T) {
+	cfg := tinyConfig(8)
+	for i := 0; i < cfg.Nodes*cfg.OSDsPerNode; i++ {
+		cfg.Failures = append(cfg.Failures, OSDFailure{
+			OSD: i, Start: 600 * time.Millisecond, End: 900 * time.Millisecond,
+		})
+	}
+	res := Run(cfg, Baseline, nil)
+	if res.Failed == 0 {
+		t.Fatal("a whole-cluster outage must lose sub-requests")
+	}
+	// The outage covers 15% of the run; after End the OSDs serve again, so
+	// most sub-requests still succeed.
+	if res.SubLat.N == 0 || res.Failed > res.SubLat.N {
+		t.Fatalf("cluster did not recover after the outage: %d ok, %d failed",
+			res.SubLat.N, res.Failed)
+	}
+	// User-request accounting is conserved even when fan-outs lose members.
+	healthy := Run(tinyConfig(8), Baseline, nil)
+	if res.UserLat.N != healthy.UserLat.N {
+		t.Fatalf("user requests vanished: %d vs %d", res.UserLat.N, healthy.UserLat.N)
+	}
+}
+
+func TestDegradedRunDeterministic(t *testing.T) {
+	cfg := tinyConfig(9)
+	cfg.Failures = []OSDFailure{{OSD: 3, Start: 200 * time.Millisecond, End: time.Second}}
+	a := Run(cfg, Random, nil)
+	b := Run(cfg, Random, nil)
+	if a.Degraded != b.Degraded || a.Failed != b.Failed || a.UserLat.Mean != b.UserLat.Mean {
+		t.Fatalf("degraded run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestHeimdallDegradedMode(t *testing.T) {
+	cfg := tinyConfig(10)
+	cfg.Duration = 5 * time.Second
+	cfg.NoiseIOPS = 3000
+	cfg.RequestRate = 200
+	model, err := TrainModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = []OSDFailure{{OSD: 0, Start: time.Second, End: 3 * time.Second}}
+	res := Run(cfg, Heimdall, model)
+	if res.Degraded == 0 {
+		t.Fatal("heimdall policy never routed around the failed OSD")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("heimdall degraded mode lost %d sub-requests", res.Failed)
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/policy"
+	"repro/internal/replay"
+	"repro/internal/ssd"
+)
+
+// faultScenario is one fault-injection configuration applied to the primary
+// (heavy) device during the test replay. Windows are fractions of the test
+// half so the scenarios scale with -dur.
+type faultScenario struct {
+	name  string
+	build func(testDur time.Duration) []*fault.Schedule
+}
+
+func faultScenarios() []faultScenario {
+	frac := func(d time.Duration, num, den int64) time.Duration {
+		return d * time.Duration(num) / time.Duration(den)
+	}
+	return []faultScenario{
+		{"healthy", func(time.Duration) []*fault.Schedule { return nil }},
+		{"brownout", func(d time.Duration) []*fault.Schedule {
+			return []*fault.Schedule{
+				fault.NewSchedule().Brownout(frac(d, 1, 4), frac(d, 1, 2), 8),
+			}
+		}},
+		{"read-errors", func(d time.Duration) []*fault.Schedule {
+			return []*fault.Schedule{
+				fault.NewSchedule().ReadErrors(frac(d, 1, 4), frac(d, 1, 2), 0.4),
+			}
+		}},
+		{"offline", func(d time.Duration) []*fault.Schedule {
+			return []*fault.Schedule{
+				fault.NewSchedule().Offline(frac(d, 2, 5), frac(d, 1, 5)),
+			}
+		}},
+	}
+}
+
+// runFaults replays the test halves with the scenario's fault schedules and
+// client-side timeouts armed (reads retry on the peer after 2ms).
+func (p pairExperiment) runFaults(sel policy.Selector, faults []*fault.Schedule) replay.Result {
+	return replay.Run(p.testHalfs, replay.Options{
+		Devices:     p.devices,
+		Seed:        p.seed + 999,
+		Selector:    sel,
+		Faults:      faults,
+		ReadTimeout: 2 * time.Millisecond,
+	})
+}
+
+// testDur returns the wall-clock span of the test halves.
+func (p pairExperiment) testDur() time.Duration {
+	var max int64
+	for _, t := range p.testHalfs {
+		if n := t.Len(); n > 0 && t.Reqs[n-1].Arrival > max {
+			max = t.Reqs[n-1].Arrival
+		}
+	}
+	return time.Duration(max)
+}
+
+// Faults evaluates degraded-mode behaviour: each fault scenario hits the
+// primary replica mid-replay while four policies — always-admit, hedging,
+// plain Heimdall admission, and circuit-breaker-guarded Heimdall — try to
+// keep the tail flat. Counters show the retry/timeout machinery at work.
+func Faults(scale Scale) Table {
+	devices := []ssd.Config{ssd.Samsung970Pro(), ssd.Samsung970Pro()}
+	type cell struct {
+		results []replay.Result
+		trips   int
+	}
+	cells := map[string]*cell{}
+	scenarios := faultScenarios()
+	polNames := []string{"baseline", "hedging", "heimdall", "guarded"}
+	for i := 0; i < scale.Experiments; i++ {
+		p := makePair(i, scale, devices)
+		hm, _, err := p.trainModels(scale)
+		if err != nil {
+			continue
+		}
+		dur := p.testDur()
+		for _, sc := range scenarios {
+			faults := sc.build(dur)
+			sels := map[string]policy.Selector{
+				"baseline": policy.Baseline{},
+				"hedging":  policy.NewHedging(2 * time.Millisecond),
+				"heimdall": &policy.Heimdall{Models: hm},
+				"guarded":  policy.NewGuarded(&policy.Heimdall{Models: hm}, nil),
+			}
+			for _, name := range polNames {
+				sel := sels[name]
+				res := p.runFaults(sel, faults)
+				key := sc.name + "/" + name
+				if cells[key] == nil {
+					cells[key] = &cell{}
+				}
+				cells[key].results = append(cells[key].results, res)
+				if g, ok := sel.(*policy.Guarded); ok {
+					cells[key].trips += g.Trips()
+				}
+			}
+		}
+	}
+	t := Table{
+		Title: "Faults — degraded-mode admission under injected device faults",
+		Columns: []string{"avg(ms)", "p95", "p99", "p99.9",
+			"retries", "timedout", "failed", "trips"},
+		Note: "guarded heimdall should beat plain heimdall's extreme tail under brownout; failed stays near zero (bounded retries can exhaust inside error/offline windows); trips in the healthy row are the flooding guard firing during fault-free busy bursts",
+	}
+	for _, sc := range scenarios {
+		for _, name := range polNames {
+			c := cells[sc.name+"/"+name]
+			if c == nil || len(c.results) == 0 {
+				continue
+			}
+			row := faultRow(c.results)
+			row = append(row, float64(c.trips)/float64(len(c.results)))
+			t.Rows = append(t.Rows, Row{sc.name + "/" + name, row})
+		}
+	}
+	return t
+}
+
+func faultRow(rs []replay.Result) []float64 {
+	n := float64(len(rs))
+	ms := func(f func(replay.Result) time.Duration) float64 {
+		var s float64
+		for _, r := range rs {
+			s += f(r).Seconds() * 1000
+		}
+		return s / n
+	}
+	cnt := func(f func(replay.Result) int) float64 {
+		var s int
+		for _, r := range rs {
+			s += f(r)
+		}
+		return float64(s) / n
+	}
+	return []float64{
+		ms(func(r replay.Result) time.Duration { return r.ReadLat.Mean }),
+		ms(func(r replay.Result) time.Duration { return r.ReadLat.P95 }),
+		ms(func(r replay.Result) time.Duration { return r.ReadLat.P99 }),
+		ms(func(r replay.Result) time.Duration { return r.ReadLat.P999 }),
+		cnt(func(r replay.Result) int { return r.Retries }),
+		cnt(func(r replay.Result) int { return r.TimedOut }),
+		cnt(func(r replay.Result) int { return r.Failed }),
+	}
+}

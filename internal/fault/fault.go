@@ -1,0 +1,237 @@
+// Package fault is a deterministic, schedule-driven fault injector for the
+// SSD simulator. The paper's premise is that devices misbehave in ways the
+// admission model was trained on (GC, flushes, wear leveling); this package
+// injects the misbehaviour the model was *not* trained on — firmware
+// brownouts that inflate every latency, transient read failures (ECC/media
+// errors surfaced to the host), and whole-device outages — so the layers
+// above (replay retries, the Guarded circuit breaker, cluster degraded mode)
+// can be exercised and tested.
+//
+// A Schedule is a list of time windows, each carrying one fault kind.
+// An Injector binds a schedule to one ssd.Device and mediates every
+// submission. Injection is reproducible: the only randomness is a dedicated
+// PRNG seeded at construction, drawn only inside read-error windows, so a
+// fault-free schedule is bit-for-bit identical to the bare device.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// Injection errors returned by (*Injector).Submit.
+var (
+	// ErrOffline reports that the device is inside an offline window; the
+	// request was rejected without touching the device.
+	ErrOffline = errors.New("fault: device offline")
+	// ErrReadFailed reports a transient read failure: the media access
+	// happened (queue pressure is real) but no data came back.
+	ErrReadFailed = errors.New("fault: transient read failure")
+)
+
+// Kind identifies one fault class.
+type Kind uint8
+
+const (
+	// Brownout inflates the service time of every request by a factor —
+	// a thermal throttle or firmware slowdown the model never saw.
+	Brownout Kind = iota
+	// ReadError fails each read with a probability; the device still burns
+	// the service time (the access happened, the data did not come back).
+	ReadError
+	// Offline rejects every request outright — a pulled cable, a crashed
+	// controller, an OSD down.
+	Offline
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case Brownout:
+		return "brownout"
+	case ReadError:
+		return "read-error"
+	case Offline:
+		return "offline"
+	}
+	return "unknown"
+}
+
+// Window is one scheduled fault over the half-open interval [Start, End) in
+// simulation nanoseconds.
+type Window struct {
+	Start, End int64
+	Kind       Kind
+	// Factor is the Brownout latency multiplier (> 1).
+	Factor float64
+	// Prob is the ReadError per-read failure probability in (0, 1].
+	Prob float64
+}
+
+// Active reports whether the window covers the instant now.
+func (w Window) Active(now int64) bool { return now >= w.Start && now < w.End }
+
+// String renders the window for logs and examples.
+func (w Window) String() string {
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	switch w.Kind {
+	case Brownout:
+		return fmt.Sprintf("brownout x%.1f [%v, %v)", w.Factor, d(w.Start), d(w.End))
+	case ReadError:
+		return fmt.Sprintf("read-error p=%.2f [%v, %v)", w.Prob, d(w.Start), d(w.End))
+	}
+	return fmt.Sprintf("offline [%v, %v)", d(w.Start), d(w.End))
+}
+
+// Schedule is a composable list of fault windows. The zero value (and nil)
+// is a fault-free schedule. Windows may overlap; overlapping brownouts
+// compound multiplicatively and overlapping read-error windows take the
+// highest probability.
+type Schedule struct {
+	windows []Window
+}
+
+// NewSchedule returns an empty schedule to chain windows onto.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Brownout schedules a latency inflation of factor over [start, start+dur).
+func (s *Schedule) Brownout(start, dur time.Duration, factor float64) *Schedule {
+	s.windows = append(s.windows, Window{
+		Start: int64(start), End: int64(start + dur), Kind: Brownout, Factor: factor,
+	})
+	return s
+}
+
+// ReadErrors schedules transient read failures with probability prob over
+// [start, start+dur).
+func (s *Schedule) ReadErrors(start, dur time.Duration, prob float64) *Schedule {
+	s.windows = append(s.windows, Window{
+		Start: int64(start), End: int64(start + dur), Kind: ReadError, Prob: prob,
+	})
+	return s
+}
+
+// Offline schedules a full outage over [start, start+dur).
+func (s *Schedule) Offline(start, dur time.Duration) *Schedule {
+	s.windows = append(s.windows, Window{
+		Start: int64(start), End: int64(start + dur), Kind: Offline,
+	})
+	return s
+}
+
+// Windows returns a copy of the scheduled windows.
+func (s *Schedule) Windows() []Window {
+	if s == nil {
+		return nil
+	}
+	return append([]Window(nil), s.windows...)
+}
+
+// Empty reports whether the schedule injects nothing (nil-safe).
+func (s *Schedule) Empty() bool { return s == nil || len(s.windows) == 0 }
+
+// OfflineAt reports whether the device is inside an offline window (nil-safe).
+func (s *Schedule) OfflineAt(now int64) bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.windows {
+		if w.Kind == Offline && w.Active(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// FactorAt returns the combined brownout latency multiplier at now (1 when
+// no brownout is active; nil-safe).
+func (s *Schedule) FactorAt(now int64) float64 {
+	f := 1.0
+	if s == nil {
+		return f
+	}
+	for _, w := range s.windows {
+		if w.Kind == Brownout && w.Active(now) && w.Factor > 1 {
+			f *= w.Factor
+		}
+	}
+	return f
+}
+
+// ErrProbAt returns the read-failure probability at now (0 when no
+// read-error window is active; nil-safe).
+func (s *Schedule) ErrProbAt(now int64) float64 {
+	var p float64
+	if s == nil {
+		return p
+	}
+	for _, w := range s.windows {
+		if w.Kind == ReadError && w.Active(now) && w.Prob > p {
+			p = w.Prob
+		}
+	}
+	return p
+}
+
+// Injector binds a Schedule to one simulated device and mediates every
+// submission. It is not safe for concurrent use, matching ssd.Device.
+type Injector struct {
+	dev   *ssd.Device
+	sched *Schedule
+	rng   *rand.Rand
+
+	// Injection counters, for observability and tests.
+	BrownoutIOs    int // requests whose latency was inflated
+	ReadFailures   int // reads failed inside a read-error window
+	OfflineRejects int // requests rejected inside an offline window
+}
+
+// NewInjector wraps dev with the schedule. A nil schedule is valid and makes
+// the injector a deterministic passthrough. The seed drives only read-error
+// sampling, independently of the device's own PRNG stream.
+func NewInjector(dev *ssd.Device, sched *Schedule, seed int64) *Injector {
+	return &Injector{dev: dev, sched: sched, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Device returns the wrapped device.
+func (in *Injector) Device() *ssd.Device { return in.dev }
+
+// QueueLen delegates to the device.
+func (in *Injector) QueueLen(now int64) int { return in.dev.QueueLen(now) }
+
+// InBusy delegates to the device (ground truth, simulator-only).
+func (in *Injector) InBusy(now int64) bool { return in.dev.InBusy(now) }
+
+// Offline reports whether the device rejects requests at now.
+func (in *Injector) Offline(now int64) bool { return in.sched.OfflineAt(now) }
+
+// Submit passes one request through the fault schedule and, unless the
+// device is offline, to the device. On ErrReadFailed the returned Result is
+// the device's (the access consumed channel time); on ErrOffline it is zero.
+func (in *Injector) Submit(now int64, op trace.Op, size int32) (ssd.Result, error) {
+	if in.sched.OfflineAt(now) {
+		in.OfflineRejects++
+		return ssd.Result{}, ErrOffline
+	}
+	res := in.dev.Submit(now, op, size)
+	if op == trace.Read {
+		if p := in.sched.ErrProbAt(now); p > 0 && in.rng.Float64() < p {
+			in.ReadFailures++
+			return res, ErrReadFailed
+		}
+	}
+	if f := in.sched.FactorAt(now); f > 1 {
+		// Inflation happens at the injector, not inside the device: the
+		// device's own queue statistics stay self-consistent while every
+		// latency the host observes is multiplied — the signature of a
+		// throttled controller.
+		in.BrownoutIOs++
+		res.Complete = res.Start + int64(float64(res.Complete-res.Start)*f)
+	}
+	return res, nil
+}

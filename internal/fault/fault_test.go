@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func TestEmptyScheduleIsPassthrough(t *testing.T) {
+	bare := ssd.New(ssd.Samsung970Pro(), 1)
+	inj := NewInjector(ssd.New(ssd.Samsung970Pro(), 1), nil, 99)
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		op := trace.Read
+		if i%5 == 0 {
+			op = trace.Write
+		}
+		want := bare.Submit(now, op, 4096)
+		got, err := inj.Submit(now, op, 4096)
+		if err != nil {
+			t.Fatalf("i=%d: unexpected error %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("i=%d: injector diverged from bare device: %+v vs %+v", i, got, want)
+		}
+		now += 50_000
+	}
+	if inj.BrownoutIOs != 0 || inj.ReadFailures != 0 || inj.OfflineRejects != 0 {
+		t.Fatalf("passthrough injector counted faults: %+v", inj)
+	}
+}
+
+func TestBrownoutInflatesOnlyInsideWindow(t *testing.T) {
+	sched := NewSchedule().Brownout(time.Millisecond, time.Millisecond, 4)
+	bare := ssd.New(ssd.Samsung970Pro(), 2)
+	inj := NewInjector(ssd.New(ssd.Samsung970Pro(), 2), sched, 2)
+	step := int64(100_000) // 100µs: idle device, no queueing
+	for now := int64(0); now < 3e6; now += step {
+		want := bare.Submit(now, trace.Read, 4096)
+		got, err := inj.Submit(now, trace.Read, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inside := now >= 1e6 && now < 2e6
+		wantSvc := want.Complete - want.Start
+		gotSvc := got.Complete - got.Start
+		if inside && gotSvc != wantSvc*4 {
+			t.Fatalf("t=%d: brownout service %d, want %d", now, gotSvc, wantSvc*4)
+		}
+		if !inside && gotSvc != wantSvc {
+			t.Fatalf("t=%d: outside window service %d, want %d", now, gotSvc, wantSvc)
+		}
+	}
+	if inj.BrownoutIOs == 0 {
+		t.Fatal("no brownout injections counted")
+	}
+}
+
+func TestOfflineRejectsWithoutTouchingDevice(t *testing.T) {
+	sched := NewSchedule().Offline(0, time.Millisecond)
+	inj := NewInjector(ssd.New(ssd.Samsung970Pro(), 3), sched, 3)
+	if _, err := inj.Submit(0, trace.Read, 4096); err != ErrOffline {
+		t.Fatalf("err %v, want ErrOffline", err)
+	}
+	if sub, _, _ := inj.Device().Stats(); sub != 0 {
+		t.Fatalf("offline submit reached the device (%d submissions)", sub)
+	}
+	// After the window the device serves again.
+	if _, err := inj.Submit(int64(2*time.Millisecond), trace.Read, 4096); err != nil {
+		t.Fatalf("post-recovery submit failed: %v", err)
+	}
+	if inj.OfflineRejects != 1 {
+		t.Fatalf("OfflineRejects = %d, want 1", inj.OfflineRejects)
+	}
+}
+
+func TestReadErrorsAreSeededAndReadOnly(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		sched := NewSchedule().ReadErrors(0, time.Second, 0.5)
+		return NewInjector(ssd.New(ssd.Samsung970Pro(), 4), sched, seed)
+	}
+	a, b := mk(7), mk(7)
+	var now int64
+	for i := 0; i < 1000; i++ {
+		op := trace.Read
+		if i%4 == 0 {
+			op = trace.Write // writes must never fail with ErrReadFailed
+		}
+		_, errA := a.Submit(now, op, 4096)
+		_, errB := b.Submit(now, op, 4096)
+		if errA != errB {
+			t.Fatalf("i=%d: same seed diverged: %v vs %v", i, errA, errB)
+		}
+		if op == trace.Write && errA != nil {
+			t.Fatalf("write failed with %v", errA)
+		}
+		now += 100_000
+	}
+	if a.ReadFailures == 0 {
+		t.Fatal("p=0.5 over 750 reads produced no failures")
+	}
+	if a.ReadFailures != b.ReadFailures {
+		t.Fatalf("failure counts diverged: %d vs %d", a.ReadFailures, b.ReadFailures)
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := NewSchedule().
+		Brownout(0, time.Millisecond, 2).
+		Brownout(500*time.Microsecond, time.Millisecond, 3).
+		ReadErrors(time.Millisecond, time.Millisecond, 0.25).
+		Offline(3*time.Millisecond, time.Millisecond)
+	if f := s.FactorAt(int64(600 * time.Microsecond)); f != 6 {
+		t.Fatalf("overlapping brownouts factor %v, want 6 (compound)", f)
+	}
+	if f := s.FactorAt(int64(1200 * time.Microsecond)); f != 3 {
+		t.Fatalf("single brownout factor %v, want 3", f)
+	}
+	if p := s.ErrProbAt(int64(1500 * time.Microsecond)); p != 0.25 {
+		t.Fatalf("err prob %v, want 0.25", p)
+	}
+	if !s.OfflineAt(int64(3500 * time.Microsecond)) {
+		t.Fatal("offline window not detected")
+	}
+	if s.OfflineAt(int64(4 * time.Millisecond)) {
+		t.Fatal("offline window is half-open; End must be excluded")
+	}
+	if s.Empty() || !(*Schedule)(nil).Empty() {
+		t.Fatal("Empty misreported")
+	}
+	if len(s.Windows()) != 4 {
+		t.Fatalf("windows %d, want 4", len(s.Windows()))
+	}
+}

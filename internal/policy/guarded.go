@@ -1,0 +1,321 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/drift"
+)
+
+// BreakerState is the per-primary state of a Guarded circuit breaker.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the wrapped ML policy is trusted and in control.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the ML policy misbehaved; the fallback heuristic routes.
+	BreakerOpen
+	// BreakerHalfOpen: mostly fallback, with periodic probes of the ML
+	// policy to decide whether to close again.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerTransition is one recorded state change of one primary's breaker.
+type BreakerTransition struct {
+	At       int64 // decision timestamp (simulation ns)
+	Primary  int
+	From, To BreakerState
+}
+
+// Guarded wraps an ML admission policy (Heimdall, LinnOS, masked variants)
+// in a per-primary circuit breaker, giving it a guaranteed fallback to a
+// heuristic when the model goes bad — the guardrail §4.2 and the learned-
+// storage literature (KML, learned predictability) call for.
+//
+// Three trip signals are monitored over a rolling window of decisions per
+// primary replica:
+//
+//   - decline flooding: the model reroutes more than TripDeclineRate of the
+//     primary's reads — either every replica is slow (rerouting only stacks
+//     load on a busy peer) or the model has drifted into paranoia;
+//   - latency regret: decisions land on replicas whose observed EWMA latency
+//     is RegretFactor× worse than the best replica's — the model is actively
+//     choosing slow targets;
+//   - input drift: an optional PSI detector (internal/drift) flags that the
+//     feature distribution no longer resembles what the model was trained
+//     on, so its predictions are extrapolation, not inference.
+//
+// A tripped breaker routes through the Fallback heuristic for Cooldown
+// decisions, then half-open-probes the model on every fourth decision; if
+// the probes behave, the breaker closes, otherwise it re-opens. All state is
+// decision-count driven — no wall clock — so a replay with a fixed seed
+// produces an identical trip/recovery trace.
+//
+// Guarded is not safe for concurrent use, matching the replayer's
+// single-threaded decision loop.
+type Guarded struct {
+	Inner    Selector // the guarded ML policy
+	Fallback Selector // heuristic in control while the breaker is open
+
+	// Window is the number of decisions per primary between trip checks
+	// (default 64).
+	Window int
+	// TripDeclineRate is the windowed decline fraction that trips the
+	// breaker (default 0.9, the §4.2 flooding regime).
+	TripDeclineRate float64
+	// RegretFactor flags a decision as regretful when its target's EWMA
+	// latency exceeds RegretFactor× the best replica's (default 3).
+	RegretFactor float64
+	// TripRegretRate is the windowed regret fraction that trips (default 0.5).
+	TripRegretRate float64
+	// Cooldown is how many open-state decisions a primary serves via the
+	// fallback before probing resumes (default 16×Window). Size it to the
+	// shortest fault worth riding out: at kHz decision rates a short cooldown
+	// flaps the breaker closed into a still-degraded device.
+	Cooldown int
+	// Probes is how many half-open probes decide recovery (default 16).
+	Probes int
+	// Detector, when set, contributes the input-drift trip signal. Feed its
+	// reference from healthy-operation rows built with GuardObservation.
+	Detector *drift.InputDetector
+
+	perPrimary  []breaker
+	transitions []BreakerTransition
+	trips       int
+	recoveries  int
+}
+
+// breaker is the monitoring state of one primary replica.
+type breaker struct {
+	state    BreakerState
+	n        int // closed: decisions in the current window
+	declines int
+	regrets  int
+	cooldown int // open: decisions left before half-open
+	probeSeq int // half-open: decisions since entering, for probe cadence
+	probes   int // half-open: probes performed
+	probeBad int // half-open: probes that declined or regretted
+}
+
+// NewGuarded wraps inner with the breaker; a nil fallback defaults to
+// hedging with the paper's 2ms timeout, which is tail-safe whichever replica
+// the fault is on.
+func NewGuarded(inner, fallback Selector) *Guarded {
+	if fallback == nil {
+		fallback = NewHedging(0)
+	}
+	return &Guarded{Inner: inner, Fallback: fallback}
+}
+
+// Name implements Selector.
+func (g *Guarded) Name() string { return "guarded(" + g.Inner.Name() + ")" }
+
+// Validate implements Validator, delegating to the wrapped policies.
+func (g *Guarded) Validate(replicas int) error {
+	if g.Inner == nil {
+		return fmt.Errorf("policy: guarded has no inner policy")
+	}
+	if v, ok := g.Inner.(Validator); ok {
+		if err := v.Validate(replicas); err != nil {
+			return err
+		}
+	}
+	if v, ok := g.Fallback.(Validator); ok && g.Fallback != nil {
+		if err := v.Validate(replicas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State returns the breaker state of one primary (closed before any
+// decision touched it).
+func (g *Guarded) State(primary int) BreakerState {
+	if primary < 0 || primary >= len(g.perPrimary) {
+		return BreakerClosed
+	}
+	return g.perPrimary[primary].state
+}
+
+// Trips returns how many times any primary's breaker opened.
+func (g *Guarded) Trips() int { return g.trips }
+
+// Recoveries returns how many times a half-open breaker closed again.
+func (g *Guarded) Recoveries() int { return g.recoveries }
+
+// Transitions returns the recorded state changes in decision order.
+func (g *Guarded) Transitions() []BreakerTransition {
+	return append([]BreakerTransition(nil), g.transitions...)
+}
+
+// GuardObservation builds the feature row Guarded feeds its drift detector:
+// the primary's instantaneous queue depth, the client-observed EWMA latency,
+// and the most recent completed-read latency. Build the detector's reference
+// from rows collected during known-healthy operation.
+func GuardObservation(primary int, views []View) []float64 {
+	v := views[primary]
+	last := 0.0
+	if v.Hist != nil && v.Hist.Len() > 0 {
+		last = v.Hist.At(0).Latency
+	}
+	return []float64{float64(v.QueueLen), v.EWMALatency, last}
+}
+
+func (g *Guarded) window() int {
+	if g.Window > 0 {
+		return g.Window
+	}
+	return 64
+}
+
+func (g *Guarded) declineRate() float64 {
+	if g.TripDeclineRate > 0 {
+		return g.TripDeclineRate
+	}
+	return 0.9
+}
+
+func (g *Guarded) regretFactor() float64 {
+	if g.RegretFactor > 0 {
+		return g.RegretFactor
+	}
+	return 3
+}
+
+func (g *Guarded) regretRate() float64 {
+	if g.TripRegretRate > 0 {
+		return g.TripRegretRate
+	}
+	return 0.5
+}
+
+func (g *Guarded) cooldownLen() int {
+	if g.Cooldown > 0 {
+		return g.Cooldown
+	}
+	return 16 * g.window()
+}
+
+func (g *Guarded) probeCount() int {
+	if g.Probes > 0 {
+		return g.Probes
+	}
+	return 16
+}
+
+// probeEvery is the half-open probe cadence: 1 in 4 decisions trials the
+// model, the rest stay on the fallback.
+const probeEvery = 4
+
+func (g *Guarded) transition(now int64, primary int, to BreakerState) {
+	b := &g.perPrimary[primary]
+	g.transitions = append(g.transitions, BreakerTransition{
+		At: now, Primary: primary, From: b.state, To: to,
+	})
+	switch to {
+	case BreakerOpen:
+		g.trips++
+		b.cooldown = g.cooldownLen()
+	case BreakerHalfOpen:
+		b.probeSeq, b.probes, b.probeBad = 0, 0, 0
+	case BreakerClosed:
+		if b.state == BreakerHalfOpen {
+			g.recoveries++
+		}
+		b.n, b.declines, b.regrets = 0, 0, 0
+	}
+	b.state = to
+}
+
+// regretful reports whether the decision picked a replica whose observed
+// latency estimate is far above the best available one.
+func (g *Guarded) regretful(d Decision, views []View) bool {
+	if d.Target < 0 || d.Target >= len(views) {
+		return true
+	}
+	best := views[0].EWMALatency
+	for _, v := range views[1:] {
+		if v.EWMALatency < best {
+			best = v.EWMALatency
+		}
+	}
+	if best <= 0 {
+		return false
+	}
+	return views[d.Target].EWMALatency > g.regretFactor()*best
+}
+
+// Decide implements Selector.
+func (g *Guarded) Decide(now int64, size int32, primary int, views []View) Decision {
+	if len(views) == 0 {
+		return Decision{Target: primary}
+	}
+	for len(g.perPrimary) < len(views) {
+		g.perPrimary = append(g.perPrimary, breaker{})
+	}
+	if primary < 0 || primary >= len(g.perPrimary) {
+		return g.Fallback.Decide(now, size, primary, views)
+	}
+	b := &g.perPrimary[primary]
+
+	switch b.state {
+	case BreakerOpen:
+		b.cooldown--
+		if b.cooldown <= 0 {
+			g.transition(now, primary, BreakerHalfOpen)
+		}
+		return g.Fallback.Decide(now, size, primary, views)
+
+	case BreakerHalfOpen:
+		b.probeSeq++
+		if b.probeSeq%probeEvery != 0 {
+			return g.Fallback.Decide(now, size, primary, views)
+		}
+		d := g.Inner.Decide(now, size, primary, views)
+		b.probes++
+		if d.Target != primary || g.regretful(d, views) {
+			b.probeBad++
+		}
+		if b.probes >= g.probeCount() {
+			if float64(b.probeBad)/float64(b.probes) > g.declineRate() {
+				g.transition(now, primary, BreakerOpen)
+			} else {
+				g.transition(now, primary, BreakerClosed)
+			}
+		}
+		return d
+	}
+
+	// Closed: the model routes, the breaker watches.
+	d := g.Inner.Decide(now, size, primary, views)
+	b.n++
+	if d.Target != primary {
+		b.declines++
+	}
+	if g.regretful(d, views) {
+		b.regrets++
+	}
+	if g.Detector != nil {
+		g.Detector.Observe(GuardObservation(primary, views))
+	}
+	if b.n >= g.window() {
+		trip := float64(b.declines)/float64(b.n) > g.declineRate() ||
+			float64(b.regrets)/float64(b.n) > g.regretRate() ||
+			(g.Detector != nil && g.Detector.Drifted())
+		b.n, b.declines, b.regrets = 0, 0, 0
+		if trip {
+			g.transition(now, primary, BreakerOpen)
+		}
+	}
+	return d
+}

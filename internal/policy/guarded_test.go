@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/drift"
+	"repro/internal/feature"
+)
+
+// scripted is a controllable inner policy: it declines (reroutes) exactly
+// when told to, so breaker sequencing can be tested deterministically.
+type scripted struct{ decline bool }
+
+func (s *scripted) Name() string { return "scripted" }
+func (s *scripted) Decide(_ int64, _ int32, primary int, views []View) Decision {
+	if s.decline {
+		return Decision{Target: other(primary, len(views)), Inferences: 1}
+	}
+	return Decision{Target: primary, Inferences: 1}
+}
+
+func flatViews(n int, ewma float64) []View {
+	views := make([]View, n)
+	for i := range views {
+		views[i] = View{EWMALatency: ewma, EWMAService: ewma / 2, Hist: feature.NewWindow(4)}
+	}
+	return views
+}
+
+func TestGuardedStaysClosedWhenHealthy(t *testing.T) {
+	inner := &scripted{}
+	g := NewGuarded(inner, Baseline{})
+	views := flatViews(2, 2e5)
+	for i := 0; i < 1000; i++ {
+		d := g.Decide(int64(i), 4096, 0, views)
+		if d.Target != 0 {
+			t.Fatalf("decision %d rerouted while healthy", i)
+		}
+	}
+	if g.Trips() != 0 || g.State(0) != BreakerClosed {
+		t.Fatalf("healthy inner tripped the breaker: trips=%d state=%v", g.Trips(), g.State(0))
+	}
+}
+
+func TestGuardedTripProbeReopenAndRecover(t *testing.T) {
+	inner := &scripted{decline: true}
+	g := NewGuarded(inner, Baseline{})
+	g.Window = 8
+	g.Cooldown = 8
+	g.Probes = 4
+	views := flatViews(2, 2e5)
+	now := int64(0)
+	step := func() Decision { now++; return g.Decide(now, 4096, 0, views) }
+
+	// Window of floods -> trip.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if g.State(0) != BreakerOpen || g.Trips() != 1 {
+		t.Fatalf("after flood window: state=%v trips=%d", g.State(0), g.Trips())
+	}
+	// Open: the fallback (baseline) is in control.
+	for i := 0; i < 8; i++ {
+		if d := step(); d.Target != 0 {
+			t.Fatal("open breaker did not use the fallback")
+		}
+	}
+	if g.State(0) != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state=%v, want half-open", g.State(0))
+	}
+	// Half-open with a still-sick model: 4 probes (1 in 4 decisions) all
+	// decline -> re-open.
+	for i := 0; i < 16; i++ {
+		step()
+	}
+	if g.State(0) != BreakerOpen || g.Trips() != 2 {
+		t.Fatalf("sick probes must re-open: state=%v trips=%d", g.State(0), g.Trips())
+	}
+
+	// Model heals: cooldown, then healthy probes close the breaker.
+	inner.decline = false
+	for i := 0; i < 8+16; i++ {
+		step()
+	}
+	if g.State(0) != BreakerClosed {
+		t.Fatalf("healthy probes must close: state=%v", g.State(0))
+	}
+	if g.Recoveries() != 1 {
+		t.Fatalf("recoveries=%d, want 1", g.Recoveries())
+	}
+	// The transition log tells the whole story in order.
+	want := []struct{ from, to BreakerState }{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	trs := g.Transitions()
+	if len(trs) != len(want) {
+		t.Fatalf("transitions %d, want %d: %+v", len(trs), len(want), trs)
+	}
+	for i, w := range want {
+		if trs[i].From != w.from || trs[i].To != w.to || trs[i].Primary != 0 {
+			t.Fatalf("transition %d = %+v, want %v->%v", i, trs[i], w.from, w.to)
+		}
+	}
+}
+
+func TestGuardedTripsOnLatencyRegret(t *testing.T) {
+	// The model keeps admitting at a primary whose observed latency is 10x
+	// the peer's: decline rate is zero, but regret must trip the breaker.
+	inner := &scripted{}
+	g := NewGuarded(inner, Baseline{})
+	g.Window = 16
+	views := flatViews(2, 1e5)
+	views[0].EWMALatency = 1e6 // primary 10x worse than replica 1
+	for i := 0; i < 16; i++ {
+		g.Decide(int64(i), 4096, 0, views)
+	}
+	if g.State(0) != BreakerOpen {
+		t.Fatalf("regret did not trip: state=%v", g.State(0))
+	}
+}
+
+func TestGuardedTripsOnInputDrift(t *testing.T) {
+	// Reference: healthy low-latency observations. Live: 20x latencies with
+	// a benign decline rate — only the PSI detector can notice.
+	ref := make([][]float64, 400)
+	for i := range ref {
+		ref[i] = []float64{float64(i % 8), 2e5 + float64(i%100)*1e3, 2e5 + float64(i%90)*1e3}
+	}
+	det := drift.NewInputDetector(ref, 8)
+	det.MinSamples = 64
+
+	inner := &scripted{}
+	g := NewGuarded(inner, Baseline{})
+	g.Window = 64
+	g.Detector = det
+
+	views := flatViews(2, 4e6) // 20x the reference latencies
+	views[1].EWMALatency = 4e6
+	hist := feature.NewWindow(4)
+	hist.Push(feature.Hist{Latency: 5e6, QueueLen: 3, Thpt: 1})
+	views[0].Hist = hist
+	for i := 0; i < 64; i++ {
+		g.Decide(int64(i), 4096, 0, views)
+	}
+	if g.State(0) != BreakerOpen {
+		t.Fatalf("input drift did not trip: state=%v", g.State(0))
+	}
+}
+
+func TestGuardedPerPrimaryIsolation(t *testing.T) {
+	// Flood only primary 0's windows; primary 1 must keep its model.
+	inner := &scripted{decline: true}
+	g := NewGuarded(inner, Baseline{})
+	g.Window = 8
+	views := flatViews(2, 2e5)
+	for i := 0; i < 8; i++ {
+		g.Decide(int64(i), 4096, 0, views)
+	}
+	inner.decline = false
+	for i := 0; i < 8; i++ {
+		g.Decide(int64(100+i), 4096, 1, views)
+	}
+	if g.State(0) != BreakerOpen {
+		t.Fatalf("primary 0 state=%v, want open", g.State(0))
+	}
+	if g.State(1) != BreakerClosed {
+		t.Fatalf("primary 1 state=%v, want closed (isolation)", g.State(1))
+	}
+}
+
+func TestGuardedValidateDelegates(t *testing.T) {
+	g := NewGuarded(&Heimdall{}, Baseline{})
+	if err := g.Validate(2); err == nil {
+		t.Fatal("guarded(heimdall) with no models must fail validation")
+	}
+	g = NewGuarded(&scripted{}, Baseline{})
+	if err := g.Validate(2); err != nil {
+		t.Fatalf("non-validating inner must pass: %v", err)
+	}
+}

@@ -26,8 +26,18 @@ type MaskedHeimdall struct {
 // Name implements Selector.
 func (*MaskedHeimdall) Name() string { return "heimdall+mask" }
 
+// Validate implements Validator.
+func (p *MaskedHeimdall) Validate(replicas int) error {
+	return validateModels("heimdall+mask", len(p.Models), replicas, func(i int) bool {
+		return p.Models[i] != nil
+	})
+}
+
 // Decide implements Selector.
 func (p *MaskedHeimdall) Decide(_ int64, size int32, primary int, views []View) Decision {
+	if len(views) == 0 || primary >= len(p.Models) || p.Models[primary] == nil {
+		return Decision{Target: primary}
+	}
 	band := p.Band
 	if band == 0 {
 		band = 0.1

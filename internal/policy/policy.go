@@ -10,6 +10,7 @@
 package policy
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -58,6 +59,15 @@ type Selector interface {
 	Decide(now int64, size int32, primary int, views []View) Decision
 }
 
+// Validator is an optional Selector extension. Policies carrying per-replica
+// state (models) can reject a replica count they were not built for, so a
+// malformed replay configuration fails loudly at setup time with a clear
+// error instead of an index panic or NaN routing mid-replay. The replayer
+// checks it before the first decision.
+type Validator interface {
+	Validate(replicas int) error
+}
+
 // other returns the replica index that is not primary (2-replica helper);
 // for larger groups it returns the next replica round-robin.
 func other(primary, n int) int {
@@ -101,9 +111,11 @@ type Hedging struct {
 	Timeout time.Duration
 }
 
-// NewHedging constructs the policy; zero timeout defaults to 2ms.
+// NewHedging constructs the policy; a non-positive timeout defaults to 2ms
+// (a negative value would otherwise silently disable hedging, since the
+// replayer only arms backups for positive delays).
 func NewHedging(timeout time.Duration) *Hedging {
-	if timeout == 0 {
+	if timeout <= 0 {
 		timeout = 2 * time.Millisecond
 	}
 	return &Hedging{Timeout: timeout}
@@ -183,7 +195,13 @@ type Heron struct {
 func (*Heron) Name() string { return "heron" }
 
 // Decide implements Selector.
-func (h *Heron) Decide(_ int64, _ int32, _ int, views []View) Decision {
+func (h *Heron) Decide(_ int64, _ int32, primary int, views []View) Decision {
+	if len(views) == 0 {
+		// Nothing to rank: admit at the primary rather than divide by zero
+		// into NaN scores (replay validates its options, but Decide is also
+		// public API).
+		return Decision{Target: primary}
+	}
 	factor := h.SlowFactor
 	if factor == 0 {
 		factor = 2
@@ -216,8 +234,11 @@ func (h *Heron) Decide(_ int64, _ int32, _ int, views []View) Decision {
 }
 
 // Heimdall admits via a per-replica trained core.Model: predicted-fast I/Os
-// go to the primary; predicted-slow I/Os reroute to the other replica, which
-// admits by default (§2).
+// go to the primary; predicted-slow I/Os reroute to the other replica (§2) —
+// unless that replica's own model also predicts slow, in which case the I/O
+// is admitted at the primary after all (§4.2's joint inference): when every
+// replica is in a busy period, flooding the reroute target only stacks a
+// queueing delay on top of its internal contention.
 type Heimdall struct {
 	Models []*core.Model // one per replica
 }
@@ -225,14 +246,49 @@ type Heimdall struct {
 // Name implements Selector.
 func (*Heimdall) Name() string { return "heimdall" }
 
+// Validate implements Validator.
+func (p *Heimdall) Validate(replicas int) error {
+	return validateModels("heimdall", len(p.Models), replicas, func(i int) bool {
+		return p.Models[i] != nil
+	})
+}
+
 // Decide implements Selector.
 func (p *Heimdall) Decide(_ int64, size int32, primary int, views []View) Decision {
+	if len(views) == 0 || primary >= len(p.Models) || p.Models[primary] == nil {
+		// Defensive: replay validates options up front, but Decide is public
+		// API. Admitting at the primary is the only side-effect-free choice.
+		return Decision{Target: primary}
+	}
 	m := p.Models[primary]
 	raw := m.Features(views[primary].QueueLen, size, views[primary].Hist)
 	if m.Admit(raw) {
 		return Decision{Target: primary, Inferences: 1}
 	}
-	return Decision{Target: other(primary, len(views)), Inferences: 1}
+	alt := other(primary, len(views))
+	if alt == primary || alt >= len(p.Models) || p.Models[alt] == nil {
+		return Decision{Target: alt, Inferences: 1}
+	}
+	// §4.2 joint inference: consult the reroute target's model before
+	// committing. Both slow -> stay at the primary.
+	altRaw := p.Models[alt].Features(views[alt].QueueLen, size, views[alt].Hist)
+	if !p.Models[alt].Admit(altRaw) {
+		return Decision{Target: primary, Inferences: 2}
+	}
+	return Decision{Target: alt, Inferences: 2}
+}
+
+// validateModels is the shared per-replica model-count check.
+func validateModels(name string, have, want int, ok func(i int) bool) error {
+	if have < want {
+		return fmt.Errorf("policy: %s has %d models for %d replicas", name, have, want)
+	}
+	for i := 0; i < want; i++ {
+		if !ok(i) {
+			return fmt.Errorf("policy: %s model %d is nil", name, i)
+		}
+	}
+	return nil
 }
 
 // LinnOS admits via a per-replica LinnOS model with per-page inference.
@@ -251,8 +307,18 @@ func (p *LinnOS) Name() string {
 	return "linnos"
 }
 
+// Validate implements Validator.
+func (p *LinnOS) Validate(replicas int) error {
+	return validateModels("linnos", len(p.Models), replicas, func(i int) bool {
+		return p.Models[i] != nil
+	})
+}
+
 // Decide implements Selector.
 func (p *LinnOS) Decide(_ int64, size int32, primary int, views []View) Decision {
+	if len(views) == 0 || primary >= len(p.Models) || p.Models[primary] == nil {
+		return Decision{Target: primary}
+	}
 	m := p.Models[primary]
 	admit, inf := m.AdmitIO(views[primary].QueueLen, size, views[primary].Hist)
 	d := Decision{Target: primary, Inferences: inf}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/feature"
 )
 
@@ -141,5 +142,79 @@ func TestSelectorNames(t *testing.T) {
 	}
 	if (&Heimdall{}).Name() != "heimdall" {
 		t.Fatal("heimdall name")
+	}
+}
+
+func TestHedgingNormalizesNonPositiveTimeout(t *testing.T) {
+	if h := NewHedging(-5 * time.Millisecond); h.Timeout != 2*time.Millisecond {
+		t.Fatalf("negative timeout kept as %v: hedging silently disabled", h.Timeout)
+	}
+}
+
+func TestHeronEmptyViews(t *testing.T) {
+	d := (&Heron{}).Decide(0, 4096, 3, nil)
+	if d.Target != 3 {
+		t.Fatalf("empty views must admit at the primary, got %+v", d)
+	}
+}
+
+func TestHeimdallGuardsShortModels(t *testing.T) {
+	p := &Heimdall{} // no models at all
+	if d := p.Decide(0, 4096, 0, views(0, 0)); d.Target != 0 {
+		t.Fatalf("model-less Decide must admit at the primary: %+v", d)
+	}
+	if err := p.Validate(2); err == nil {
+		t.Fatal("Validate must reject 2 replicas with 0 models")
+	}
+	if err := (&Heimdall{Models: maskedModels(t)}).Validate(2); err != nil {
+		t.Fatalf("complete model set rejected: %v", err)
+	}
+	if err := (&LinnOS{}).Validate(1); err == nil {
+		t.Fatal("LinnOS Validate must reject missing models")
+	}
+	if err := (&MaskedHeimdall{}).Validate(1); err == nil {
+		t.Fatal("MaskedHeimdall Validate must reject missing models")
+	}
+}
+
+// busyView builds a view the trained model declines: deep queue, slow
+// recent history. The queue depth is searched so the test does not depend on
+// one specific calibration.
+func busyView(t *testing.T, m *core.Model) View {
+	t.Helper()
+	hist := feature.NewWindow(4)
+	for i := 0; i < 4; i++ {
+		hist.Push(feature.Hist{Latency: 2e7, QueueLen: 64, Thpt: 0.1})
+	}
+	for q := 1; q <= 1024; q *= 2 {
+		if !m.Admit(m.Features(q, 4096, hist)) {
+			return View{QueueLen: q, FeedbackQueueLen: float64(q), Hist: hist,
+				EWMALatency: 2e7, EWMAService: 1e7}
+		}
+	}
+	t.Fatal("could not construct a view the model declines")
+	return View{}
+}
+
+func TestHeimdallJointInference(t *testing.T) {
+	models := maskedModels(t)
+	p := &Heimdall{Models: models}
+	busy := busyView(t, models[0])
+	idle := views(0)[0]
+
+	// Primary fast: admit, one inference.
+	d := p.Decide(0, 4096, 0, []View{idle, busy})
+	if d.Target != 0 || d.Inferences != 1 {
+		t.Fatalf("fast primary: %+v", d)
+	}
+	// Primary slow, peer fast: reroute, and the peer's model was consulted.
+	d = p.Decide(0, 4096, 0, []View{busy, idle})
+	if d.Target != 1 || d.Inferences != 2 {
+		t.Fatalf("slow primary, fast peer: %+v", d)
+	}
+	// Both slow (§4.2): stay at the primary instead of flooding the peer.
+	d = p.Decide(0, 4096, 0, []View{busy, busy})
+	if d.Target != 0 || d.Inferences != 2 {
+		t.Fatalf("both slow must admit at primary: %+v", d)
 	}
 }

@@ -1,0 +1,143 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// brownoutOpts builds a run with a mid-trace ×8 brownout on device 0 and
+// client-side timeouts armed.
+func brownoutOpts(sel policy.Selector) Options {
+	return Options{
+		Devices:     twoDevices(),
+		Seed:        21,
+		Selector:    sel,
+		Faults:      []*fault.Schedule{fault.NewSchedule().Brownout(500*time.Millisecond, 600*time.Millisecond, 8)},
+		ReadTimeout: 2 * time.Millisecond,
+	}
+}
+
+func TestBrownoutTimeoutsRetryAndConserveReads(t *testing.T) {
+	tr := smallTrace(21)
+	res := Run([]*trace.Trace{tr}, brownoutOpts(nil))
+	if res.TimedOut == 0 {
+		t.Fatal("an 8x brownout with a 2ms timeout produced no timeouts")
+	}
+	if res.Retries == 0 {
+		t.Fatal("timeouts must trigger retries on the alternate replica")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("healthy peer available, yet %d reads failed", res.Failed)
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("accounting: %d latency samples for %d reads — reads vanished",
+			res.ReadLat.N, res.Reads)
+	}
+}
+
+func TestFaultReplayDeterministic(t *testing.T) {
+	tr := smallTrace(22)
+	run := func() Result {
+		opts := brownoutOpts(policy.NewRandom(5))
+		opts.Faults = append(opts.Faults, fault.NewSchedule().ReadErrors(200*time.Millisecond, 300*time.Millisecond, 0.3))
+		opts.Seed = 22
+		return Run([]*trace.Trace{tr.Clone()}, opts)
+	}
+	a, b := run(), run()
+	if a.Reads != b.Reads || a.Reroutes != b.Reroutes || a.Hedges != b.Hedges ||
+		a.Retries != b.Retries || a.TimedOut != b.TimedOut || a.Failed != b.Failed {
+		t.Fatalf("counter determinism broke:\n%+v\n%+v", a, b)
+	}
+	if a.ReadLat.Mean != b.ReadLat.Mean || a.ReadLat.P999 != b.ReadLat.P999 {
+		t.Fatalf("latency determinism broke: %v/%v vs %v/%v",
+			a.ReadLat.Mean, a.ReadLat.P999, b.ReadLat.Mean, b.ReadLat.P999)
+	}
+	if a.Retries == 0 || a.TimedOut == 0 {
+		t.Fatalf("fault scenario exercised no retry machinery: %+v", a)
+	}
+}
+
+func TestReadErrorsCompleteOnPeer(t *testing.T) {
+	// Certain read failure on device 0 for a stretch: every affected read
+	// must complete on device 1 via retry, none may vanish or fail.
+	tr := smallTrace(23)
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: twoDevices(),
+		Seed:    23,
+		Faults:  []*fault.Schedule{fault.NewSchedule().ReadErrors(300*time.Millisecond, 500*time.Millisecond, 1)},
+	})
+	if res.Retries == 0 {
+		t.Fatal("guaranteed read errors produced no retries")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("peer was healthy, yet %d reads failed", res.Failed)
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("reads vanished: %d samples for %d reads", res.ReadLat.N, res.Reads)
+	}
+}
+
+func TestBothReplicasOfflineFailsLoudly(t *testing.T) {
+	tr := smallTrace(24)
+	window := func() *fault.Schedule {
+		return fault.NewSchedule().Offline(400*time.Millisecond, 200*time.Millisecond)
+	}
+	res := Run([]*trace.Trace{tr}, Options{
+		Devices: twoDevices(),
+		Seed:    24,
+		Faults:  []*fault.Schedule{window(), window()},
+	})
+	if res.Failed == 0 {
+		t.Fatal("a full outage of every replica must fail reads")
+	}
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("failed reads must still be accounted: %d samples for %d reads",
+			res.ReadLat.N, res.Reads)
+	}
+	// After the outage the cluster recovers: some reads succeed, so failures
+	// are bounded by the outage window, not the whole trace.
+	if res.Failed >= res.Reads/2 {
+		t.Fatalf("failures (%d of %d) exceed the outage window", res.Failed, res.Reads)
+	}
+}
+
+func TestHedgeIntoOfflineReplicaFallsBackToPrimary(t *testing.T) {
+	// Device 1 is offline for the whole trace; hedging to it must not lose
+	// reads — the primary attempt resolves them.
+	tr := smallTrace(25)
+	res := Run([]*trace.Trace{tr, {}}, Options{ // empty second trace: all primaries on 0
+		Devices:  twoDevices(),
+		Seed:     25,
+		Selector: policy.NewHedging(time.Millisecond),
+		Faults:   []*fault.Schedule{nil, fault.NewSchedule().Offline(0, time.Hour)},
+	})
+	if res.ReadLat.N != res.Reads {
+		t.Fatalf("hedging into an offline replica lost reads: %d vs %d", res.ReadLat.N, res.Reads)
+	}
+	if res.Hedges != 0 {
+		t.Fatalf("hedges to an offline device cannot fire, counted %d", res.Hedges)
+	}
+}
+
+func TestShortModelsFailLoudlyAtRunSetup(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("replay accepted a heimdall policy with no models")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "heimdall") {
+			t.Fatalf("panic %v is not the loud configuration error", r)
+		}
+	}()
+	Run([]*trace.Trace{smallTrace(26)}, Options{
+		Devices:  twoDevices(),
+		Seed:     26,
+		Selector: &policy.Heimdall{}, // zero models for two replicas
+	})
+}

@@ -13,7 +13,9 @@ package replay
 
 import (
 	"container/heap"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/feature"
 	"repro/internal/iolog"
 	"repro/internal/metrics"
@@ -40,6 +42,24 @@ type Options struct {
 	// 1-in-N sample of responses. Backend-side ML policies are unaffected —
 	// they read the device's own state. Default 8.
 	ClientThreads int
+
+	// Faults optionally attaches a fault schedule to device i; a shorter
+	// (or nil) slice leaves the remaining devices fault-free. Injection is
+	// deterministic in Seed.
+	Faults []*fault.Schedule
+	// ReadTimeout, when positive, makes the client abandon a read still
+	// outstanding after this long and retry it on the alternate replica.
+	ReadTimeout time.Duration
+	// MaxRetries bounds how often one read is re-submitted after a replica
+	// failure or timeout (default 2; negative disables retries). A read
+	// whose final attempt fails is counted in Result.Failed instead of
+	// silently vanishing.
+	MaxRetries int
+	// RetryBackoff is the delay before the first failure-triggered retry;
+	// it doubles on each subsequent attempt (default 200µs). Timeout-
+	// triggered retries fire at the timeout itself — the client has already
+	// waited that long.
+	RetryBackoff time.Duration
 }
 
 // Result summarizes one replay.
@@ -51,6 +71,9 @@ type Result struct {
 	Reroutes   int // reads sent somewhere other than their primary
 	Hedges     int // backup requests actually fired
 	Inferences int // total model invocations
+	Retries    int // re-submissions after a replica failure or timeout
+	TimedOut   int // attempts abandoned at ReadTimeout
+	Failed     int // reads that completed on no replica (retries exhausted)
 
 	// Ground-truth instrumentation (simulator-only; a real deployment
 	// cannot observe these): how many reads arrived while their primary was
@@ -65,6 +88,7 @@ type eventKind uint8
 const (
 	evSubmit eventKind = iota
 	evHedge
+	evRetry
 )
 
 type event struct {
@@ -77,10 +101,11 @@ type event struct {
 	size    int32
 	primary int
 
-	// hedge
+	// hedge / retry
 	origComplete int64
 	submitAt     int64
 	target       int
+	attempt      int // retry: 1-based attempt index
 }
 
 type eventHeap []event
@@ -105,6 +130,7 @@ func (h *eventHeap) Pop() interface{} {
 // tracker is the client-side observable state of one device.
 type tracker struct {
 	dev     *ssd.Device
+	inj     *fault.Injector
 	hist    *feature.Window
 	pending completions
 	ewmaLat float64
@@ -187,6 +213,18 @@ func (t *tracker) record(submitAt int64, size int32, res ssd.Result) {
 	})
 }
 
+// submitRead pushes one read through the device's fault injector. On success
+// the completion is recorded into the client-observable history; a failed
+// read never completes, so the client learns nothing from it.
+func (t *tracker) submitRead(now int64, size int32) (ssd.Result, error) {
+	r, err := t.inj.Submit(now, trace.Read, size)
+	if err != nil {
+		return r, err
+	}
+	t.record(now, size, r)
+	return r, nil
+}
+
 // Run replays the traces. traces[i] targets device i as its primary when the
 // counts match; a single trace over multiple devices is placed by offset
 // hash. Panics if no devices are configured.
@@ -197,6 +235,14 @@ func Run(traces []*trace.Trace, opts Options) Result {
 	sel := opts.Selector
 	if sel == nil {
 		sel = policy.Baseline{}
+	}
+	if v, ok := sel.(policy.Validator); ok {
+		// Fail loudly at configuration time: a per-replica policy with too
+		// few (or nil) models would otherwise surface as an index panic or
+		// NaN routing deep inside the event loop.
+		if err := v.Validate(len(opts.Devices)); err != nil {
+			panic("replay: " + err.Error())
+		}
 	}
 	histDepth := opts.HistDepth
 	if histDepth == 0 {
@@ -210,12 +256,31 @@ func Run(traces []*trace.Trace, opts Options) Result {
 	if threads == 0 {
 		threads = 8
 	}
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 2
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := int64(opts.RetryBackoff)
+	if backoff <= 0 {
+		backoff = int64(200 * time.Microsecond)
+	}
+	timeout := int64(opts.ReadTimeout)
 
 	n := len(opts.Devices)
 	trackers := make([]*tracker, n)
 	for i, cfg := range opts.Devices {
+		dev := ssd.New(cfg, opts.Seed+int64(i))
+		var sched *fault.Schedule
+		if i < len(opts.Faults) {
+			sched = opts.Faults[i]
+		}
 		trackers[i] = &tracker{
-			dev:     ssd.New(cfg, opts.Seed+int64(i)),
+			dev: dev,
+			// The injector's PRNG stream is separate from the device's, so a
+			// fault-free schedule replays bit-for-bit like the seed state.
+			inj:     fault.NewInjector(dev, sched, opts.Seed+int64(i)*7919+13),
 			hist:    feature.NewWindow(histDepth),
 			alpha:   alpha,
 			threads: threads,
@@ -256,9 +321,11 @@ func Run(traces []*trace.Trace, opts Options) Result {
 		case evSubmit:
 			if ev.op == trace.Write {
 				res.Writes++
-				// Replicate writes to every device.
+				// Replicate writes to every device; a write to an offline
+				// replica is dropped (degraded replication), matching what a
+				// real replication layer queues for later recovery.
 				for _, tr := range trackers {
-					tr.dev.Submit(now, trace.Write, ev.size)
+					tr.inj.Submit(now, trace.Write, ev.size)
 				}
 				continue
 			}
@@ -277,9 +344,23 @@ func Run(traces []*trace.Trace, opts Options) Result {
 					res.BusyAvoided++
 				}
 			}
-			r := trackers[d.Target].dev.Submit(now, trace.Read, ev.size)
-			trackers[d.Target].record(now, ev.size, r)
-			if d.HedgeAfter > 0 && r.Complete > now+int64(d.HedgeAfter) {
+			r, err := trackers[d.Target].submitRead(now, ev.size)
+			switch {
+			case err != nil && maxRetries > 0:
+				// The replica failed the read outright: retry on the
+				// alternate replica after the initial backoff.
+				seq++
+				heap.Push(&events, event{
+					at: now + backoff, seq: seq, kind: evRetry,
+					size: ev.size, submitAt: now,
+					target: altReplica(d.Target, n), attempt: 1,
+				})
+			case err != nil:
+				// Retries disabled: the read is lost, but it still accounts
+				// for exactly one (degenerate) latency sample.
+				res.Failed++
+				readLats = append(readLats, 1)
+			case d.HedgeAfter > 0 && r.Complete > now+int64(d.HedgeAfter):
 				// The request will still be outstanding at the timeout:
 				// schedule the backup.
 				seq++
@@ -288,24 +369,83 @@ func Run(traces []*trace.Trace, opts Options) Result {
 					size: ev.size, origComplete: r.Complete,
 					submitAt: now, target: d.HedgeTarget,
 				})
-			} else {
+			case timeout > 0 && r.Complete-now > timeout && maxRetries > 0:
+				// The client will give up at the timeout and go to the
+				// alternate replica (the device still completes the
+				// abandoned request — that work is wasted, as in reality).
+				res.TimedOut++
+				seq++
+				heap.Push(&events, event{
+					at: now + timeout, seq: seq, kind: evRetry,
+					size: ev.size, submitAt: now,
+					target: altReplica(d.Target, n), attempt: 1,
+				})
+			default:
 				readLats = append(readLats, r.Complete-now)
 			}
 
 		case evHedge:
+			b, err := trackers[ev.target].submitRead(now, ev.size)
+			if err != nil {
+				// The backup replica refused: the primary attempt is still
+				// in flight and resolves the read by itself.
+				readLats = append(readLats, ev.origComplete-ev.submitAt)
+				continue
+			}
 			res.Hedges++
-			b := trackers[ev.target].dev.Submit(now, trace.Read, ev.size)
-			trackers[ev.target].record(now, ev.size, b)
 			done := ev.origComplete
 			if b.Complete < done {
 				done = b.Complete
 			}
 			readLats = append(readLats, done-ev.submitAt)
+
+		case evRetry:
+			res.Retries++
+			r, err := trackers[ev.target].submitRead(now, ev.size)
+			switch {
+			case err == nil && (timeout == 0 || r.Complete-now <= timeout || ev.attempt >= maxRetries):
+				// Completed (on the final attempt even a slow completion is
+				// accepted: waiting beats failing).
+				readLats = append(readLats, r.Complete-ev.submitAt)
+			case err == nil:
+				// Timed out again; attempts remain.
+				res.TimedOut++
+				seq++
+				heap.Push(&events, event{
+					at: now + timeout, seq: seq, kind: evRetry,
+					size: ev.size, submitAt: ev.submitAt,
+					target: altReplica(ev.target, n), attempt: ev.attempt + 1,
+				})
+			case ev.attempt < maxRetries:
+				// Failed again; exponential backoff to the other replica.
+				seq++
+				heap.Push(&events, event{
+					at: now + backoff<<ev.attempt, seq: seq, kind: evRetry,
+					size: ev.size, submitAt: ev.submitAt,
+					target: altReplica(ev.target, n), attempt: ev.attempt + 1,
+				})
+			default:
+				res.Failed++
+				lat := now - ev.submitAt
+				if lat < 1 {
+					lat = 1
+				}
+				readLats = append(readLats, lat)
+			}
 		}
 	}
 
 	res.ReadLat = metrics.Latencies(readLats)
 	return res
+}
+
+// altReplica returns the retry target after a failure on replica i: the next
+// replica round-robin (i itself for a single-device setup).
+func altReplica(i, n int) int {
+	if n <= 1 {
+		return i
+	}
+	return (i + 1) % n
 }
 
 // CollectLog replays a trace against a single fresh device with always-admit

@@ -1,0 +1,8 @@
+//go:build race
+
+package heimdall
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// Wall-clock performance assertions (Fig. 15a's saturation cap) are
+// meaningless under the detector's ~20x instrumentation slowdown.
+const raceDetectorEnabled = true
