@@ -47,6 +47,7 @@ func BenchmarkInferenceQuantized(b *testing.B) {
 	hist := feature.NewWindow(3)
 	hist.Push(feature.Hist{Latency: 100_000, QueueLen: 2, Thpt: 40})
 	raw := m.Features(3, 4096, hist)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Admit(raw)
@@ -54,14 +55,18 @@ func BenchmarkInferenceQuantized(b *testing.B) {
 }
 
 // BenchmarkInferenceFloat is the un-quantized reference (the paper's 20µs
-// pre-optimization path, here already fast because Go compiles natively).
+// pre-optimization path, here already fast because Go compiles natively). It
+// runs through ScoreFast — the scratch-reusing PredictInto path — and must
+// report 0 allocs/op.
 func BenchmarkInferenceFloat(b *testing.B) {
 	m := benchModel(b)
 	hist := feature.NewWindow(3)
 	raw := m.Features(3, 4096, hist)
+	m.ScoreFast(raw) // warm the scratch buffers outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Score(raw)
+		m.ScoreFast(raw)
 	}
 }
 
@@ -83,6 +88,7 @@ func BenchmarkInferenceJoint(b *testing.B) {
 	x := make([]float64, 19)
 	cur := make([]int64, q.ScratchSize())
 	next := make([]int64, q.ScratchSize())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.PredictInto(x, cur, next)

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	heimdall-bench [-scale small|medium|full] [-seed N] [-datasets N]
-//	               [-experiments N] [-dur D] <experiment>
+//	               [-experiments N] [-dur D] [-parallel N] [-json] <experiment>
+//
+// -parallel N fans experiment work (dataset builds, per-dataset model sweeps,
+// AutoML trials) across N goroutines; 0 uses GOMAXPROCS and 1 forces the
+// serial path. Results are byte-identical at any worker count. -json
+// additionally writes each table to BENCH_<experiment>.json in the current
+// directory with the scale, worker count, and wall time.
 //
 // Experiments: fig5a fig5b fig7a fig7b fig7c fig7d fig8 fig9a fig9b fig9c
 // fig9d fig9e fig10 fig11 fig12 fig13 fig14 fig15a fig15b fig15c fig16
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 var runners = map[string]func(experiments.Scale) experiments.Table{
@@ -65,6 +73,8 @@ func main() {
 	datasets := flag.Int("datasets", 0, "override the dataset count")
 	exps := flag.Int("experiments", 0, "override the replay-experiment count")
 	dur := flag.Duration("dur", 0, "override the trace window duration")
+	workers := flag.Int("parallel", 0, "worker goroutines for experiment fan-out (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "also write each table to BENCH_<experiment>.json")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -98,6 +108,7 @@ func main() {
 	if *dur != 0 {
 		scale.TraceDur = *dur
 	}
+	scale.Workers = *workers
 
 	switch name {
 	case "loc":
@@ -110,7 +121,7 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			run(n, scale)
+			run(n, scale, *jsonOut)
 		}
 		return
 	}
@@ -121,14 +132,46 @@ func main() {
 		os.Exit(2)
 	}
 	_ = r
-	run(name, scale)
+	run(name, scale, *jsonOut)
 }
 
-func run(name string, scale experiments.Scale) {
+// benchRecord is the -json output schema: one experiment run with enough
+// context (scale, workers, wall time) to compare runs across machines.
+type benchRecord struct {
+	Experiment string            `json:"experiment"`
+	Scale      experiments.Scale `json:"scale"`
+	Workers    int               `json:"workers"` // resolved count actually used
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Table      experiments.Table `json:"table"`
+}
+
+func run(name string, scale experiments.Scale, jsonOut bool) {
 	start := time.Now()
 	table := runners[name](scale)
+	elapsed := time.Since(start)
 	fmt.Println(table.String())
-	fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%s completed in %v on %d workers)\n\n", name, elapsed.Round(time.Millisecond), parallel.Workers(scale.Workers))
+	if !jsonOut {
+		return
+	}
+	rec := benchRecord{
+		Experiment: name,
+		Scale:      scale,
+		Workers:    parallel.Workers(scale.Workers),
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Table:      table,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json encode %s: %v\n", name, err)
+		return
+	}
+	out := fmt.Sprintf("BENCH_%s.json", name)
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+		return
+	}
+	fmt.Printf("(wrote %s)\n\n", out)
 }
 
 func usage() {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/models"
+	"repro/internal/parallel"
 )
 
 // Family identifies one AutoML model family, in Fig. 18 row order.
@@ -132,23 +133,46 @@ type FamilyResult struct {
 	Arch         []float64 // architecture vector (family one-hot + params)
 }
 
-// SearchFamily random-searches one family's hyperparameters.
-func SearchFamily(f Family, trainX [][]float64, trainY []int, valX [][]float64, valY []int, trials int, seed int64) FamilyResult {
+// SearchFamily random-searches one family's hyperparameters. Trials run on
+// up to workers goroutines (0 means GOMAXPROCS): the hyperparameter vectors
+// and per-trial classifier seeds are pre-drawn serially from the family's
+// stream — exactly the draws the serial loop would consume — then fits fan
+// out and the best trial is reduced in trial order, so the result is
+// identical for any worker count. Each worker reuses one scores buffer
+// across its chunk of trials.
+func SearchFamily(f Family, trainX [][]float64, trainY []int, valX [][]float64, valY []int, trials int, seed int64, workers int) FamilyResult {
 	rng := rand.New(rand.NewSource(seed))
-	best := FamilyResult{Family: f, ROCAUC: -1, Trials: trials}
-	for t := 0; t < trials; t++ {
-		clf, params := sample(f, rng)
-		if err := clf.Fit(trainX, trainY); err != nil {
-			continue
+	type trial struct {
+		params [paramDims]float64
+		seed   int64
+	}
+	ts := make([]trial, trials)
+	for t := range ts {
+		for i := range ts[t].params {
+			ts[t].params[i] = rng.Float64()
 		}
+		ts[t].seed = rng.Int63()
+	}
+	aucs := make([]float64, trials)
+	parallel.ForEachChunk(workers, trials, func(lo, hi int) {
 		scores := make([]float64, len(valX))
-		for i, x := range valX {
-			scores[i] = clf.PredictProba(x)
+		for t := lo; t < hi; t++ {
+			clf := build(f, ts[t].params, ts[t].seed)
+			if err := clf.Fit(trainX, trainY); err != nil {
+				aucs[t] = -1 // never beats a completed trial
+				continue
+			}
+			for i, x := range valX {
+				scores[i] = clf.PredictProba(x)
+			}
+			aucs[t] = metrics.ROCAUC(scores, valY)
 		}
-		auc := metrics.ROCAUC(scores, valY)
+	})
+	best := FamilyResult{Family: f, ROCAUC: -1, Trials: trials}
+	for t, auc := range aucs {
 		if auc > best.ROCAUC {
 			best.ROCAUC = auc
-			best.Arch = ArchVector(f, params[:])
+			best.Arch = ArchVector(f, ts[t].params[:])
 		}
 	}
 	best.ExploreHours = perTrialHours[f] * float64(trials)
@@ -161,14 +185,18 @@ func SearchFamily(f Family, trainX [][]float64, trainY []int, valX [][]float64, 
 
 // FullSearch runs every family and returns the per-family results plus the
 // overall winner index — what an AutoML framework would deploy for this
-// dataset.
-func FullSearch(trainX [][]float64, trainY []int, valX [][]float64, valY []int, trials int, seed int64) ([]FamilyResult, int) {
+// dataset. Families fan out on the same worker budget; each family's seed
+// derives from its index, so results match the serial order exactly.
+func FullSearch(trainX [][]float64, trainY []int, valX [][]float64, valY []int, trials int, seed int64, workers int) ([]FamilyResult, int) {
 	out := make([]FamilyResult, NumFamilies)
+	parallel.ForEach(workers, int(NumFamilies), func(i int) {
+		f := Family(i)
+		out[f] = SearchFamily(f, trainX, trainY, valX, valY, trials, seed+int64(f)*101, workers)
+	})
 	bestIdx := 0
-	for f := Family(0); f < NumFamilies; f++ {
-		out[f] = SearchFamily(f, trainX, trainY, valX, valY, trials, seed+int64(f)*101)
+	for f := range out {
 		if out[f].ROCAUC > out[bestIdx].ROCAUC {
-			bestIdx = int(f)
+			bestIdx = f
 		}
 	}
 	return out, bestIdx

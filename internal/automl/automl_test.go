@@ -44,7 +44,7 @@ func TestSearchFamilyReturnsValidResult(t *testing.T) {
 	trainX, trainY := dataset(1, 400)
 	valX, valY := dataset(2, 200)
 	for _, f := range []Family{SGD, DecisionTree, GaussianNB, MLP} {
-		r := SearchFamily(f, trainX, trainY, valX, valY, 3, 7)
+		r := SearchFamily(f, trainX, trainY, valX, valY, 3, 7, 1)
 		if r.ROCAUC < 0 || r.ROCAUC > 1 {
 			t.Fatalf("%v: AUC %v", f, r.ROCAUC)
 		}
@@ -74,7 +74,7 @@ func TestExploreHoursInPaperRange(t *testing.T) {
 func TestFullSearchPicksWinner(t *testing.T) {
 	trainX, trainY := dataset(3, 300)
 	valX, valY := dataset(4, 150)
-	results, best := FullSearch(trainX, trainY, valX, valY, 2, 9)
+	results, best := FullSearch(trainX, trainY, valX, valY, 2, 9, 0)
 	if len(results) != int(NumFamilies) {
 		t.Fatalf("results %d", len(results))
 	}
@@ -118,6 +118,48 @@ func TestSampleDeterministic(t *testing.T) {
 		_, p2 := sample(f, r2)
 		if p1 != p2 {
 			t.Fatalf("%v: sampling not deterministic", f)
+		}
+	}
+}
+
+// TestSearchFamilyParallelMatchesSerial asserts the determinism contract:
+// the trial fan-out returns byte-identical results at any worker count,
+// because hyperparameters and classifier seeds are pre-drawn serially and
+// the best trial is reduced in trial order.
+func TestSearchFamilyParallelMatchesSerial(t *testing.T) {
+	trainX, trainY := dataset(11, 300)
+	valX, valY := dataset(12, 150)
+	for _, f := range []Family{SGD, KNN, DecisionTree, RandomForest, MLP} {
+		serial := SearchFamily(f, trainX, trainY, valX, valY, 4, 21, 1)
+		for _, workers := range []int{2, 4, 8} {
+			par := SearchFamily(f, trainX, trainY, valX, valY, 4, 21, workers)
+			if par.ROCAUC != serial.ROCAUC || par.ExploreHours != serial.ExploreHours {
+				t.Fatalf("%v workers=%d: %+v != serial %+v", f, workers, par, serial)
+			}
+			if len(par.Arch) != len(serial.Arch) {
+				t.Fatalf("%v workers=%d: arch length differs", f, workers)
+			}
+			for i := range par.Arch {
+				if par.Arch[i] != serial.Arch[i] {
+					t.Fatalf("%v workers=%d: arch[%d] %v != %v", f, workers, i, par.Arch[i], serial.Arch[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFullSearchParallelMatchesSerial covers the family-level fan-out.
+func TestFullSearchParallelMatchesSerial(t *testing.T) {
+	trainX, trainY := dataset(13, 250)
+	valX, valY := dataset(14, 120)
+	serial, bestS := FullSearch(trainX, trainY, valX, valY, 2, 31, 1)
+	par, bestP := FullSearch(trainX, trainY, valX, valY, 2, 31, 4)
+	if bestS != bestP {
+		t.Fatalf("winner differs: serial %d parallel %d", bestS, bestP)
+	}
+	for f := range serial {
+		if serial[f].ROCAUC != par[f].ROCAUC {
+			t.Fatalf("family %d AUC differs: %v != %v", f, serial[f].ROCAUC, par[f].ROCAUC)
 		}
 	}
 }

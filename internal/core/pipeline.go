@@ -145,6 +145,7 @@ type Model struct {
 
 	scratchA, scratchB []int64
 	rowBuf             []float64
+	fcur, fnext        []float64
 }
 
 // ErrNoReads is returned when the training log contains no read I/Os.
@@ -315,8 +316,10 @@ func calibrate(net *nn.Network, rows [][]float64, labels []int) float64 {
 	}
 	slow := 0
 	scores := make([]float64, len(rows))
+	cur := make([]float64, net.ScratchSize())
+	next := make([]float64, net.ScratchSize())
 	for i, r := range rows {
-		scores[i] = net.Infer(r)
+		scores[i] = net.PredictInto(r, cur, next)
 		slow += labels[i]
 	}
 	sort.Float64s(scores)
@@ -404,6 +407,25 @@ func (m *Model) Score(raw []float64) float64 {
 	return m.net.Infer(row)
 }
 
+// ScoreFast returns P(slow) for a raw feature row via the float network,
+// reusing the model's internal scratch buffers — the zero-allocation
+// counterpart of Score. Not safe for concurrent use (shared scratch); clone
+// the model per goroutine or use Score.
+func (m *Model) ScoreFast(raw []float64) float64 {
+	if cap(m.rowBuf) < len(raw) {
+		m.rowBuf = make([]float64, len(raw))
+	}
+	row := m.rowBuf[:len(raw)]
+	copy(row, raw)
+	m.scale(row)
+	if m.fcur == nil {
+		w := m.net.ScratchSize()
+		m.fcur = make([]float64, w)
+		m.fnext = make([]float64, w)
+	}
+	return m.net.PredictInto(row, m.fcur, m.fnext)
+}
+
 // Threshold returns the calibrated decision boundary.
 func (m *Model) Threshold() float64 { return m.threshold }
 
@@ -450,9 +472,11 @@ func (m *Model) Evaluate(reads []iolog.Record, refLabels []int) metrics.Report {
 	}
 	rows, labels := assemble(rows, reads, refLabels, keep, m.cfg)
 	scores := make([]float64, len(rows))
+	cur := make([]float64, m.net.ScratchSize())
+	next := make([]float64, m.net.ScratchSize())
 	for i, r := range rows {
 		m.scale(r)
-		scores[i] = m.net.Infer(r)
+		scores[i] = m.net.PredictInto(r, cur, next)
 	}
 	return metrics.EvaluateAt(scores, labels, m.threshold)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/feature"
@@ -12,22 +13,32 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // trainEval trains one pipeline config per dataset and returns the ROC-AUC
-// against simulator ground truth for each.
+// against simulator ground truth for each. Datasets train on scale.Workers
+// goroutines; per-dataset seeds derive from the dataset index alone, so the
+// result order (and every value) is independent of the worker count.
 func trainEval(ds []Dataset, scale Scale, mutate func(*core.Config)) []float64 {
-	out := make([]float64, 0, len(ds))
-	for i, d := range ds {
+	aucs := parallel.Map(parallel.Workers(scale.Workers), len(ds), func(i int) float64 {
 		cfg := scale.coreConfig(scale.Seed + int64(i))
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		m, err := core.Train(d.TrainLog, cfg)
+		m, err := core.Train(ds[i].TrainLog, cfg)
 		if err != nil {
-			continue // degenerate window (e.g. all-fast); skip, like the paper's data selection would
+			// Degenerate window (e.g. all-fast); skip, like the paper's data
+			// selection would.
+			return math.NaN()
 		}
-		out = append(out, m.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+		return m.Evaluate(ds[i].TestReads, ds[i].TestGT).ROCAUC
+	})
+	out := make([]float64, 0, len(ds))
+	for _, a := range aucs {
+		if !math.IsNaN(a) {
+			out = append(out, a)
+		}
 	}
 	return out
 }
@@ -226,8 +237,12 @@ func Fig8(scale Scale) Table {
 		return label.Period(reads, th)
 	}
 	names := []string{"nn", "rnn", "svc", "knn", "logreg", "adaboost", "lightgbm", "randforest"}
-	accs := make([][]float64, len(names))
-	for di, d := range ds {
+	// Fan out per dataset: each dataset's eight-model sweep is independent
+	// (model seeds derive from the dataset index), so the per-model score
+	// lists reduce in dataset order regardless of worker count. NaN marks a
+	// model whose fit failed on that dataset.
+	perDS := parallel.Map(parallel.Workers(scale.Workers), len(ds), func(di int) []float64 {
+		d := ds[di]
 		reads := iolog.Reads(d.TrainLog)
 		trainLabels := labelsOf(reads)
 		spec := feature.DefaultSpec()
@@ -247,15 +262,26 @@ func Fig8(scale Scale) Table {
 		for _, r := range testRows {
 			scaler.Transform(r)
 		}
+		aucs := make([]float64, len(names))
+		scores := make([]float64, len(testRows))
 		for mi, clf := range models.Fig8Models(scale.Seed + int64(di)) {
 			if err := clf.Fit(X, y); err != nil {
+				aucs[mi] = math.NaN()
 				continue
 			}
-			scores := make([]float64, len(testRows))
 			for j, r := range testRows {
 				scores[j] = clf.PredictProba(r)
 			}
-			accs[mi] = append(accs[mi], metrics.ROCAUC(scores, d.TestGT))
+			aucs[mi] = metrics.ROCAUC(scores, d.TestGT)
+		}
+		return aucs
+	})
+	accs := make([][]float64, len(names))
+	for _, aucs := range perDS {
+		for mi, a := range aucs {
+			if !math.IsNaN(a) {
+				accs[mi] = append(accs[mi], a)
+			}
 		}
 	}
 	t := Table{
@@ -273,20 +299,34 @@ func Fig8(scale Scale) Table {
 // inference: invocations needed for the same trace, plus accuracy.
 func Fig9a(scale Scale) Table {
 	ds := Pool(scale.Datasets, scale)
-	var pageInf, ioInf, linAcc, heimAcc []float64
-	for i, d := range ds {
-		var pages, ios int
-		for _, r := range iolog.Reads(d.TrainLog) {
-			pages += linnos.InferencesFor(r.Size)
-			ios++
+	type fig9aResult struct {
+		pages, ios float64
+		lin, heim  float64 // NaN when training failed
+	}
+	perDS := parallel.Map(parallel.Workers(scale.Workers), len(ds), func(i int) fig9aResult {
+		d := ds[i]
+		r := fig9aResult{lin: math.NaN(), heim: math.NaN()}
+		for _, req := range iolog.Reads(d.TrainLog) {
+			r.pages += float64(linnos.InferencesFor(req.Size))
+			r.ios++
 		}
-		pageInf = append(pageInf, float64(pages))
-		ioInf = append(ioInf, float64(ios))
 		if lm, err := linnos.Train(d.TrainLog, scale.Seed+int64(i)); err == nil {
-			linAcc = append(linAcc, lm.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+			r.lin = lm.Evaluate(d.TestReads, d.TestGT).ROCAUC
 		}
 		if m, err := core.Train(d.TrainLog, scale.coreConfig(scale.Seed+int64(i))); err == nil {
-			heimAcc = append(heimAcc, m.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+			r.heim = m.Evaluate(d.TestReads, d.TestGT).ROCAUC
+		}
+		return r
+	})
+	var pageInf, ioInf, linAcc, heimAcc []float64
+	for _, r := range perDS {
+		pageInf = append(pageInf, r.pages)
+		ioInf = append(ioInf, r.ios)
+		if !math.IsNaN(r.lin) {
+			linAcc = append(linAcc, r.lin)
+		}
+		if !math.IsNaN(r.heim) {
+			heimAcc = append(heimAcc, r.heim)
 		}
 	}
 	return Table{
@@ -468,13 +508,16 @@ func Fig14(scale Scale) Table {
 		Note:    "ROC/PR/F1 climb and FNR/FPR fall as stages are added; the LB step is the controlled lower bound",
 	}
 	for _, step := range Fig14Steps() {
-		var roc, pr, f1, fnr, fpr []float64
-		for i, d := range ds {
+		step := step
+		// One training run per dataset, fanned out; nil marks a skipped
+		// (degenerate) dataset and the reduction below keeps dataset order.
+		reps := parallel.Map(parallel.Workers(scale.Workers), len(ds), func(i int) *metrics.Report {
+			d := ds[i]
 			var rep metrics.Report
 			if step.UseLinnOS {
 				lm, err := linnos.Train(d.TrainLog, scale.Seed+int64(i))
 				if err != nil {
-					continue
+					return nil
 				}
 				rep = lm.Evaluate(d.TestReads, d.TestGT)
 			} else {
@@ -482,9 +525,16 @@ func Fig14(scale Scale) Table {
 				step.Mutate(&cfg)
 				m, err := core.Train(d.TrainLog, cfg)
 				if err != nil {
-					continue
+					return nil
 				}
 				rep = m.Evaluate(d.TestReads, d.TestGT)
+			}
+			return &rep
+		})
+		var roc, pr, f1, fnr, fpr []float64
+		for _, rep := range reps {
+			if rep == nil {
+				continue
 			}
 			roc = append(roc, rep.ROCAUC)
 			pr = append(pr, rep.PRAUC)

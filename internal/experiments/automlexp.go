@@ -1,23 +1,36 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/automl"
 	"repro/internal/core"
 	"repro/internal/iolog"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
+// fig18Result is one dataset's share of Fig18: per-family accuracy, the
+// winning architecture vector, and Heimdall's score (NaN when training
+// skipped the dataset).
+type fig18Result struct {
+	famAcc [automl.NumFamilies]float64
+	winner []float64
+	heim   float64
+}
+
 // Fig18 compares AutoML (random search over the 16-family zoo on raw
 // features) against Heimdall: accuracy, modeled exploration time, and
-// cross-dataset architecture similarity.
+// cross-dataset architecture similarity. Datasets fan out on scale.Workers
+// goroutines; within each dataset the family searches fan out again (their
+// seeds derive from the family index), so the table is identical at any
+// worker count.
 func Fig18(scale Scale) Table {
 	ds := Pool(scale.Datasets, scale)
+	workers := parallel.Workers(scale.Workers)
 
-	famAcc := make([][]float64, automl.NumFamilies)
-	var winners [][]float64 // chosen architecture vector per dataset
-	var heimAcc []float64
-
-	for i, d := range ds {
+	perDS := parallel.Map(workers, len(ds), func(i int) fig18Result {
+		d := ds[i]
 		reads := iolog.Reads(d.TrainLog)
 		// Raw features only: arrival gap, size, op — no derived runtime
 		// features (§8.2).
@@ -32,8 +45,6 @@ func Fig18(scale Scale) Table {
 			}
 		}
 		X := automl.RawFeatures(arr, sizes, ops)
-		y := d.TestGT // not used for train; see below
-		_ = y
 
 		// AutoML trains on the raw train half and validates on the raw
 		// features of the test half against ground truth.
@@ -47,14 +58,29 @@ func Fig18(scale Scale) Table {
 		Xv := automl.RawFeatures(testArr, testSizes, testOps)
 		trainGT := iolog.GroundTruth(reads)
 
-		results, best := automl.FullSearch(X, trainGT, Xv, d.TestGT, scale.AutoMLTrials, scale.Seed+int64(i)*13)
+		results, best := automl.FullSearch(X, trainGT, Xv, d.TestGT, scale.AutoMLTrials, scale.Seed+int64(i)*13, workers)
+		var out fig18Result
 		for f, r := range results {
-			famAcc[f] = append(famAcc[f], r.ROCAUC)
+			out.famAcc[f] = r.ROCAUC
 		}
-		winners = append(winners, results[best].Arch)
-
+		out.winner = results[best].Arch
+		out.heim = math.NaN()
 		if m, err := core.Train(d.TrainLog, scale.coreConfig(scale.Seed+int64(i))); err == nil {
-			heimAcc = append(heimAcc, m.Evaluate(d.TestReads, d.TestGT).ROCAUC)
+			out.heim = m.Evaluate(d.TestReads, d.TestGT).ROCAUC
+		}
+		return out
+	})
+
+	famAcc := make([][]float64, automl.NumFamilies)
+	var winners [][]float64 // chosen architecture vector per dataset
+	var heimAcc []float64
+	for _, r := range perDS {
+		for f := range r.famAcc {
+			famAcc[f] = append(famAcc[f], r.famAcc[f])
+		}
+		winners = append(winners, r.winner)
+		if !math.IsNaN(r.heim) {
+			heimAcc = append(heimAcc, r.heim)
 		}
 	}
 
@@ -114,5 +140,5 @@ func perTrialHoursFor(f automl.Family) float64 {
 	// Reconstruct via a standard 20-trial search quote scaled to one trial:
 	// the automl package owns the numbers; mirror its API through
 	// SearchFamily's ExploreHours on a trivial search.
-	return automl.SearchFamily(f, [][]float64{{0}, {1}}, []int{0, 1}, [][]float64{{0}}, []int{0}, 1, 1).ExploreHours
+	return automl.SearchFamily(f, [][]float64{{0}, {1}}, []int{0, 1}, [][]float64{{0}}, []int{0}, 1, 1, 1).ExploreHours
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/iolog"
+	"repro/internal/parallel"
 	"repro/internal/ssd"
 	"repro/internal/trace"
 )
@@ -38,6 +39,11 @@ type Scale struct {
 	MaxTrainSamples int
 	// AutoMLTrials bounds the per-family random search of Fig. 18.
 	AutoMLTrials int
+	// Workers bounds the experiment harness's worker pool (0 means
+	// GOMAXPROCS). Every parallelized experiment pre-draws its random
+	// decisions serially and collects results by index, so any worker count
+	// produces byte-identical tables (see internal/parallel).
+	Workers int
 }
 
 // SmallScale is sized for unit tests and `go test -bench`.
@@ -82,8 +88,24 @@ type Dataset struct {
 	TestGT    []int // simulator ground truth for the test reads
 }
 
+// poolAttempts is how many style/augmentation redraws a dataset gets before
+// the pool accepts a degenerate window.
+const poolAttempts = 6
+
+// poolDraw carries every random decision one dataset may consume, pre-drawn
+// serially from the pool's shared stream. Pre-drawing decouples the stream
+// from how many attempts a dataset actually uses (and from worker
+// scheduling), so dataset i is a pure function of (scale, i, draw) and the
+// fan-out below is deterministic at any worker count.
+type poolDraw struct {
+	augIdx [poolAttempts]int
+	util   [poolAttempts]float64
+}
+
 // Pool builds n datasets by rotating workload styles, augmentations
 // (§6.1's five functions), and device models, deterministically in seed.
+// Dataset generation (trace synthesis + two device replays each) dominates
+// experiment setup time, so datasets are built on scale.Workers goroutines.
 //
 // Each dataset's request rate is normalized so the post-augmentation read
 // load sits at a sampled 25-55% of the device's channel capacity. The style
@@ -95,58 +117,70 @@ func Pool(n int, scale Scale) []Dataset {
 	devices := ssd.Models()
 	augs := trace.StandardAugmentations()
 	rng := rand.New(rand.NewSource(scale.Seed * 7919))
-	out := make([]Dataset, 0, n)
-	for i := 0; i < n; i++ {
-		var ds Dataset
-		// A window can come out degenerate (no slow period at all in either
-		// half) — a real operator would log longer; we redraw the
-		// style/augmentation combination a few times instead.
-		for attempt := 0; attempt < 6; attempt++ {
-			styles := trace.Styles(scale.Seed+int64(i)*31+int64(attempt)*1009, scale.TraceDur)
-			style := styles[(i+attempt)%len(styles)]
-			aug := augs[rng.Intn(len(augs))]
-			dev := devices[(i+attempt)%len(devices)]
-
-			// Normalize load to the sampled utilization, clamped so every
-			// dataset keeps a workable request count.
-			targetUtil := 0.25 + 0.3*rng.Float64()
-			rerate := aug.Rerate
-			if rerate <= 0 {
-				rerate = 1
-			}
-			eff := style.MeanIOPS * rerate * targetUtil / estimateUtil(style, aug, dev)
-			if eff < 800 {
-				eff = 800
-			} else if eff > 25000 {
-				eff = 25000
-			}
-			style.MeanIOPS = eff / rerate
-
-			full := aug.Apply(trace.Generate(style))
-			train, test := full.SplitHalf()
-
-			devA := ssd.New(dev, scale.Seed+int64(i)*101+int64(attempt))
-			trainLog := iolog.Collect(train, devA)
-			devB := ssd.New(dev, scale.Seed+int64(i)*101+int64(attempt)+50)
-			testLog := iolog.Collect(test, devB)
-			testReads := iolog.Reads(testLog)
-			testGT := iolog.GroundTruth(testReads)
-
-			ds = Dataset{
-				Name:      fmt.Sprintf("%s+%s@%s", style.Name, aug.Name, dev.Name),
-				Device:    dev,
-				TrainLog:  trainLog,
-				TestReads: testReads,
-				TestGT:    testGT,
-			}
-			trainGT := iolog.GroundTruth(iolog.Reads(trainLog))
-			if hasContention(trainGT) && hasContention(testGT) {
-				break
-			}
+	draws := make([]poolDraw, n)
+	for i := range draws {
+		for a := 0; a < poolAttempts; a++ {
+			draws[i].augIdx[a] = rng.Intn(len(augs))
+			draws[i].util[a] = 0.25 + 0.3*rng.Float64()
 		}
-		out = append(out, ds)
 	}
+	out := make([]Dataset, n)
+	parallel.ForEach(parallel.Workers(scale.Workers), n, func(i int) {
+		out[i] = buildDataset(i, scale, devices, augs, draws[i])
+	})
 	return out
+}
+
+// buildDataset generates dataset i from its pre-drawn decisions. A window
+// can come out degenerate (no slow period at all in either half) — a real
+// operator would log longer; we redraw the style/augmentation combination a
+// few times instead.
+func buildDataset(i int, scale Scale, devices []ssd.Config, augs []trace.Augmentation, draw poolDraw) Dataset {
+	var ds Dataset
+	for attempt := 0; attempt < poolAttempts; attempt++ {
+		styles := trace.Styles(scale.Seed+int64(i)*31+int64(attempt)*1009, scale.TraceDur)
+		style := styles[(i+attempt)%len(styles)]
+		aug := augs[draw.augIdx[attempt]]
+		dev := devices[(i+attempt)%len(devices)]
+
+		// Normalize load to the sampled utilization, clamped so every
+		// dataset keeps a workable request count.
+		targetUtil := draw.util[attempt]
+		rerate := aug.Rerate
+		if rerate <= 0 {
+			rerate = 1
+		}
+		eff := style.MeanIOPS * rerate * targetUtil / estimateUtil(style, aug, dev)
+		if eff < 800 {
+			eff = 800
+		} else if eff > 25000 {
+			eff = 25000
+		}
+		style.MeanIOPS = eff / rerate
+
+		full := aug.Apply(trace.Generate(style))
+		train, test := full.SplitHalf()
+
+		devA := ssd.New(dev, scale.Seed+int64(i)*101+int64(attempt))
+		trainLog := iolog.Collect(train, devA)
+		devB := ssd.New(dev, scale.Seed+int64(i)*101+int64(attempt)+50)
+		testLog := iolog.Collect(test, devB)
+		testReads := iolog.Reads(testLog)
+		testGT := iolog.GroundTruth(testReads)
+
+		ds = Dataset{
+			Name:      fmt.Sprintf("%s+%s@%s", style.Name, aug.Name, dev.Name),
+			Device:    dev,
+			TrainLog:  trainLog,
+			TestReads: testReads,
+			TestGT:    testGT,
+		}
+		trainGT := iolog.GroundTruth(iolog.Reads(trainLog))
+		if hasContention(trainGT) && hasContention(testGT) {
+			break
+		}
+	}
+	return ds
 }
 
 // hasContention reports whether at least ~0.3% of the reads saw a busy

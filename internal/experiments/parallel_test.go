@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPoolParallelMatchesSerial asserts the dataset pool's determinism
+// contract: augmentation choices and utilization targets are pre-drawn
+// serially, so any worker count builds byte-identical datasets.
+func TestPoolParallelMatchesSerial(t *testing.T) {
+	serialScale := testScale()
+	serialScale.Workers = 1
+	serial := Pool(3, serialScale)
+	for _, workers := range []int{2, 4} {
+		scale := testScale()
+		scale.Workers = workers
+		par := Pool(3, scale)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d datasets != %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if !reflect.DeepEqual(par[i], serial[i]) {
+				t.Fatalf("workers=%d: dataset %d (%s) differs from serial build", workers, i, serial[i].Name)
+			}
+		}
+	}
+}
+
+// TestFig8ParallelMatchesSerial renders the full accuracy table serially and
+// on 4 workers and requires the output bytes to match — the end-to-end check
+// that per-dataset training, scoring, and reduction order are all independent
+// of the fan-out.
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 trains eight model families per dataset")
+	}
+	serialScale := testScale()
+	serialScale.Workers = 1
+	serial := Fig8(serialScale).String()
+
+	parScale := testScale()
+	parScale.Workers = 4
+	par := Fig8(parScale).String()
+	if par != serial {
+		t.Fatalf("fig8 tables differ between worker counts:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
+// TestFig18ParallelMatchesSerial covers the doubly-nested fan-out (datasets x
+// families): seeds derive from dataset and family indices, so the table must
+// not depend on scheduling.
+func TestFig18ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig18 runs the sixteen-family search per dataset")
+	}
+	scale := testScale()
+	scale.AutoMLTrials = 1
+	scale.Workers = 1
+	serial := Fig18(scale).String()
+	scale.Workers = 4
+	par := Fig18(scale).String()
+	if par != serial {
+		t.Fatalf("fig18 tables differ between worker counts:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}

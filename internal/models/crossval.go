@@ -5,15 +5,26 @@ import (
 	"math/rand"
 
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // CrossValidate runs k-fold cross-validation — the pipeline's model
-// validation stage (MV in the paper's Fig. 1 taxonomy). Folds are assigned
-// by a deterministic shuffle of the row indices; each fold is scored with
-// ROC-AUC against its held-out labels using a fresh classifier from build.
+// validation stage (MV in the paper's Fig. 1 taxonomy) — on GOMAXPROCS
+// workers. See CrossValidateWorkers.
+func CrossValidate(build func() Classifier, X [][]float64, y []int, k int, seed int64) ([]float64, float64, error) {
+	return CrossValidateWorkers(build, X, y, k, seed, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with an explicit worker budget
+// (0 means GOMAXPROCS). Folds are assigned by a deterministic shuffle of
+// the row indices drawn before the fan-out; each fold is scored with
+// ROC-AUC against its held-out labels using a fresh classifier from build,
+// and fold scores are collected in fold order — so any worker count returns
+// identical results. build must be safe to call from multiple goroutines
+// (every in-repo constructor is: each classifier carries its own RNG).
 //
 // Returns the per-fold scores (length k) and their mean.
-func CrossValidate(build func() Classifier, X [][]float64, y []int, k int, seed int64) ([]float64, float64, error) {
+func CrossValidateWorkers(build func() Classifier, X [][]float64, y []int, k int, seed int64, workers int) ([]float64, float64, error) {
 	if k < 2 {
 		return nil, 0, fmt.Errorf("models: k-fold needs k >= 2, got %d", k)
 	}
@@ -26,15 +37,13 @@ func CrossValidate(build func() Classifier, X [][]float64, y []int, k int, seed 
 	rng := rand.New(rand.NewSource(seed))
 	idx := rng.Perm(len(X))
 
-	scores := make([]float64, 0, k)
-	var sum float64
-	for fold := 0; fold < k; fold++ {
+	scores := parallel.Map(workers, k, func(fold int) float64 {
 		lo := fold * len(idx) / k
 		hi := (fold + 1) * len(idx) / k
-		var trX [][]float64
-		var trY []int
-		var teX [][]float64
-		var teY []int
+		trX := make([][]float64, 0, len(idx)-(hi-lo))
+		trY := make([]int, 0, len(idx)-(hi-lo))
+		teX := make([][]float64, 0, hi-lo)
+		teY := make([]int, 0, hi-lo)
 		for pos, i := range idx {
 			if pos >= lo && pos < hi {
 				teX = append(teX, X[i])
@@ -48,16 +57,16 @@ func CrossValidate(build func() Classifier, X [][]float64, y []int, k int, seed 
 		if err := clf.Fit(trX, trY); err != nil {
 			// A fold can be degenerate (single class) on skewed data; score
 			// it as uninformative rather than aborting the whole validation.
-			scores = append(scores, 0.5)
-			sum += 0.5
-			continue
+			return 0.5
 		}
 		pred := make([]float64, len(teX))
 		for i, x := range teX {
 			pred[i] = clf.PredictProba(x)
 		}
-		s := metrics.ROCAUC(pred, teY)
-		scores = append(scores, s)
+		return metrics.ROCAUC(pred, teY)
+	})
+	var sum float64
+	for _, s := range scores {
 		sum += s
 	}
 	return scores, sum / float64(k), nil

@@ -40,6 +40,31 @@ func TestCrossValidateDeterministic(t *testing.T) {
 	}
 }
 
+func TestCrossValidateWorkersMatchesSerial(t *testing.T) {
+	// Fold scores must be byte-identical at any worker count: the shuffle is
+	// drawn before the fan-out and each fold is a pure function of its index.
+	X, y := blobs(25, 400, 4)
+	build := func() Classifier { return NewRandomForest(12, 5, 17) }
+	serial, meanS, err := CrossValidateWorkers(build, X, y, 5, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, meanP, err := CrossValidateWorkers(build, X, y, 5, 13, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meanP != meanS {
+			t.Fatalf("workers=%d mean %v != serial %v", workers, meanP, meanS)
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d fold %d: %v != %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
 func TestCrossValidateErrors(t *testing.T) {
 	X, y := blobs(23, 50, 2)
 	if _, _, err := CrossValidate(func() Classifier { return NewGaussianNB() }, X, y, 1, 1); err == nil {

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func allocNet(t testing.TB, layers []LayerSpec) *Network {
+	t.Helper()
+	net, err := New(Config{Inputs: 11, Layers: layers, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestPredictIntoMatchesInfer pins the zero-alloc path to the allocating
+// reference across every supported output design.
+func TestPredictIntoMatchesInfer(t *testing.T) {
+	shapes := [][]LayerSpec{
+		{{128, ReLU}, {16, ReLU}, {1, Sigmoid}},
+		{{32, LeakyReLU}, {1, Linear}},
+		{{16, Tanh}, {8, SELU}, {2, Softmax}},
+	}
+	for _, shape := range shapes {
+		net := allocNet(t, shape)
+		x := make([]float64, 11)
+		for i := range x {
+			x[i] = float64(i)*0.13 - 0.5
+		}
+		cur := make([]float64, net.ScratchSize())
+		next := make([]float64, net.ScratchSize())
+		got := net.PredictInto(x, cur, next)
+		want := net.Infer(x)
+		if got != want {
+			t.Fatalf("%v: PredictInto %v != Infer %v", shape, got, want)
+		}
+		if fwd := net.Predict(x); math.Abs(fwd-got) > 1e-12 {
+			t.Fatalf("%v: Forward-based Predict %v != PredictInto %v", shape, fwd, got)
+		}
+	}
+}
+
+// TestFloatPredictIntoZeroAlloc asserts the float deployment path allocates
+// nothing per inference once scratch exists.
+func TestFloatPredictIntoZeroAlloc(t *testing.T) {
+	net := allocNet(t, []LayerSpec{{128, ReLU}, {16, ReLU}, {1, Sigmoid}})
+	x := make([]float64, 11)
+	cur := make([]float64, net.ScratchSize())
+	next := make([]float64, net.ScratchSize())
+	var sink float64
+	if a := testing.AllocsPerRun(200, func() {
+		sink = net.PredictInto(x, cur, next)
+	}); a != 0 {
+		t.Fatalf("float PredictInto allocates %.1f per run", a)
+	}
+	_ = sink
+}
+
+// TestQuantPredictIntoZeroAlloc asserts the quantized deployment path (§4.1)
+// allocates nothing per inference.
+func TestQuantPredictIntoZeroAlloc(t *testing.T) {
+	net := allocNet(t, []LayerSpec{{128, ReLU}, {16, ReLU}, {1, Sigmoid}})
+	q, err := net.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 11)
+	cur := make([]int64, q.ScratchSize())
+	next := make([]int64, q.ScratchSize())
+	var sink float64
+	if a := testing.AllocsPerRun(200, func() {
+		sink = q.PredictInto(x, cur, next)
+	}); a != 0 {
+		t.Fatalf("quantized PredictInto allocates %.1f per run", a)
+	}
+	var decided bool
+	if a := testing.AllocsPerRun(200, func() {
+		decided = q.DecideInto(x, cur, next)
+	}); a != 0 {
+		t.Fatalf("DecideInto allocates %.1f per run", a)
+	}
+	_, _ = sink, decided
+}

@@ -358,32 +358,56 @@ func (n *Network) Predict(x []float64) float64 {
 	return out[len(out)-1]
 }
 
-// Infer is a goroutine-safe forward pass that allocates its own buffers.
-func (n *Network) Infer(x []float64) float64 {
-	a := x
+// ScratchSize returns the length of the scratch buffers PredictInto needs:
+// the widest layer of the network.
+func (n *Network) ScratchSize() int {
+	w := 0
 	for _, l := range n.layers {
-		next := make([]float64, l.out)
+		if l.out > w {
+			w = l.out
+		}
+	}
+	return w
+}
+
+// PredictInto runs a forward pass using caller-provided scratch slices
+// (each at least ScratchSize long) and returns the probability of the
+// positive class — the float counterpart of QuantNetwork.PredictInto. It
+// allocates nothing, does not modify x, and is safe for concurrent use with
+// per-goroutine scratch.
+func (n *Network) PredictInto(x []float64, cur, next []float64) float64 {
+	in := x
+	for _, l := range n.layers {
+		out := cur[:l.out]
 		for o := 0; o < l.out; o++ {
 			sum := l.b[o]
 			row := l.w[o*l.in : (o+1)*l.in]
-			for i, v := range a {
+			for i, v := range in {
 				sum += row[i] * v
 			}
-			next[o] = sum
+			out[o] = sum
 		}
 		if l.act == Softmax {
-			softmax(next, next)
+			softmax(out, out)
 		} else {
-			for o, z := range next {
-				next[o] = l.act.apply(z)
+			for o, z := range out {
+				out[o] = l.act.apply(z)
 			}
 		}
-		a = next
+		in = out
+		cur, next = next, cur
 	}
-	if len(a) == 1 {
-		return a[0]
+	if len(in) == 1 {
+		return in[0]
 	}
-	return a[len(a)-1]
+	return in[len(in)-1]
+}
+
+// Infer is a goroutine-safe forward pass that allocates its own buffers.
+// Hot loops should allocate scratch once and call PredictInto instead.
+func (n *Network) Infer(x []float64) float64 {
+	w := n.ScratchSize()
+	return n.PredictInto(x, make([]float64, w), make([]float64, w))
 }
 
 // TrainStats reports the training run.

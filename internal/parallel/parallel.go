@@ -1,0 +1,118 @@
+// Package parallel is the deterministic fan-out layer used by the
+// experiment harness: a bounded worker pool with index-ordered result
+// collection and panic propagation.
+//
+// Determinism contract: callers pre-draw every random decision serially
+// (so shared rand streams are consumed in a fixed order), hand the pool a
+// pure function of the index, and collect results by index. Under that
+// discipline the output is byte-identical for any worker count — Workers(1)
+// and Workers(N) produce the same tables, which the experiment tests
+// assert. See DESIGN.md "Performance & concurrency model" for the
+// seed-partitioning rules each call site follows.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n itself when positive,
+// otherwise GOMAXPROCS. Experiment scales carry the request in their
+// Workers field; 0 everywhere means "use the machine".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). It returns after all calls complete. If
+// any fn panics, the first panic value is re-raised on the caller's
+// goroutine once the remaining workers have drained.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = r
+					}
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order — the parallel shape of a for-append
+// loop whose iterations are independent. Panic behaviour matches ForEach.
+func Map[R any](workers, n int, fn func(i int) R) []R {
+	out := make([]R, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// ForEachChunk partitions [0, n) into at most workers contiguous chunks and
+// runs fn(lo, hi) for each. Chunked iteration lets a worker reuse scratch
+// buffers across its slice of the work (e.g. one scores buffer per chunk of
+// AutoML trials) while staying deterministic: results are written by index,
+// so chunk boundaries never show in the output.
+func ForEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + workers - 1) / workers
+	chunks := (n + size - 1) / size
+	ForEach(workers, chunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 253
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestMapIndexOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapDeterministic is the core invariant: for a pure fn, any worker
+// count yields the identical result slice.
+func TestMapDeterministic(t *testing.T) {
+	fn := func(i int) int64 { return int64(i)*2654435761 + 17 }
+	want := Map(1, 500, fn)
+	for _, workers := range []int{2, 5, 32} {
+		got := Map(workers, 500, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 10, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		ForEachChunk(workers, n, func(lo, hi int) {
+			if lo >= hi || lo < 0 || hi > n {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: wrong panic value %v", workers, r)
+				}
+			}()
+			ForEach(workers, 50, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachPanicStopsEarly checks the pool drains instead of running the
+// full range after a panic (best-effort: indexes already claimed finish).
+func TestForEachPanicStopsEarly(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ForEach(2, 1_000_000, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("stop")
+			}
+		})
+	}()
+	if n := ran.Load(); n >= 1_000_000 {
+		t.Fatalf("pool ran all %d iterations after panic", n)
+	}
+}

@@ -1,0 +1,130 @@
+package replay
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/ssd"
+)
+
+// boxedEvents is the old container/heap adapter, kept here only to prove the
+// typed sift helpers pop in the identical order.
+type boxedEvents []event
+
+func (h boxedEvents) Len() int { return len(h) }
+func (h boxedEvents) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedEvents) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *boxedEvents) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *boxedEvents) Pop() any     { old := *h; n := len(old) - 1; e := old[n]; *h = old[:n]; return e }
+
+func TestEventHeapMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var typed eventHeap
+	var boxed boxedEvents
+	for i := 0; i < 500; i++ {
+		e := event{at: rng.Int63n(1000), seq: int64(i)}
+		typed.push(e)
+		heap.Push(&boxed, e)
+		// Interleave pops so both heaps exercise down() on partial content.
+		if rng.Intn(3) == 0 && typed.Len() > 0 {
+			a := typed.pop()
+			b := heap.Pop(&boxed).(event)
+			if a != b {
+				t.Fatalf("pop %d: typed %+v != boxed %+v", i, a, b)
+			}
+		}
+	}
+	for typed.Len() > 0 {
+		a := typed.pop()
+		b := heap.Pop(&boxed).(event)
+		if a != b {
+			t.Fatalf("drain: typed %+v != boxed %+v", a, b)
+		}
+	}
+	if boxed.Len() != 0 {
+		t.Fatal("boxed heap not drained")
+	}
+}
+
+func TestEventHeapInitSortsBackingSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := make(eventHeap, 0, 256)
+	for i := 0; i < 256; i++ {
+		h = append(h, event{at: rng.Int63n(100), seq: int64(i)})
+	}
+	h.init()
+	prev := h.pop()
+	for h.Len() > 0 {
+		cur := h.pop()
+		if cur.at < prev.at || (cur.at == prev.at && cur.seq < prev.seq) {
+			t.Fatalf("out of order: %+v after %+v", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestEventHeapPushPopZeroAlloc is the point of the typed heaps: with the
+// backing array pre-grown, a push/pop cycle must not allocate (container/heap
+// boxed every event into an interface on push).
+func TestEventHeapPushPopZeroAlloc(t *testing.T) {
+	h := make(eventHeap, 0, 64)
+	var at int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			at += 17
+			h.push(event{at: at % 257, seq: at})
+		}
+		for h.Len() > 0 {
+			h.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("event heap push/pop allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestCompletionsPushPopZeroAlloc(t *testing.T) {
+	h := make(completions, 0, 64)
+	var at int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			at += 31
+			h.push(completion{at: at % 101})
+		}
+		for h.Len() > 0 {
+			h.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("completions push/pop allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTrackerRecordAdvanceZeroAlloc covers one replay bookkeeping step — the
+// record of a device result plus the completion drain — once the pending heap
+// has grown to its working size.
+func TestTrackerRecordAdvanceZeroAlloc(t *testing.T) {
+	tr := &tracker{
+		dev:     ssd.New(ssd.Samsung970Pro(), 1),
+		hist:    feature.NewWindow(3),
+		pending: make(completions, 0, 64),
+		alpha:   0.1,
+		threads: 2,
+	}
+	now := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += 10_000
+		tr.record(now, 4096, ssd.Result{Start: now, Complete: now + 80_000, QueueLen: 3})
+		tr.advance(now + 200_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("tracker record/advance allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -12,7 +12,6 @@
 package replay
 
 import (
-	"container/heap"
 	"time"
 
 	"repro/internal/fault"
@@ -108,23 +107,71 @@ type event struct {
 	attempt      int // retry: 1-based attempt index
 }
 
+// eventHeap is a typed binary min-heap ordered by (at, seq). The sift
+// helpers replace container/heap's interface{}-boxed Push/Pop — the event
+// loop is the replayer's hot path and boxing each event allocated once per
+// push. The sift order matches container/heap exactly, so replay results
+// are unchanged.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// init heapifies an unordered backing slice (container/heap.Init).
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	top := old[n]
+	*h = old[:n]
+	(*h).down(0)
+	return top
 }
 
 // tracker is the client-side observable state of one device.
@@ -149,23 +196,61 @@ type completion struct {
 	service  float64
 }
 
+// completions is a typed min-heap by completion time (same unboxed sift
+// helpers as eventHeap).
 type completions []completion
 
-func (h completions) Len() int            { return len(h) }
-func (h completions) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completions) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completions) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completions) Pop() interface{} {
+func (h completions) Len() int           { return len(h) }
+func (h completions) less(i, j int) bool { return h[i].at < h[j].at }
+
+func (h completions) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h completions) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h *completions) push(c completion) {
+	*h = append(*h, c)
+	h.up(len(*h) - 1)
+}
+
+func (h *completions) pop() completion {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	top := old[n]
+	*h = old[:n]
+	(*h).down(0)
+	return top
 }
 
 func (t *tracker) advance(now int64) {
 	for t.pending.Len() > 0 && t.pending[0].at <= now {
-		c := heap.Pop(&t.pending).(completion)
+		c := t.pending.pop()
 		// The backend-side history window sees every completion (it lives on
 		// the storage node).
 		t.hist.Push(feature.Hist{Latency: c.latency, QueueLen: c.queueLen, Thpt: c.thpt})
@@ -204,7 +289,7 @@ func (t *tracker) record(submitAt int64, size int32, res ssd.Result) {
 	if lat > 0 {
 		thpt = float64(size) / (1 << 20) / (lat / 1e9)
 	}
-	heap.Push(&t.pending, completion{
+	t.pending.push(completion{
 		at:       res.Complete,
 		latency:  lat,
 		queueLen: float64(res.QueueLen),
@@ -289,8 +374,17 @@ func Run(traces []*trace.Trace, opts Options) Result {
 		}
 	}
 
-	var events eventHeap
 	var seq int64
+	nReads, nReqs := 0, 0
+	for _, t := range traces {
+		nReqs += len(t.Reqs)
+		for _, r := range t.Reqs {
+			if r.Op == trace.Read {
+				nReads++
+			}
+		}
+	}
+	events := make(eventHeap, 0, nReqs)
 	for ti, t := range traces {
 		for _, r := range t.Reqs {
 			primary := ti % n
@@ -304,14 +398,16 @@ func Run(traces []*trace.Trace, opts Options) Result {
 			seq++
 		}
 	}
-	heap.Init(&events)
+	events.init()
 
 	res := Result{Policy: sel.Name()}
-	var readLats []int64
+	// Every read contributes exactly one latency sample (completed, hedged,
+	// or failed), so the trace's read count is the exact final size.
+	readLats := make([]int64, 0, nReads)
 	views := make([]policy.View, n)
 
 	for events.Len() > 0 {
-		ev := heap.Pop(&events).(event)
+		ev := events.pop()
 		now := ev.at
 		for _, tr := range trackers {
 			tr.advance(now)
@@ -350,7 +446,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 				// The replica failed the read outright: retry on the
 				// alternate replica after the initial backoff.
 				seq++
-				heap.Push(&events, event{
+				events.push(event{
 					at: now + backoff, seq: seq, kind: evRetry,
 					size: ev.size, submitAt: now,
 					target: altReplica(d.Target, n), attempt: 1,
@@ -364,7 +460,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 				// The request will still be outstanding at the timeout:
 				// schedule the backup.
 				seq++
-				heap.Push(&events, event{
+				events.push(event{
 					at: now + int64(d.HedgeAfter), seq: seq, kind: evHedge,
 					size: ev.size, origComplete: r.Complete,
 					submitAt: now, target: d.HedgeTarget,
@@ -375,7 +471,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 				// abandoned request — that work is wasted, as in reality).
 				res.TimedOut++
 				seq++
-				heap.Push(&events, event{
+				events.push(event{
 					at: now + timeout, seq: seq, kind: evRetry,
 					size: ev.size, submitAt: now,
 					target: altReplica(d.Target, n), attempt: 1,
@@ -411,7 +507,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 				// Timed out again; attempts remain.
 				res.TimedOut++
 				seq++
-				heap.Push(&events, event{
+				events.push(event{
 					at: now + timeout, seq: seq, kind: evRetry,
 					size: ev.size, submitAt: ev.submitAt,
 					target: altReplica(ev.target, n), attempt: ev.attempt + 1,
@@ -419,7 +515,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 			case ev.attempt < maxRetries:
 				// Failed again; exponential backoff to the other replica.
 				seq++
-				heap.Push(&events, event{
+				events.push(event{
 					at: now + backoff<<ev.attempt, seq: seq, kind: evRetry,
 					size: ev.size, submitAt: ev.submitAt,
 					target: altReplica(ev.target, n), attempt: ev.attempt + 1,

@@ -2,7 +2,38 @@
 
 package heimdall
 
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
 // raceDetectorEnabled reports whether this binary was built with -race.
 // Wall-clock performance assertions (Fig. 15a's saturation cap) are
 // meaningless under the detector's ~20x instrumentation slowdown.
 const raceDetectorEnabled = true
+
+// TestParallelFanOutUnderRace exists to put the experiment engine's worker
+// pool in front of the race detector: the dataset-pool fan-out, the
+// per-dataset model sweep, and the nested AutoML trial fan-out all run on 4
+// goroutines here. Any unsynchronized sharing between workers (a scratch
+// buffer escaping its chunk, a reduction racing a writer) fails this test.
+func TestParallelFanOutUnderRace(t *testing.T) {
+	scale := experiments.SmallScale()
+	scale.TraceDur = 1500 * time.Millisecond
+	scale.Datasets = 2
+	scale.Epochs = 2
+	scale.MaxTrainSamples = 2000
+	scale.AutoMLTrials = 1
+	scale.Workers = 4
+	if ds := experiments.Pool(3, scale); len(ds) != 3 {
+		t.Fatalf("pool built %d datasets", len(ds))
+	}
+	if tab := experiments.Fig8(scale); len(tab.Rows) == 0 {
+		t.Fatal("fig8 produced no rows")
+	}
+	if tab := experiments.Fig18(scale); len(tab.Rows) == 0 {
+		t.Fatal("fig18 produced no rows")
+	}
+}
