@@ -125,13 +125,11 @@ func main() {
 		}
 		return
 	}
-	r, ok := runners[name]
-	if !ok {
+	if _, ok := runners[name]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", name)
 		usage()
 		os.Exit(2)
 	}
-	_ = r
 	run(name, scale, *jsonOut)
 }
 

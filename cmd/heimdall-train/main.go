@@ -49,7 +49,9 @@ func main() {
 			fatal(err)
 		}
 		model, err = core.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -138,7 +140,9 @@ func loadTrace(path, style string, seed int64, dur time.Duration) (*trace.Trace,
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() {
+			_ = f.Close() // read-only: a close failure cannot corrupt the trace
+		}()
 		return trace.ReadCSV(f, path)
 	}
 	switch style {

@@ -1,0 +1,81 @@
+// Command heimdall-vet runs the project's custom static-analysis suite
+// over the module: five lints (walltime, globalrand, maporder, hotpath,
+// errdrop) that enforce the determinism, seed-hygiene, and hot-path
+// invariants the compiler cannot see. See internal/analysis and the
+// "Static invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	heimdall-vet [./... | dir]
+//
+// With no argument (or "./..."/"." for go-vet muscle-memory) the suite
+// analyzes the whole module containing the working directory. A directory
+// argument analyzes the module rooted at (or above) that directory instead —
+// handy for pointing it at the violation fixtures under
+// internal/analysis/testdata. Findings print as "file:line: [lint] message",
+// sorted; the exit status is 1 when there are findings, 2 on a load or
+// usage error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: heimdall-vet [./... | dir]")
+		os.Exit(2)
+	}
+	start, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] != "./..." && args[0] != "." {
+		start = args[0]
+		if fi, err := os.Stat(start); err != nil || !fi.IsDir() {
+			fmt.Fprintf(os.Stderr, "heimdall-vet: %s is not a directory\n", args[0])
+			os.Exit(2)
+		}
+	}
+	root, err := moduleRoot(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(root, analysis.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "heimdall-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from dir to the nearest go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

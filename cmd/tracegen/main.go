@@ -58,10 +58,15 @@ func main() {
 
 	if *csv {
 		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
 		fmt.Fprintln(w, "arrival_ns,op,offset,size")
 		for _, r := range t.Reqs {
 			fmt.Fprintf(w, "%d,%s,%d,%d\n", r.Arrival, r.Op, r.Offset, r.Size)
+		}
+		// bufio errors are sticky: one check after the loop catches a broken
+		// pipe or full disk that would otherwise truncate the trace silently.
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: writing csv: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,205 @@
+// Package analysis implements heimdall-vet: a stdlib-only static-analysis
+// suite (go/parser, go/ast, go/types — no golang.org/x/tools) that enforces
+// the project invariants the compiler cannot see:
+//
+//   - walltime: time.Now/time.Since and friends are banned outside an
+//     explicit allowlist — simulated time must come from the replay/ssd
+//     clocks, or byte-identical experiment tables break.
+//   - globalrand: package-level math/rand functions are banned everywhere;
+//     randomness must flow through a seeded *rand.Rand, and seeds may not
+//     be derived from the wall clock.
+//   - maporder: range over a map in the experiment-producing packages needs
+//     a //heimdall:ordered audit annotation (or a sorted-keys rewrite),
+//     because map iteration order would leak nondeterminism into tables.
+//   - hotpath: functions annotated //heimdall:hotpath (the sub-microsecond
+//     inference and replay-heap paths) may not call fmt/log, construct
+//     closures, convert to interfaces, or append to non-receiver/non-param
+//     slices — a compile-time complement to the AllocsPerRun tests.
+//   - errdrop: discarded error returns in internal/ and cmd/ are
+//     diagnostics.
+//
+// Diagnostics are emitted as "file:line: [lint] message", sorted, and are
+// deterministic across runs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config selects where each lint applies. Paths are module-relative and
+// slash-separated.
+type Config struct {
+	// WalltimeAllow lists path prefixes (directories or files) where
+	// wall-clock calls are permitted, e.g. the CLIs.
+	WalltimeAllow []string
+	// MapOrderDirs lists directory prefixes whose packages must order (or
+	// audit) their map iterations.
+	MapOrderDirs []string
+	// ErrDropDirs lists directory prefixes where discarded error returns
+	// are diagnostics.
+	ErrDropDirs []string
+}
+
+// DefaultConfig is the repository policy: CLIs may read the wall clock,
+// the table-producing packages must order map iteration, and internal/ and
+// cmd/ may not drop errors.
+func DefaultConfig() Config {
+	return Config{
+		WalltimeAllow: []string{"cmd/"},
+		MapOrderDirs:  []string{"internal/experiments", "internal/automl", "internal/metrics", "internal/models"},
+		ErrDropDirs:   []string{"internal/", "cmd/"},
+	}
+}
+
+// Diagnostic is one finding. File is module-relative and slash-separated.
+type Diagnostic struct {
+	File string
+	Line int
+	Col  int
+	Lint string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [lint] message"
+// form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Lint, d.Msg)
+}
+
+// A pass inspects one package and reports findings through report.
+type pass struct {
+	name string
+	run  func(cfg Config, mod *Module, pkg *Package, report reporter)
+}
+
+type reporter func(pos token.Pos, msg string)
+
+// passes is the fixed lint registry, in documentation order.
+var passes = []pass{
+	{"walltime", walltime},
+	{"globalrand", globalrand},
+	{"maporder", maporder},
+	{"hotpath", hotpath},
+	{"errdrop", errdrop},
+}
+
+// Run loads the module rooted at root and applies every lint, returning
+// the sorted, deduplicated findings. The returned slice is deterministic:
+// two runs over the same tree produce identical output.
+func Run(root string, cfg Config) ([]Diagnostic, error) {
+	mod, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	return RunModule(mod, cfg), nil
+}
+
+// RunModule applies every lint to an already-loaded module.
+func RunModule(mod *Module, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range passes {
+		for _, pkg := range mod.Pkgs {
+			report := func(pos token.Pos, msg string) {
+				position := mod.Fset.Position(pos)
+				rel, err := filepath.Rel(mod.Root, position.Filename)
+				if err != nil {
+					rel = position.Filename
+				}
+				diags = append(diags, Diagnostic{
+					File: filepath.ToSlash(rel),
+					Line: position.Line,
+					Col:  position.Column,
+					Lint: p.name,
+					Msg:  msg,
+				})
+			}
+			p.run(cfg, mod, pkg, report)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Lint != b.Lint {
+			return a.Lint < b.Lint
+		}
+		return a.Msg < b.Msg
+	})
+	// Dedupe: a node reached through two inspection routes reports once.
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// relFile returns the module-relative slash path of the file containing pos.
+func relFile(mod *Module, pos token.Pos) string {
+	name := mod.Fset.Position(pos).Filename
+	rel, err := filepath.Rel(mod.Root, name)
+	if err != nil {
+		return filepath.ToSlash(name)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// underAny reports whether the module-relative path is covered by any of
+// the given prefixes (directory prefixes or exact file paths).
+func underAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p ||
+			(strings.HasSuffix(p, "/") && strings.HasPrefix(path, p)) ||
+			(!strings.HasSuffix(p, "/") && strings.HasPrefix(path, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeObject resolves the object a call expression invokes, or nil for
+// calls through computed function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}

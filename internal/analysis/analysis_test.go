@@ -1,0 +1,171 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var fixtureRoot = filepath.Join("testdata", "src", "vetmod")
+
+// fixtureConfig scopes the lints to the fixture packages the same way
+// DefaultConfig scopes them to the real tree.
+var fixtureConfig = analysis.Config{
+	WalltimeAllow: []string{"walltime/allowed"},
+	MapOrderDirs:  []string{"maporder"},
+	ErrDropDirs:   []string{"errdrop"},
+}
+
+// TestFixtures runs the whole suite over the fixture module and requires
+// an exact match between the diagnostics and the // want comments: every
+// want must be hit, and every finding must be wanted.
+func TestFixtures(t *testing.T) {
+	diags, err := analysis.Run(fixtureRoot, fixtureConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture run produced no diagnostics; the seeded violations were missed")
+	}
+	wants := collectWants(t, fixtureRoot)
+
+	matched := map[string][]bool{} // parallel to wants[key]
+	for key := range wants {
+		matched[key] = make([]bool, len(wants[key]))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.File, d.Line)
+		text := fmt.Sprintf("[%s] %s", d.Lint, d.Msg)
+		ok := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(text) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range matched {
+		for i, hit := range res {
+			if !hit {
+				t.Errorf("%s: want %q never reported", key, wants[key][i])
+			}
+		}
+	}
+}
+
+// TestWalltimeAllowlist drops the allowlist and checks that the allowed
+// package's clock reads become findings — pinning that the allowlist, not
+// an accident of scoping, is what silences them.
+func TestWalltimeAllowlist(t *testing.T) {
+	cfg := fixtureConfig
+	cfg.WalltimeAllow = nil
+	diags, err := analysis.Run(fixtureRoot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, d := range diags {
+		if d.Lint == "walltime" && strings.HasPrefix(d.File, "walltime/allowed/") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("with the allowlist removed, walltime/allowed should produce walltime findings")
+	}
+}
+
+// TestOutputDeterministic runs the suite twice from scratch and requires
+// byte-identical, sorted output — heimdall-vet polices determinism, so its
+// own output order must be deterministic too.
+func TestOutputDeterministic(t *testing.T) {
+	a, err := analysis.Run(fixtureRoot, fixtureConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.Run(fixtureRoot, fixtureConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs over the same tree produced different diagnostics")
+	}
+	sorted := sort.SliceIsSorted(a, func(i, j int) bool {
+		if a[i].File != a[j].File {
+			return a[i].File < a[j].File
+		}
+		return a[i].Line < a[j].Line
+	})
+	if !sorted {
+		t.Error("diagnostics are not sorted by file and line")
+	}
+}
+
+// TestHeimdallVet is the tier-1 gate: the suite over the real repository
+// must be clean, so any new violation fails go test ./... rather than
+// waiting for CI's vet job.
+func TestHeimdallVet(t *testing.T) {
+	diags, err := analysis.Run(filepath.Join("..", ".."), analysis.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want ("[^"]*"\s*)+`)
+var quotedRE = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants scans every fixture file for // want "regex" comments and
+// returns them keyed by "relfile:line".
+func collectWants(t *testing.T, root string) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindString(line)
+			if m == "" {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", rel, i+1)
+			for _, q := range quotedRE.FindAllStringSubmatch(m, -1) {
+				re, err := regexp.Compile(regexp.QuoteMeta(q[1]))
+				if err != nil {
+					return fmt.Errorf("%s: bad want %q: %w", key, q[1], err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want comments found under " + root)
+	}
+	return wants
+}

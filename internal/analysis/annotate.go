@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotations are pragma-style comments that acknowledge an audited site:
+//
+//	//heimdall:hotpath   on a function: enforce the allocation-free rules
+//	//heimdall:walltime  on a function: audited wall-clock reporting
+//	//heimdall:ordered   on (or directly above) a map-range statement:
+//	                     the fold is commutative or the keys are sorted
+//
+// They are written without a space after //, like //go:noinline, so gofmt
+// leaves them alone.
+const (
+	annHotpath  = "heimdall:hotpath"
+	annWalltime = "heimdall:walltime"
+	annOrdered  = "heimdall:ordered"
+)
+
+// hasAnnotation reports whether a doc comment carries the given pragma on
+// a line of its own.
+func hasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == name {
+			return true
+		}
+	}
+	return false
+}
+
+// annotationLines returns the set of line numbers in file that carry the
+// given pragma, either as a standalone comment or trailing a statement.
+func annotationLines(fset *token.FileSet, file *ast.File, name string) map[int]bool {
+	lines := map[int]bool{}
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == name {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

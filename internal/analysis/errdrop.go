@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// errdrop flags statements that silently discard an error return inside
+// the configured directories: a bare `f.Close()`, `defer w.Flush()`, or
+// `go doWork()` whose error vanishes. Assigning the error explicitly
+// (`_ = f.Close()`) is an acknowledged discard and is not flagged.
+//
+// Conventional never-fails and console writes are exempt:
+//
+//   - fmt.Print/Printf/Println (stdout convention);
+//   - fmt.Fprint* when the writer is os.Stdout/os.Stderr, a
+//     *strings.Builder, *bytes.Buffer, *bufio.Writer, or
+//     *text/tabwriter.Writer — the sticky-error types whose final
+//     Flush/String carries the failure, which errdrop still checks;
+//   - methods on *strings.Builder and *bytes.Buffer (documented to
+//     always return a nil error).
+func errdrop(cfg Config, mod *Module, pkg *Package, report reporter) {
+	for _, file := range pkg.Files {
+		if !underAny(relFile(mod, file.Pos()), cfg.ErrDropDirs) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || !returnsError(pkg.Info, call) || errdropExempt(pkg.Info, call) {
+				return true
+			}
+			report(call.Pos(), "error return of "+calleeName(pkg.Info, call)+" is discarded; handle it or assign it to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call satisfies error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	sig := callSignature(info, call)
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Implements(res.At(i).Type(), errorIface) {
+			return true
+		}
+	}
+	return false
+}
+
+// errdropExempt applies the conventional-ignore rules documented on errdrop.
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		switch typeString(recv.Type()) {
+		case "*strings.Builder", "*bytes.Buffer":
+			return true
+		}
+		return false
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	switch name {
+	case "Print", "Printf", "Println":
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return stickyWriter(info, call.Args[0])
+	}
+	return false
+}
+
+// stickyWriter reports whether the fmt.Fprint* destination is a console
+// stream or a sticky-error writer whose failure surfaces elsewhere.
+func stickyWriter(info *types.Info, w ast.Expr) bool {
+	if sel, ok := unparen(w).(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				return true
+			}
+		}
+	}
+	tv, ok := info.Types[w]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch typeString(tv.Type) {
+	case "*strings.Builder", "*bytes.Buffer", "*bufio.Writer", "*text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// typeString renders a type with full package paths for exact matching.
+func typeString(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// calleeName renders the called function for the diagnostic message.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+				if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+					return "(" + typeString(sig.Recv().Type()) + ")." + fn.Name()
+				}
+				return fn.Pkg().Name() + "." + fn.Name()
+			}
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// globalrandAllowed are the math/rand package-level functions that do not
+// touch the shared global source: constructors for explicitly seeded state.
+var globalrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// globalrand enforces seed hygiene everywhere in the module:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...) draw from the process-global source and are
+//     banned; randomness must flow through a seeded *rand.Rand.
+//   - rand.NewSource / rand.New arguments may not be derived from the
+//     wall clock (time.Now().UnixNano() and friends) — a time-derived
+//     seed is exactly the nondeterminism the suite exists to stop, even
+//     in walltime-allowlisted CLIs.
+func globalrand(cfg Config, mod *Module, pkg *Package, report reporter) {
+	_ = cfg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on a seeded *rand.Rand are the sanctioned path
+			}
+			if !globalrandAllowed[fn.Name()] {
+				report(sel.Pos(), "rand."+fn.Name()+" draws from the process-global source; "+
+					"thread a seeded *rand.Rand instead")
+			}
+			return true
+		})
+		// Second walk: seed provenance of rand.NewSource / rand.New calls.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pkg.Info, call)
+			if obj == nil {
+				return true
+			}
+			if !isPkgFunc(obj, "math/rand", "NewSource") && !isPkgFunc(obj, "math/rand/v2", "NewPCG") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if hit, found := wallClockRead(pkg.Info, arg); found {
+					report(hit.Pos(), "time-derived seed passed to rand."+obj.Name()+
+						"; seeds must be explicit so runs are reproducible")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wallClockRead scans an expression tree for a wall-clock read: a call to
+// time.Now or to a Unix*-family method on time.Time.
+func wallClockRead(info *types.Info, e ast.Expr) (ast.Node, bool) {
+	var hit ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		if isPkgFunc(obj, "time", "Now") {
+			hit = sel
+			return false
+		}
+		// Methods like t.UnixNano() on time.Time: flag the Unix family so a
+		// seed laundered through a stored time.Time is still caught.
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+			strings.HasPrefix(fn.Name(), "Unix") && fn.Type().(*types.Signature).Recv() != nil {
+			hit = sel
+			return false
+		}
+		return true
+	})
+	if hit != nil {
+		return hit, true
+	}
+	return nil, false
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked non-test package of the module
+// under analysis.
+type Package struct {
+	Path   string // import path, e.g. "repro/internal/nn"
+	RelDir string // module-relative directory, "" for the module root
+	Dir    string // absolute directory
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Module is a fully loaded module: every non-test package parsed and
+// type-checked against real stdlib signatures, with no dependency on
+// golang.org/x/tools.
+type Module struct {
+	Root string // absolute module root (the directory holding go.mod)
+	Path string // module path from the go.mod module directive
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under root. Directories named testdata or vendor and directories starting
+// with "." or "_" are skipped, matching the go tool's rules. Intra-module
+// imports are resolved by recursively loading the target directory; stdlib
+// imports fall through to the source importer.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		state:   map[string]int{},
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: fset}
+	for _, rel := range dirs {
+		ip := modPath
+		if rel != "" {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := ld.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			mod.Pkgs = append(mod.Pkgs, pkg)
+		}
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w (heimdall-vet must run at a module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// packageDirs returns the module-relative directories containing at least
+// one non-test .go file, sorted.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		if n := len(dirs); n == 0 || dirs[n-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loader type-checks module packages on demand, memoizing results so each
+// package is checked exactly once however many importers reach it.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	state   map[string]int // 0 unseen, 1 in progress, 2 done
+}
+
+// Import implements types.Importer: module-path imports load recursively,
+// everything else (stdlib) goes to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+// load parses and type-checks the package at the given import path.
+func (l *loader) load(importPath string) (*Package, error) {
+	if l.state[importPath] == 2 {
+		return l.pkgs[importPath], nil
+	}
+	if l.state[importPath] == 1 {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.state[importPath] = 1
+	defer func() { l.state[importPath] = 2 }()
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.modPath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range entries { // ReadDir sorts by name, so file order is stable
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:   importPath,
+		RelDir: rel,
+		Dir:    dir,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporder guards the determinism contract of the table-producing packages
+// (experiments, automl, metrics, models): ranging over a map yields keys in
+// a different order every run, so any map-range there must either be
+// rewritten to the sorted-keys idiom (collect keys, sort, range the slice —
+// which this lint then no longer sees) or carry a //heimdall:ordered
+// annotation on or directly above the range statement, acknowledging that
+// the fold was audited as commutative.
+func maporder(cfg Config, mod *Module, pkg *Package, report reporter) {
+	if pkg.RelDir == "" || !underAny(pkg.RelDir+"/", dirsAsPrefixes(cfg.MapOrderDirs)) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ordered := annotationLines(mod.Fset, file, annOrdered)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := mod.Fset.Position(rs.Pos()).Line
+			if ordered[line] || ordered[line-1] {
+				return true
+			}
+			if isKeyCollect(pkg.Info, rs) {
+				return true // the collection step of the sorted-keys idiom
+			}
+			report(rs.Pos(), "range over a map has nondeterministic order; sort the keys first "+
+				"or annotate the statement //heimdall:ordered after auditing that the fold is commutative")
+			return true
+		})
+	}
+}
+
+// isKeyCollect recognizes the collection step of the sorted-keys idiom —
+// a range whose body is exactly `keys = append(keys, k)` for the range key
+// — which is order-insensitive once the subsequent sort runs and so is not
+// flagged. Any other body must be annotated or restructured.
+func isKeyCollect(info *types.Info, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin || fun.Name != "append" {
+		return false
+	}
+	dst, ok1 := as.Lhs[0].(*ast.Ident)
+	src, ok2 := unparen(call.Args[0]).(*ast.Ident)
+	arg, ok3 := unparen(call.Args[1]).(*ast.Ident)
+	return ok1 && ok2 && ok3 &&
+		info.ObjectOf(dst) != nil && info.ObjectOf(dst) == info.ObjectOf(src) &&
+		info.ObjectOf(arg) == info.ObjectOf(key)
+}
+
+// dirsAsPrefixes normalizes directory names to "dir/" prefixes so that
+// underAny treats them as subtree roots.
+func dirsAsPrefixes(dirs []string) []string {
+	out := make([]string, len(dirs))
+	for i, d := range dirs {
+		if len(d) > 0 && d[len(d)-1] != '/' {
+			d += "/"
+		}
+		out[i] = d
+	}
+	return out
+}

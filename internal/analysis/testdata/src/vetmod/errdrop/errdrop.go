@@ -1,0 +1,46 @@
+// Package errdrop exercises the discarded-error lint: bare statements,
+// defers, and go statements that drop an error are findings; explicit
+// discards and the conventional never-fails writers are not.
+package errdrop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+// Bare drops the error three ways.
+func Bare() {
+	work()         // want "error return of work is discarded"
+	defer work()   // want "error return of work is discarded"
+	go func() {}() // a call returning nothing is never a finding
+	go work()      // want "error return of work is discarded"
+}
+
+// Handled shows the accepted forms: checking, returning, or an explicit
+// discard with _.
+func Handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work()
+	return work()
+}
+
+// Writers exercises the conventional exemptions: console prints, sticky
+// buffered writers, and strings.Builder methods never flag; the final
+// Flush carries the real error and is returned.
+func Writers(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "header")
+	b.WriteString("body")
+	fmt.Println(b.String())
+	fmt.Fprintln(os.Stderr, "progress")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "payload")
+	return bw.Flush()
+}

@@ -1,0 +1,20 @@
+// Package globalrand exercises the seed-hygiene lint: package-level
+// math/rand functions draw from the process-global source and are banned;
+// randomness must flow through a seeded *rand.Rand.
+package globalrand
+
+import "math/rand"
+
+// Draws uses the global source three ways.
+func Draws(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global source"
+	n := rand.Intn(10)                                                    // want "rand.Intn draws from the process-global source"
+	return n + int(rand.Float64()*10)                                     // want "rand.Float64 draws from the process-global source"
+}
+
+// Seeded is the sanctioned path: explicit seed, local generator, and
+// methods on the *rand.Rand are untouched by the lint.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,36 @@
+// Package hotpath exercises the hot-path lint: a //heimdall:hotpath
+// function may not call fmt/log, build closures, box values into
+// interfaces, or append to slices it does not own.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+)
+
+func sink(v any) { _ = v }
+
+// Hot is annotated, so each allocating shape below is a finding.
+//
+//heimdall:hotpath
+func Hot(xs []float64) []float64 {
+	fmt.Println(len(xs))                          // want "fmt.Println called on a"
+	scale := func(v float64) float64 { return v } // want "closure constructed on a"
+	_ = scale
+	sink(xs[0])    // want "concrete value passed as interface"
+	_ = any(xs[0]) // want "conversion to interface type"
+	tmp := make([]float64, 0, len(xs))
+	tmp = append(tmp, xs...) // want "append to a slice not rooted"
+	_ = tmp
+	xs = append(xs, math.Sqrt(2)) // appending to a parameter is the caller's buffer: fine
+	return xs
+}
+
+// Cold has the same shapes with no annotation: the lint ignores it.
+func Cold(xs []float64) []float64 {
+	fmt.Println(len(xs))
+	tmp := make([]float64, 0, len(xs))
+	tmp = append(tmp, xs...)
+	sink(tmp)
+	return xs
+}

@@ -1,0 +1,61 @@
+// Package maporder exercises the map-iteration-order lint: inside the
+// configured packages a map range must be audited, annotated, or rewritten
+// to the sorted-keys idiom.
+package maporder
+
+import "sort"
+
+// Fold ranges a map with no annotation: flagged even though this
+// particular fold happens to commute — the audit must be explicit.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over a map has nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+// Audited acknowledges the commutative fold on the statement line.
+func Audited(m map[string]int) int {
+	total := 0
+	for _, v := range m { //heimdall:ordered
+		total += v
+	}
+	return total
+}
+
+// AuditedAbove acknowledges it on the line above the statement.
+func AuditedAbove(m map[string]int) int {
+	total := 0
+	//heimdall:ordered
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the canonical rewrite: the key-collection range is
+// recognized as the idiom's first step, and the output range is over a
+// slice, which the lint never sees.
+func SortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// KeyValue ranges with both key and value bound: not the collection idiom,
+// so it needs an annotation it does not have.
+func KeyValue(m map[int]int) []int {
+	var pairs []int
+	for k, v := range m { // want "range over a map has nondeterministic order"
+		pairs = append(pairs, k+v)
+	}
+	return pairs
+}

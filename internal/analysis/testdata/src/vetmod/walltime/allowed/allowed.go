@@ -1,0 +1,20 @@
+// Package allowed sits under the walltime allowlist (the CLI analogue):
+// clock reads are permitted here, but laundering the clock into an RNG
+// seed is still a globalrand finding — reproducibility has no allowlist.
+package allowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timing is allowlisted wall-clock use: no finding.
+func Timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// BadSeed derives a seed from the wall clock.
+func BadSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time-derived seed passed to rand.NewSource"
+}

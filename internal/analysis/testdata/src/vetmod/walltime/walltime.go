@@ -1,0 +1,32 @@
+// Package walltime exercises the walltime lint: wall-clock reads are
+// banned outside the allowlist unless the function carries an audit
+// annotation.
+package walltime
+
+import "time"
+
+// Elapsed reads the wall clock without an audit annotation.
+func Elapsed() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	work()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Wait schedules against the wall clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// Stamp is audited wall-clock reporting: the annotation silences the lint.
+//
+//heimdall:walltime
+func Stamp() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Pure time arithmetic never reads the clock and is always fine.
+func Pure() time.Duration { return 3 * time.Second }
+
+func work() {}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// walltimeBanned are the package time functions that observe or schedule
+// against the wall clock. Pure constructors and arithmetic (time.Duration,
+// time.Unix, d.Seconds, ...) are fine: they do not read the clock.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// walltime flags wall-clock reads outside the allowlist. Simulated time
+// must come from the replay/ssd clocks — one stray time.Now in a reducer
+// breaks the byte-identical-tables contract. Audited wall-clock reporting
+// (benchmark timing) is acknowledged per function with //heimdall:walltime;
+// whole directories (the CLIs) are allowlisted by Config.WalltimeAllow.
+func walltime(cfg Config, mod *Module, pkg *Package, report reporter) {
+	for _, file := range pkg.Files {
+		if underAny(relFile(mod, file.Pos()), cfg.WalltimeAllow) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasAnnotation(fd.Doc, annWalltime) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[sel.Sel]
+				if obj == nil || !walltimeBanned[sel.Sel.Name] || !isPkgFunc(obj, "time", sel.Sel.Name) {
+					return true
+				}
+				report(sel.Pos(), "time."+sel.Sel.Name+" reads the wall clock; use the simulated replay/ssd clock, "+
+					"or annotate the function //heimdall:walltime if this is audited wall-clock reporting")
+				return true
+			})
+		}
+	}
+}

@@ -157,6 +157,12 @@ var ErrOneClass = errors.New("core: labeled log has a single class; collect a lo
 
 // Train runs the full pipeline over a collected log and returns the
 // deployable model.
+//
+// Audited wall-clock use: the two time.Now reads feed only the §6.7
+// Report.PreprocessTime/TrainTime fields; no training decision or model
+// parameter depends on them, so reproducibility is unaffected.
+//
+//heimdall:walltime
 func Train(recs []iolog.Record, cfg Config) (*Model, error) {
 	start := time.Now()
 	reads := iolog.Reads(recs)
@@ -411,6 +417,8 @@ func (m *Model) Score(raw []float64) float64 {
 // reusing the model's internal scratch buffers — the zero-allocation
 // counterpart of Score. Not safe for concurrent use (shared scratch); clone
 // the model per goroutine or use Score.
+//
+//heimdall:hotpath
 func (m *Model) ScoreFast(raw []float64) float64 {
 	if cap(m.rowBuf) < len(raw) {
 		m.rowBuf = make([]float64, len(raw))
@@ -433,6 +441,8 @@ func (m *Model) Threshold() float64 { return m.threshold }
 // the quantized fast path when available: true = admit, false = decline and
 // reroute. The input is not modified. Not safe for concurrent use (shared
 // scratch buffers); clone the model per goroutine or use Score.
+//
+//heimdall:hotpath
 func (m *Model) Admit(raw []float64) bool {
 	if cap(m.rowBuf) < len(raw) {
 		m.rowBuf = make([]float64, len(raw))

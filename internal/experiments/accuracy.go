@@ -116,7 +116,9 @@ func Fig5b(scale Scale) Table {
 			c[1]++
 			counts[kind] = c
 		}
-		for kind, c := range counts {
+		// Each iteration writes a distinct miss[kind] key exactly once, so the
+		// fold commutes; the final table ranges a fixed kind slice.
+		for kind, c := range counts { //heimdall:ordered
 			if c[1] > 0 {
 				miss[kind] = append(miss[kind], float64(c[0])/float64(c[1]))
 			}

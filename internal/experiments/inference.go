@@ -32,6 +32,11 @@ func syntheticQuantNet(inputs int, seed int64) *nn.QuantNetwork {
 
 // MeasureInference times one quantized inference for the given input width,
 // in nanoseconds per call.
+//
+// Audited wall-clock use: this IS the benchmark — the reported number is a
+// measured wall-clock latency (Fig 15/16 columns), not simulated time.
+//
+//heimdall:walltime
 func MeasureInference(inputs int, seed int64) float64 {
 	q := syntheticQuantNet(inputs, seed)
 	x := make([]float64, inputs)

@@ -375,6 +375,8 @@ func (n *Network) ScratchSize() int {
 // positive class — the float counterpart of QuantNetwork.PredictInto. It
 // allocates nothing, does not modify x, and is safe for concurrent use with
 // per-goroutine scratch.
+//
+//heimdall:hotpath
 func (n *Network) PredictInto(x []float64, cur, next []float64) float64 {
 	in := x
 	for _, l := range n.layers {

@@ -71,6 +71,8 @@ func (q *QuantNetwork) Predict(x []float64) float64 {
 // slices (each at least ScratchSize long). This is the sub-microsecond
 // deployment path: integer multiply-accumulate, one shift per layer, one
 // float sigmoid at the end.
+//
+//heimdall:hotpath
 func (q *QuantNetwork) PredictInto(x []float64, cur, next []int64) float64 {
 	// Quantize the (already feature-scaled) inputs to 2^10.
 	for i, v := range x {
@@ -130,6 +132,8 @@ func (q *QuantNetwork) PredictInto(x []float64, cur, next []int64) float64 {
 // DecideInto returns the binary admit/decline decision without computing the
 // sigmoid: for a single sigmoid output, P >= 0.5 iff the pre-activation is
 // non-negative, so the decision needs integer arithmetic only.
+//
+//heimdall:hotpath
 func (q *QuantNetwork) DecideInto(x []float64, cur, next []int64) bool {
 	for i, v := range x {
 		cur[i] = int64(v*QuantScale + 0.5)

@@ -115,6 +115,8 @@ type event struct {
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
+
+//heimdall:hotpath
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
@@ -122,6 +124,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//heimdall:hotpath
 func (h eventHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -133,6 +136,7 @@ func (h eventHeap) up(i int) {
 	}
 }
 
+//heimdall:hotpath
 func (h eventHeap) down(i int) {
 	n := len(h)
 	for {
@@ -153,17 +157,21 @@ func (h eventHeap) down(i int) {
 }
 
 // init heapifies an unordered backing slice (container/heap.Init).
+//
+//heimdall:hotpath
 func (h eventHeap) init() {
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
 }
 
+//heimdall:hotpath
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	h.up(len(*h) - 1)
 }
 
+//heimdall:hotpath
 func (h *eventHeap) pop() event {
 	old := *h
 	n := len(old) - 1
@@ -200,9 +208,12 @@ type completion struct {
 // helpers as eventHeap).
 type completions []completion
 
-func (h completions) Len() int           { return len(h) }
+func (h completions) Len() int { return len(h) }
+
+//heimdall:hotpath
 func (h completions) less(i, j int) bool { return h[i].at < h[j].at }
 
+//heimdall:hotpath
 func (h completions) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -214,6 +225,7 @@ func (h completions) up(i int) {
 	}
 }
 
+//heimdall:hotpath
 func (h completions) down(i int) {
 	n := len(h)
 	for {
@@ -233,11 +245,13 @@ func (h completions) down(i int) {
 	}
 }
 
+//heimdall:hotpath
 func (h *completions) push(c completion) {
 	*h = append(*h, c)
 	h.up(len(*h) - 1)
 }
 
+//heimdall:hotpath
 func (h *completions) pop() completion {
 	old := *h
 	n := len(old) - 1
@@ -421,7 +435,7 @@ func Run(traces []*trace.Trace, opts Options) Result {
 				// replica is dropped (degraded replication), matching what a
 				// real replication layer queues for later recovery.
 				for _, tr := range trackers {
-					tr.inj.Submit(now, trace.Write, ev.size)
+					_, _ = tr.inj.Submit(now, trace.Write, ev.size) // offline-replica error = dropped write
 				}
 				continue
 			}
