@@ -68,6 +68,13 @@ var runners = map[string]func(experiments.Scale) experiments.Table{
 }
 
 func main() {
+	// The serve load generator has its own flag set and lifecycle (it talks
+	// to a live server rather than running a table experiment), so dispatch
+	// before the experiment flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServeBench(os.Args[2:])
+		return
+	}
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")
 	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the scale default)")
 	datasets := flag.Int("datasets", 0, "override the dataset count")

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// runServeBench is the `heimdall-bench serve` subcommand: a client-side load
+// generator for the online admission service. Each connection goroutine
+// owns a disjoint set of devices, each backed by its own simulated SSD —
+// admitted I/Os are submitted to it and their completions reported back, so
+// the server's feature trackers see a live-looking queue/latency history.
+// It reports decision throughput and round-trip latency percentiles, plus
+// the server's own counters.
+func runServeBench(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address (empty: self-host an in-process server on a unix socket)")
+	dur := fs.Duration("dur", 3*time.Second, "load duration")
+	conns := fs.Int("conns", 4, "client connections (one goroutine each)")
+	devices := fs.Int("devices", 4, "devices per connection")
+	seed := fs.Int64("seed", 1, "workload seed")
+	trainDur := fs.Duration("train-dur", 4*time.Second, "self-host: training-trace duration")
+	jsonOut := fs.Bool("json", false, "write BENCH_serve.json")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	target := *addr
+	var srv *serve.Server
+	if target == "" {
+		tmp, err := os.MkdirTemp("", "heimdall-serve-bench")
+		if err != nil {
+			fatalServe(err)
+		}
+		defer func() {
+			_ = os.RemoveAll(tmp)
+		}()
+		target = "unix:" + filepath.Join(tmp, "serve.sock")
+		srv = selfHost(target, *seed, *trainDur)
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fatalServe(err)
+			}
+		}()
+	}
+
+	type connResult struct {
+		rtts    []int64
+		admits  int
+		degrade int
+		err     error
+	}
+	results := make([]connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < *conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			c, err := serve.Dial(target)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer func() {
+				_ = c.Close()
+			}()
+			rng := rand.New(rand.NewSource(*seed + int64(ci)))
+			// Each device gets its own simulated SSD and clock; Submit
+			// requires non-decreasing timestamps per device.
+			devs := make([]*ssd.Device, *devices)
+			clocks := make([]int64, *devices)
+			queues := make([]int, *devices)
+			for i := range devs {
+				devs[i] = ssd.New(ssd.Samsung970Pro(), *seed+int64(ci*1000+i))
+			}
+			deadline := time.Now().Add(*dur)
+			for time.Now().Before(deadline) {
+				di := rng.Intn(*devices)
+				device := uint32(ci**devices + di)
+				size := 4096 * int32(1+rng.Intn(16))
+				t0 := time.Now()
+				v, err := c.Decide(device, queues[di], size)
+				if err != nil {
+					res.err = fmt.Errorf("conn %d: %w", ci, err)
+					return
+				}
+				res.rtts = append(res.rtts, time.Since(t0).Nanoseconds())
+				if v.Admit {
+					res.admits++
+				}
+				if v.Shed() {
+					res.degrade++
+				}
+				if v.Admit {
+					clocks[di] += int64(10_000 + rng.Intn(100_000))
+					r := devs[di].Submit(clocks[di], trace.Read, size)
+					queues[di] = r.QueueLen
+					if err := c.Complete(device, uint64(r.Latency(clocks[di])), r.QueueLen, size); err != nil {
+						res.err = fmt.Errorf("conn %d: %w", ci, err)
+						return
+					}
+				}
+			}
+			res.err = c.Flush()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	admits, degraded := 0, 0
+	for ci := range results {
+		if results[ci].err != nil {
+			fatalServe(results[ci].err)
+		}
+		all = append(all, results[ci].rtts...)
+		admits += results[ci].admits
+		degraded += results[ci].degrade
+	}
+	stats := metrics.Latencies(all)
+	throughput := float64(len(all)) / elapsed.Seconds()
+	fmt.Printf("serve bench: %d decisions in %v over %d conns × %d devices\n",
+		len(all), elapsed.Round(time.Millisecond), *conns, *devices)
+	fmt.Printf("  throughput %.0f decisions/s, admits %d, degraded %d\n", throughput, admits, degraded)
+	fmt.Printf("  decision RTT p50 %v p90 %v p99 %v p99.9 %v max %v\n",
+		stats.P50, stats.P90, stats.P99, stats.P999, stats.Max)
+
+	var server serve.Stats
+	if c, err := serve.Dial(target); err == nil {
+		if s, err := c.Stats(); err == nil {
+			server = s
+			fmt.Printf("  server: %s\n", s)
+		}
+		_ = c.Close()
+	}
+
+	if *jsonOut {
+		rec := struct {
+			Experiment string               `json:"experiment"`
+			ElapsedMS  float64              `json:"elapsed_ms"`
+			Conns      int                  `json:"conns"`
+			Devices    int                  `json:"devices"`
+			Decisions  int                  `json:"decisions"`
+			Admits     int                  `json:"admits"`
+			Degraded   int                  `json:"degraded"`
+			PerSec     float64              `json:"decisions_per_sec"`
+			RTT        metrics.LatencyStats `json:"rtt"`
+			Server     serve.Stats          `json:"server"`
+		}{
+			Experiment: "serve",
+			ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+			Conns:      *conns,
+			Devices:    *devices,
+			Decisions:  len(all),
+			Admits:     admits,
+			Degraded:   degraded,
+			PerSec:     throughput,
+			RTT:        stats,
+			Server:     server,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalServe(err)
+		}
+		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+			fatalServe(err)
+		}
+		fmt.Println("(wrote BENCH_serve.json)")
+	}
+}
+
+// selfHost trains a quick model and serves it on addr in-process.
+func selfHost(addr string, seed int64, trainDur time.Duration) *serve.Server {
+	tr := trace.Generate(trace.MSRStyle(seed, trainDur))
+	log := iolog.Collect(tr, ssd.New(ssd.Samsung970Pro(), seed))
+	cfg := core.DefaultConfig(seed)
+	cfg.Epochs = 10
+	cfg.MaxTrainSamples = 10000
+	model, err := core.Train(log, cfg)
+	if err != nil {
+		fatalServe(err)
+	}
+	srv := serve.NewServer(model, serve.Config{})
+	l, err := serve.Listen(addr)
+	if err != nil {
+		fatalServe(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			fmt.Fprintln(os.Stderr, "heimdall-bench serve:", err)
+		}
+	}()
+	return srv
+}
+
+func fatalServe(err error) {
+	fmt.Fprintln(os.Stderr, "heimdall-bench serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command heimdall-serve runs the online admission service: it loads a
+// trained model (heimdall-train -out) — or trains one in-process from a
+// synthetic style for self-contained runs — and serves admit/decline
+// decisions over the binary wire protocol on TCP or a unix socket.
+//
+// Usage:
+//
+//	heimdall-serve -model model.bin -listen tcp:127.0.0.1:7710
+//	heimdall-serve -style msr -dur 10s -listen unix:/tmp/heimdall.sock
+//
+// When training in-process the server also wires the per-shard input-drift
+// detectors (PSI against the training feature distribution); `heimdall-bench
+// serve -stats` then reports max_psi alongside the admission counters. A new
+// model can be hot-swapped at any time with the client Swap call without
+// pausing admission.
+//
+// SIGINT/SIGTERM shut down cleanly: listeners stop, queued requests are
+// answered (joint-group stragglers fail open), and the final counter
+// snapshot is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/iolog"
+	"repro/internal/serve"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "serialized model from heimdall-train -out")
+	style := flag.String("style", "", "train in-process from a synthetic style instead: msr, alibaba, tencent")
+	dur := flag.Duration("dur", 10*time.Second, "synthetic training-trace duration")
+	device := flag.String("device", "970pro", "simulated device for in-process training: 970pro, s3610, pm961, femu")
+	seed := flag.Int64("seed", 1, "training seed")
+	joint := flag.Int("joint", 1, "joint-inference granularity P for in-process training")
+	listen := flag.String("listen", "tcp:127.0.0.1:7710", `listen address: "tcp:host:port" or "unix:/path/sock"`)
+	shards := flag.Int("shards", 0, "device shards (0 = default 4)")
+	queueLen := flag.Int("queue", 0, "per-shard queue bound (0 = default 256)")
+	window := flag.Duration("batch-window", 0, "micro-batch gather window (0 = decide immediately)")
+	maxBatch := flag.Int("max-batch", 0, "per-wakeup batch bound (0 = default 64)")
+	budget := flag.Duration("budget", 0, "queue-age deadline; older decides fail open (0 = off)")
+	flag.Parse()
+
+	var (
+		model *core.Model
+		ref   [][]float64
+	)
+	switch {
+	case *modelPath != "":
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.Load(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s: %d-deep features, joint=%d, threshold %.3f\n",
+			*modelPath, model.Spec().Depth, model.JointSize(), model.Threshold())
+	default:
+		devCfg, err := deviceByName(*device)
+		if err != nil {
+			fatal(err)
+		}
+		styleName := *style
+		if styleName == "" {
+			styleName = "msr"
+		}
+		tr, err := traceByStyle(styleName, *seed, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		log := iolog.Collect(tr, ssd.New(devCfg, *seed))
+		cfg := core.DefaultConfig(*seed)
+		cfg.JointSize = *joint
+		start := time.Now()
+		model, err = core.Train(log, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained in-process (%s, %v trace) in %v: threshold %.3f\n",
+			styleName, *dur, time.Since(start).Round(time.Millisecond), model.Threshold())
+		// Wire the drift detectors against the training distribution, so
+		// Stats.MaxPSI tracks how far live traffic has wandered from what
+		// the model saw (§7's retraining signal).
+		ref = feature.Extract(iolog.Reads(log), model.Spec())
+	}
+
+	srv := serve.NewServer(model, serve.Config{
+		Shards:      *shards,
+		QueueLen:    *queueLen,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		Budget:      *budget,
+		DriftRef:    ref,
+	})
+	l, err := serve.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving on %s\n", *listen)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("%v: shutting down\n", sig)
+		if err := srv.Close(); err != nil {
+			fatal(err)
+		}
+		if err := <-done; err != nil {
+			fatal(err)
+		}
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("final: %s\n", srv.Stats())
+}
+
+func deviceByName(name string) (ssd.Config, error) {
+	switch name {
+	case "970pro":
+		return ssd.Samsung970Pro(), nil
+	case "s3610":
+		return ssd.IntelDCS3610(), nil
+	case "pm961":
+		return ssd.SamsungPM961(), nil
+	case "femu":
+		return ssd.FEMUEmulated(), nil
+	}
+	return ssd.Config{}, fmt.Errorf("unknown device %q", name)
+}
+
+func traceByStyle(style string, seed int64, dur time.Duration) (*trace.Trace, error) {
+	switch style {
+	case "msr":
+		return trace.Generate(trace.MSRStyle(seed, dur)), nil
+	case "alibaba":
+		return trace.Generate(trace.AlibabaStyle(seed, dur)), nil
+	case "tencent":
+		return trace.Generate(trace.TencentStyle(seed, dur)), nil
+	}
+	return nil, fmt.Errorf("unknown style %q", style)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heimdall-serve:", err)
+	os.Exit(1)
+}

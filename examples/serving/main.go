@@ -1,0 +1,141 @@
+// Serving: the online admission loop end to end — train a model, stand it
+// up behind the wire protocol on a unix socket, drive live traffic through
+// a simulated SSD, watch the per-shard drift detectors flag a workload
+// shift, retrain on the fresh window, and hot-swap the new model over the
+// wire without pausing admission.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	heimdall "repro"
+)
+
+func main() {
+	seed := int64(11)
+	const window = 4 * time.Second
+
+	// Train on an MSR-style read-mostly window; keep the feature rows as the
+	// drift reference so the server can score live traffic against the
+	// distribution the model actually saw.
+	fmt.Println("training on an MSR-style window...")
+	trainTrace := heimdall.Generate(heimdall.MSRStyle(seed, window))
+	trainLog := heimdall.Collect(trainTrace, heimdall.NewDevice(heimdall.Samsung970Pro(), seed))
+	cfg := heimdall.DefaultConfig(seed)
+	cfg.Epochs = 10
+	cfg.MaxTrainSamples = 10000
+	model, err := heimdall.Train(trainLog, cfg)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	ref := heimdall.ExtractFeatures(heimdall.Reads(trainLog), model)
+
+	// Serve it. The config zero value gives 4 shards and a 256-deep queue
+	// per shard; BatchWindow > 0 would gather micro-batches before deciding.
+	srv := heimdall.NewServer(model, heimdall.ServeConfig{DriftRef: ref})
+	tmp, err := os.MkdirTemp("", "heimdall-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	addr := "unix:" + filepath.Join(tmp, "admit.sock")
+	l, err := heimdall.ListenAdmission(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("serving on %s\n\n", addr)
+
+	client, err := heimdall.DialAdmission(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Phase 1: live traffic from the training distribution, driven in shadow
+	// mode — verdicts are recorded but every read still runs on the
+	// simulated device, so the server's feature trackers (and the drift
+	// detectors behind them) see the true device history.
+	liveTrace := heimdall.Generate(heimdall.MSRStyle(seed+1, window))
+	drive(client, liveTrace, seed+1)
+	s, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-distribution phase: %s\n", s)
+	basePSI := s.MaxPSI
+
+	// Phase 2: the workload shifts to a Tencent-style write-heavy mix —
+	// different sizes, deeper queues, GC-driven latency spikes. The model
+	// still answers, but the PSI against the training reference climbs.
+	driftTrace := heimdall.Generate(heimdall.TencentStyle(seed+2, window))
+	driftDev := heimdall.NewDevice(heimdall.Samsung970Pro(), seed+2)
+	driftLog := heimdall.Collect(driftTrace, driftDev) // fresh window, kept for retraining
+	drive(client, driftTrace, seed+2)
+	s, err = client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after workload shift:  %s\n", s)
+	fmt.Printf("  -> max per-shard PSI %.2f -> %.2f (input drift; §7's retraining signal)\n\n", basePSI, s.MaxPSI)
+
+	// Retrain on the fresh window and publish over the wire. Swap is atomic:
+	// in-flight decides finish on the old model, the next batch sees the new
+	// one, and every verdict carries the version that produced it.
+	fmt.Println("retraining on the fresh window and hot-swapping...")
+	m2, err := model.Retrain(driftLog)
+	if err != nil {
+		log.Fatalf("retraining: %v", err)
+	}
+	vers, err := client.Swap(m2)
+	if err != nil {
+		log.Fatalf("swap: %v", err)
+	}
+	v, err := client.Decide(0, 0, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("now serving model version %d (verdict echoed v%d, admit=%v)\n", vers, v.ModelVersion, v.Admit)
+
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal: %s\n", srv.Stats())
+}
+
+// drive replays a trace against the admission service in shadow mode: every
+// request asks for a verdict and then runs on the simulated SSD regardless,
+// with its completion reported back to the server's feature trackers.
+func drive(client *heimdall.ServeClient, tr *heimdall.Trace, seed int64) {
+	dev := heimdall.NewDevice(heimdall.Samsung970Pro(), seed)
+	queue := 0
+	asked, admitted := 0, 0
+	for _, req := range tr.Reqs {
+		if req.Op == heimdall.OpRead {
+			v, err := client.Decide(7, queue, req.Size)
+			if err != nil {
+				log.Fatalf("decide: %v", err)
+			}
+			asked++
+			if v.Admit {
+				admitted++
+			}
+		}
+		r := dev.Submit(req.Arrival, req.Op, req.Size)
+		queue = r.QueueLen
+		if req.Op == heimdall.OpRead {
+			if err := client.Complete(7, uint64(r.Latency(req.Arrival)), r.QueueLen, req.Size); err != nil {
+				log.Fatalf("complete: %v", err)
+			}
+		}
+	}
+	fmt.Printf("  drove %d reads, %d admitted\n", asked, admitted)
+}

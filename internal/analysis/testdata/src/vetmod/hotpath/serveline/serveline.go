@@ -1,0 +1,72 @@
+// Package serveline mirrors the online-serving decide path: a shard worker
+// hand-encodes verdicts into a connection writer's fixed scratch buffer.
+// The clean shapes (receiver-rooted appends, byte-slice writes, scratch
+// reuse) must pass untouched; the seeded regressions — error formatting,
+// a flush closure, boxing the writer, and growing a batch-local slice —
+// must each be flagged.
+package serveline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+type connWriter struct {
+	bw  *bufio.Writer
+	buf [32]byte
+	err error
+}
+
+type shard struct {
+	touched []*connWriter
+	row     []float64
+}
+
+// EncodeVerdict is the clean shape: everything it writes is rooted at the
+// receiver's fixed buffer, so the lint stays silent.
+//
+//heimdall:hotpath
+func (out *connWriter) EncodeVerdict(id uint64, admit bool) {
+	b := out.buf[:16]
+	for i := range b {
+		b[i] = byte(id >> (8 * i))
+	}
+	if admit {
+		b[15] = 1
+	}
+	if _, err := out.bw.Write(b); err != nil && out.err == nil {
+		out.err = err
+	}
+}
+
+// Decide carries the seeded regressions on an annotated decide path.
+//
+//heimdall:hotpath
+func (sh *shard) Decide(out *connWriter, qlen int, w io.Writer) error {
+	if qlen < 0 {
+		return fmt.Errorf("bad queue length %d", qlen) // want "fmt.Errorf called on a"
+	}
+	sh.row = append(sh.row[:0], float64(qlen)) // receiver-rooted scratch: fine
+	batch := make([]*connWriter, 0, 4)
+	batch = append(batch, out) // want "append to a slice not rooted"
+	flush := func() {          // want "closure constructed on a"
+		_ = out.bw.Flush()
+	}
+	_ = flush
+	_ = batch
+	record(out) // want "concrete value passed as interface"
+	_, err := w.Write(out.buf[:])
+	return err
+}
+
+func record(v any) { _ = v }
+
+// Flush is unannotated: the same shapes pass without findings.
+func (sh *shard) Flush() {
+	batch := make([]*connWriter, 0, 4)
+	batch = append(batch, sh.touched...)
+	for _, out := range batch {
+		record(out)
+	}
+}

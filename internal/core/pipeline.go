@@ -437,6 +437,63 @@ func (m *Model) ScoreFast(raw []float64) float64 {
 // Threshold returns the calibrated decision boundary.
 func (m *Model) Threshold() float64 { return m.threshold }
 
+// SetThreshold overrides the calibrated decision boundary — deployment-time
+// recalibration for operators who want a different FNR/FPR trade-off than
+// the training-set calibration picked (§3.6 discusses the imbalance that
+// makes this boundary a tuning knob). Scores at or above the threshold
+// decline the I/O, so SetThreshold(2) always admits and SetThreshold(-1)
+// never does. Not safe to call concurrently with inference.
+func (m *Model) SetThreshold(t float64) { m.threshold = t }
+
+// Scratch holds the per-caller buffers AdmitInto needs, making concurrent
+// inference possible on one shared *Model: the model's weights, scaler, and
+// threshold are read-only at decision time, so N goroutines each holding a
+// Scratch can call AdmitInto on the same Model without synchronization —
+// what the serving layer's shards do.
+type Scratch struct {
+	row    []float64
+	fa, fb []float64
+	qa, qb []int64
+}
+
+// NewScratch sizes a Scratch for this model's network and feature width.
+func (m *Model) NewScratch() *Scratch {
+	s := &Scratch{}
+	w := m.net.ScratchSize()
+	s.fa = make([]float64, w)
+	s.fb = make([]float64, w)
+	if m.qnet != nil {
+		s.qa = make([]int64, m.qnet.ScratchSize())
+		s.qb = make([]int64, m.qnet.ScratchSize())
+	}
+	// Joint rows extend the base width by P-1 sizes; reserve generously so
+	// the first AdmitInto does not have to grow it.
+	s.row = make([]float64, 0, m.spec.Width()+m.cfg.JointSize)
+	return s
+}
+
+// AdmitInto decides one I/O (or one joint group) from a raw feature row
+// using the quantized fast path when available, exactly like Admit, but with
+// caller-provided scratch instead of the model's internal buffers. The input
+// is not modified. Safe for concurrent use with per-goroutine Scratch; zero
+// allocations once the scratch row has grown to the feature width.
+//
+//heimdall:hotpath
+func (m *Model) AdmitInto(raw []float64, s *Scratch) bool {
+	row := s.row
+	if cap(row) < len(raw) {
+		row = make([]float64, len(raw))
+		s.row = row
+	}
+	row = row[:len(raw)]
+	copy(row, raw)
+	m.scale(row)
+	if m.qnet != nil {
+		return m.qnet.PredictInto(row, s.qa, s.qb) < m.threshold
+	}
+	return m.net.PredictInto(row, s.fa, s.fb) < m.threshold
+}
+
 // Admit decides one I/O (or one joint group) from a raw feature row using
 // the quantized fast path when available: true = admit, false = decline and
 // reroute. The input is not modified. Not safe for concurrent use (shared

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+)
+
+// TestAdmitIntoMatchesAdmit pins the concurrent-safe scratch path to the
+// model's internal-buffer path over a spread of live feature rows, for both
+// the quantized and float-only deployments.
+func TestAdmitIntoMatchesAdmit(t *testing.T) {
+	for _, quantize := range []bool{true, false} {
+		_, log := testLog(t, 11, 3*time.Second)
+		cfg := quickCfg(11)
+		cfg.Quantize = quantize
+		m, err := Train(log, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr := m.NewScratch()
+		win := feature.NewWindow(m.Spec().Depth)
+		for i := 0; i < 500; i++ {
+			raw := m.Features(i%24, int32(4096*(1+i%8)), win)
+			if got, want := m.AdmitInto(raw, scr), m.Admit(raw); got != want {
+				t.Fatalf("quantize=%v row %d: AdmitInto %v != Admit %v", quantize, i, got, want)
+			}
+			win.Push(feature.Hist{Latency: float64(80000 + 1000*i), QueueLen: float64(i % 24), Thpt: 50})
+		}
+	}
+}
+
+// TestAdmitIntoConcurrent drives one shared model from several goroutines,
+// each with its own Scratch — the serving-shard usage. Run under -race this
+// pins that model state really is read-only at decision time.
+func TestAdmitIntoConcurrent(t *testing.T) {
+	_, log := testLog(t, 12, 3*time.Second)
+	m, err := Train(log, quickCfg(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference decisions computed sequentially first.
+	rows := make([][]float64, 300)
+	want := make([]bool, len(rows))
+	win := feature.NewWindow(m.Spec().Depth)
+	for i := range rows {
+		rows[i] = m.Features(i%16, int32(4096+512*(i%32)), win)
+		want[i] = m.Admit(rows[i])
+		win.Push(feature.Hist{Latency: float64(90000 + 700*i), QueueLen: float64(i % 16), Thpt: 40})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := m.NewScratch()
+			for i, raw := range rows {
+				if got := m.AdmitInto(raw, scr); got != want[i] {
+					t.Errorf("row %d: concurrent AdmitInto %v != sequential %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAdmitIntoZeroAlloc pins 0 allocs/op on the scratch decide path once
+// the scratch row has grown to the feature width.
+func TestAdmitIntoZeroAlloc(t *testing.T) {
+	_, log := testLog(t, 13, 3*time.Second)
+	m, err := Train(log, quickCfg(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := m.NewScratch()
+	win := feature.NewWindow(m.Spec().Depth)
+	win.Push(feature.Hist{Latency: 95000, QueueLen: 4, Thpt: 60})
+	raw := m.Features(3, 8192, win)
+	var sink bool
+	if a := testing.AllocsPerRun(200, func() {
+		sink = m.AdmitInto(raw, scr)
+	}); a != 0 {
+		t.Fatalf("AdmitInto allocates %.1f per run", a)
+	}
+	_ = sink
+}
+
+// TestSetThreshold pins the deployment-time recalibration semantics: a
+// threshold above every score admits everything, one below declines
+// everything.
+func TestSetThreshold(t *testing.T) {
+	_, log := testLog(t, 14, 3*time.Second)
+	m, err := Train(log, quickCfg(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := m.NewScratch()
+	win := feature.NewWindow(m.Spec().Depth)
+	raw := m.Features(2, 4096, win)
+
+	m.SetThreshold(2)
+	if m.Threshold() != 2 || !m.AdmitInto(raw, scr) || !m.Admit(raw) {
+		t.Fatal("threshold 2 should admit every score in [0,1]")
+	}
+	m.SetThreshold(-1)
+	if m.AdmitInto(raw, scr) || m.Admit(raw) {
+		t.Fatal("threshold -1 should decline every score in [0,1]")
+	}
+}

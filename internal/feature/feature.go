@@ -188,35 +188,44 @@ func (w *Window) Len() int { return w.n }
 // Online assembles a feature vector from live values, used at deployment
 // time by the admission policy. The layout matches Extract exactly.
 func (s Spec) Online(queueLen int, size int32, arrival, offset int64, hist *Window) []float64 {
-	row := make([]float64, 0, s.Width())
+	return s.OnlineInto(make([]float64, 0, s.Width()), queueLen, size, arrival, offset, hist)
+}
+
+// OnlineInto assembles the online feature row by appending to dst (usually
+// dst[:0] of a reused buffer) and returns the extended slice — the
+// zero-allocation counterpart of Online for the serving hot path. Once dst
+// has capacity Width(), subsequent calls allocate nothing.
+//
+//heimdall:hotpath
+func (s Spec) OnlineInto(dst []float64, queueLen int, size int32, arrival, offset int64, hist *Window) []float64 {
 	if s.Kinds&QueueLen != 0 {
-		row = append(row, float64(queueLen))
+		dst = append(dst, float64(queueLen))
 	}
 	if s.Kinds&HistQueueLen != 0 {
 		for d := 0; d < s.Depth; d++ {
-			row = append(row, hist.At(d).QueueLen)
+			dst = append(dst, hist.At(d).QueueLen)
 		}
 	}
 	if s.Kinds&HistLatency != 0 {
 		for d := 0; d < s.Depth; d++ {
-			row = append(row, hist.At(d).Latency)
+			dst = append(dst, hist.At(d).Latency)
 		}
 	}
 	if s.Kinds&HistThroughput != 0 {
 		for d := 0; d < s.Depth; d++ {
-			row = append(row, hist.At(d).Thpt)
+			dst = append(dst, hist.At(d).Thpt)
 		}
 	}
 	if s.Kinds&IOSize != 0 {
-		row = append(row, float64(size))
+		dst = append(dst, float64(size))
 	}
 	if s.Kinds&Timestamp != 0 {
-		row = append(row, float64(arrival))
+		dst = append(dst, float64(arrival))
 	}
 	if s.Kinds&Offset != 0 {
-		row = append(row, float64(offset))
+		dst = append(dst, float64(offset))
 	}
-	return row
+	return dst
 }
 
 // Extract builds the feature matrix for a log (one row per record, aligned

@@ -283,3 +283,43 @@ func TestAllKindsCoverNames(t *testing.T) {
 		}
 	}
 }
+
+func TestOnlineIntoMatchesOnline(t *testing.T) {
+	specs := []Spec{
+		DefaultSpec(),
+		{Kinds: LinnOSSet, Depth: 4},
+		{Kinds: Selected | Timestamp | Offset, Depth: 2},
+		{Kinds: IOSize, Depth: 1},
+	}
+	win := NewWindow(4)
+	for i := 0; i < 6; i++ {
+		win.Push(Hist{Latency: float64(100 + i), QueueLen: float64(i), Thpt: 0.5 * float64(i)})
+	}
+	buf := make([]float64, 0, 32)
+	for _, spec := range specs {
+		want := spec.Online(7, 4096, 123, 456, win)
+		got := spec.OnlineInto(buf[:0], 7, 4096, 123, 456, win)
+		if len(got) != len(want) || len(got) != spec.Width() {
+			t.Fatalf("spec %+v: OnlineInto len %d, Online len %d, width %d", spec, len(got), len(want), spec.Width())
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("spec %+v column %d: OnlineInto %v != Online %v", spec, c, got[c], want[c])
+			}
+		}
+	}
+}
+
+func TestOnlineIntoZeroAlloc(t *testing.T) {
+	spec := DefaultSpec()
+	win := NewWindow(spec.Depth)
+	win.Push(Hist{Latency: 120, QueueLen: 3, Thpt: 1.5})
+	buf := make([]float64, 0, spec.Width())
+	var sink []float64
+	if a := testing.AllocsPerRun(200, func() {
+		sink = spec.OnlineInto(buf[:0], 5, 8192, 0, 0, win)
+	}); a != 0 {
+		t.Fatalf("OnlineInto allocates %.1f per run with sufficient capacity", a)
+	}
+	_ = sink
+}

@@ -73,16 +73,41 @@ func FromSnapshot(s Snapshot) (*Network, error) {
 	return n, nil
 }
 
-// Encode serializes the snapshot with gob.
+// ErrSnapshotFormat reports that a byte stream handed to ReadSnapshot is not
+// a snapshot this version can read: missing or mismatched magic/version tag,
+// or a corrupt gob payload behind a valid tag. Callers deploying models over
+// the wire match it with errors.Is to distinguish a bad artifact from I/O
+// failures.
+var ErrSnapshotFormat = errors.New("nn: not a snapshot stream (bad magic/version or corrupt payload)")
+
+// snapshotMagic tags the serialized stream: "HNN" plus a format version
+// digit. Bump the digit on incompatible layout changes so old readers reject
+// new streams with ErrSnapshotFormat instead of misdecoding them.
+var snapshotMagic = [4]byte{'H', 'N', 'N', '1'}
+
+// Encode serializes the snapshot: a 4-byte magic/version tag followed by the
+// gob-encoded parameters.
 func (s Snapshot) Encode(w io.Writer) error {
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("nn: write snapshot header: %w", err)
+	}
 	return gob.NewEncoder(w).Encode(s)
 }
 
-// ReadSnapshot deserializes and validates a snapshot.
+// ReadSnapshot deserializes and validates a snapshot. Streams that do not
+// start with the current magic/version tag, or whose payload fails to
+// decode, return an error matching ErrSnapshotFormat.
 func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Snapshot{}, fmt.Errorf("%w: reading header: %v", ErrSnapshotFormat, err)
+	}
+	if magic != snapshotMagic {
+		return Snapshot{}, fmt.Errorf("%w: got header %q, want %q", ErrSnapshotFormat, magic[:], snapshotMagic[:])
+	}
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return Snapshot{}, fmt.Errorf("nn: decode snapshot: %w", err)
+		return Snapshot{}, fmt.Errorf("%w: decode: %v", ErrSnapshotFormat, err)
 	}
 	if err := s.Validate(); err != nil {
 		return Snapshot{}, err

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -105,8 +107,41 @@ func TestFromSnapshotRejectsInvalid(t *testing.T) {
 }
 
 func TestReadSnapshotGarbage(t *testing.T) {
-	if _, err := ReadSnapshot(strings.NewReader("garbage")); err == nil {
-		t.Fatal("garbage accepted")
+	if _, err := ReadSnapshot(strings.NewReader("garbage")); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("garbage gave %v, want ErrSnapshotFormat", err)
+	}
+}
+
+func TestReadSnapshotFormatErrors(t *testing.T) {
+	net := trainedNet(t)
+	var buf bytes.Buffer
+	if err := net.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short header":    good[:2],
+		"wrong version":   append([]byte("HNN9"), good[4:]...),
+		"wrong magic":     append([]byte("XXXX"), good[4:]...),
+		"truncated body":  good[:len(good)/2],
+		"corrupt payload": append(append([]byte{}, good[:4]...), []byte("not a gob stream")...),
+	}
+	for name, in := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(in)); !errors.Is(err, ErrSnapshotFormat) {
+			t.Errorf("%s: got %v, want ErrSnapshotFormat", name, err)
+		}
+	}
+
+	// The tag must not leak into acceptance of prior-format streams: a bare
+	// gob stream (the pre-versioned layout) is rejected, not misread.
+	var bare bytes.Buffer
+	if err := gob.NewEncoder(&bare).Encode(net.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&bare); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("unversioned gob stream: got %v, want ErrSnapshotFormat", err)
 	}
 }
 

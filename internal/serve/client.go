@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+)
+
+// Client speaks the serve wire protocol. It is not safe for concurrent use
+// (matching the repo's single-writer idiom); open one Client per goroutine.
+//
+// Two usage styles:
+//
+//   - synchronous: Decide blocks for the verdict — simplest, one request in
+//     flight;
+//   - pipelined: Send queues requests, Flush pushes them, Recv reads
+//     verdicts as they arrive. Joint models (JointSize P > 1) hold a
+//     group's responses until its P-th member arrives, so a synchronous
+//     caller would deadlock — pipeline at least P requests per device.
+//
+// Responses may arrive out of request order (e.g. a queue-full shed is
+// answered ahead of queued work); match them by Verdict.ID.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a server. Addresses follow Listen: "unix:/path/sock",
+// "tcp:host:port", or a bare TCP address.
+func Dial(addr string) (*Client, error) {
+	network := "tcp"
+	if len(addr) > 5 && addr[:5] == "unix:" {
+		network, addr = "unix", addr[5:]
+	} else if len(addr) > 4 && addr[:4] == "tcp:" {
+		addr = addr[4:]
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		rbuf: make([]byte, 256),
+	}, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send queues one decide request (pipelined style). id is echoed in the
+// matching Verdict.
+func (c *Client) Send(id uint64, device uint32, queueLen int, size int32) error {
+	c.wbuf = appendDecide(c.wbuf[:0], decideRequest{
+		id: id, device: device, queueLen: uint32(queueLen), size: uint32(size),
+	})
+	return c.writeFrameBuffered()
+}
+
+// Complete reports one finished I/O so the server's feature tracker for the
+// device advances. Buffered like Send; no response.
+func (c *Client) Complete(device uint32, latencyNs uint64, queueLen int, size int32) error {
+	c.wbuf = appendComplete(c.wbuf[:0], completion{
+		device: device, latency: latencyNs, queueLen: uint32(queueLen), size: uint32(size),
+	})
+	return c.writeFrameBuffered()
+}
+
+func (c *Client) writeFrameBuffered() error {
+	var hdr [4]byte
+	hdr[0] = byte(len(c.wbuf) >> 24)
+	hdr[1] = byte(len(c.wbuf) >> 16)
+	hdr[2] = byte(len(c.wbuf) >> 8)
+	hdr[3] = byte(len(c.wbuf))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.bw.Write(c.wbuf)
+	return err
+}
+
+// Flush pushes queued requests to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads the next decide verdict.
+func (c *Client) Recv() (Verdict, error) {
+	body, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return Verdict{}, err
+	}
+	c.rbuf = body[:cap(body)]
+	return parseDecideResp(body)
+}
+
+// Decide asks for one admission decision and waits for it.
+func (c *Client) Decide(device uint32, queueLen int, size int32) (Verdict, error) {
+	if err := c.Send(0, device, queueLen, size); err != nil {
+		return Verdict{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Verdict{}, err
+	}
+	return c.Recv()
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	if err := writeFrame(c.bw, []byte{msgStats}); err != nil {
+		return Stats{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Stats{}, err
+	}
+	body, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return Stats{}, err
+	}
+	c.rbuf = body[:cap(body)]
+	if len(body) < 1 || body[0] != msgStatsResp {
+		return Stats{}, fmt.Errorf("%w: stats response type %#x", ErrFrame, body[0])
+	}
+	var s Stats
+	if err := json.Unmarshal(body[1:], &s); err != nil {
+		return Stats{}, fmt.Errorf("serve: stats payload: %w", err)
+	}
+	return s, nil
+}
+
+// Swap uploads a model (core.Save format) and atomically publishes it,
+// returning the new model version.
+func (c *Client) Swap(m *core.Model) (uint32, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(msgSwap)
+	if err := m.Save(&buf); err != nil {
+		return 0, err
+	}
+	if err := writeFrame(c.bw, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	body, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return 0, err
+	}
+	c.rbuf = body[:cap(body)]
+	return parseSwapResp(body)
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireCodec throws arbitrary byte streams at the frame reader and the
+// body parsers. The codec must never panic, must reject hostile length
+// prefixes before allocating for them, and must round-trip every frame it
+// itself produced.
+func FuzzWireCodec(f *testing.F) {
+	// Seed with well-formed traffic...
+	var seed bytes.Buffer
+	if err := writeFrame(&seed, appendDecide(nil, decideRequest{id: 7, device: 3, queueLen: 5, size: 4096})); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeFrame(&seed, appendComplete(nil, completion{device: 3, latency: 120_000, queueLen: 5, size: 4096})); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeFrame(&seed, []byte{msgStats}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// ...and hostile shapes: truncated header, truncated body, zero and
+	// oversized lengths.
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 5, msgDecide})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte{0, 16, 0, 0, msgSwap})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		buf := make([]byte, 64)
+		for {
+			body, err := readFrame(r, buf)
+			if err != nil {
+				// Every failure mode must be a clean error: end of input,
+				// a truncated read, or a typed frame error — never a
+				// panic, and never an attempt to allocate the claimed
+				// length (readFrame bounds it by MaxFrame first).
+				if err != io.EOF && !errors.Is(err, ErrFrame) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				return
+			}
+			if len(body) == 0 || len(body) > MaxFrame {
+				t.Fatalf("readFrame returned %d-byte body", len(body))
+			}
+			buf = body[:cap(body)]
+			// Parsers must never panic on arbitrary bodies.
+			if dec, err := parseDecide(body); err == nil {
+				// Accepted bodies must re-encode to the identical frame.
+				if got := appendDecide(nil, dec); !bytes.Equal(got, body) {
+					t.Fatalf("decide round trip: %x != %x", got, body)
+				}
+			}
+			if c, err := parseComplete(body); err == nil {
+				if got := appendComplete(nil, c); !bytes.Equal(got, body) {
+					t.Fatalf("complete round trip: %x != %x", got, body)
+				}
+			}
+			_, _ = parseDecideResp(body)
+			_, _ = parseSwapResp(body)
+		}
+	})
+}
+
+// TestWireFrameBounds pins the explicit limits of the codec.
+func TestWireFrameBounds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("empty frame accepted: %v", err)
+	}
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+	// A hostile length prefix larger than MaxFrame errors without reading
+	// (or allocating) the claimed body.
+	hostile := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bytes.NewReader(hostile), nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("hostile length accepted: %v", err)
+	}
+	// Round trip at the boundary.
+	big := make([]byte, MaxFrame)
+	big[0] = msgSwap
+	if err := writeFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, big) {
+		t.Error("MaxFrame round trip corrupted")
+	}
+}

@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+)
+
+// Config tunes the server. The zero value is usable: 4 shards, immediate
+// batching, no deadline shedding, breaker on.
+type Config struct {
+	// Shards is the number of device shards (default 4). A device is pinned
+	// to shard device%Shards, so all its state has one writer.
+	Shards int
+	// QueueLen bounds each shard's request queue (default 256). A decide
+	// arriving at a full queue is answered admit+FlagShed without inference.
+	QueueLen int
+	// BatchWindow is how long a shard waits after the first request of a
+	// wakeup for more to arrive (default 0: decide immediately). Batching
+	// amortizes wakeups and writer flushes; it never changes decisions.
+	BatchWindow time.Duration
+	// MaxBatch bounds one wakeup's batch (default 64).
+	MaxBatch int
+	// Budget, when positive, sheds decide requests that aged past it in
+	// queue: answered admit+FlagDeadline without inference, so an I/O never
+	// waits on a backlogged predictor longer than the budget.
+	Budget time.Duration
+	// GroupTimeout bounds how long a partially-filled joint group (models
+	// with JointSize P > 1) may hold its members' responses before flushing
+	// them admit+FlagPartial (default 2ms). Only a deadline or shutdown
+	// flushes partial groups; group membership itself is sequence-based and
+	// deterministic.
+	GroupTimeout time.Duration
+
+	// BreakerWindow is the per-shard decision window for shed-rate trip
+	// checks (default 256; negative disables the breaker).
+	BreakerWindow int
+	// TripShedRate is the windowed shed fraction that trips the breaker
+	// (default 0.5). An open breaker answers admit+FlagBreaker without
+	// inference for Cooldown decisions, letting the shard drain, then
+	// half-open-probes the model.
+	TripShedRate float64
+	// Cooldown is how many open-state decisions bypass inference before
+	// probing resumes (default 4×BreakerWindow).
+	Cooldown int
+	// Probes is how many half-open probes decide recovery (default 16).
+	Probes int
+
+	// DriftRef, when set, gives every shard an input-drift detector
+	// (internal/drift PSI) referenced on these training-time feature rows.
+	// Shards observe the rows they infer on and publish MaxPSI in Stats, so
+	// an operator (or the retrain loop in cmd/heimdall-serve's example) can
+	// watch for drift and hot-swap a retrained model.
+	DriftRef [][]float64
+	// DriftBins is the detector's histogram resolution (default 10).
+	DriftBins int
+}
+
+func (c Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 4
+}
+
+func (c Config) queueLen() int {
+	if c.QueueLen > 0 {
+		return c.QueueLen
+	}
+	return 256
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 64
+}
+
+func (c Config) groupTimeout() time.Duration {
+	if c.GroupTimeout > 0 {
+		return c.GroupTimeout
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) breakerWindow() int {
+	if c.BreakerWindow > 0 {
+		return c.BreakerWindow
+	}
+	if c.BreakerWindow < 0 {
+		return 0 // disabled
+	}
+	return 256
+}
+
+func (c Config) tripShedRate() float64 {
+	if c.TripShedRate > 0 {
+		return c.TripShedRate
+	}
+	return 0.5
+}
+
+func (c Config) cooldown() int {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 4 * c.breakerWindow()
+}
+
+func (c Config) probes() int {
+	if c.Probes > 0 {
+		return c.Probes
+	}
+	return 16
+}
+
+func (c Config) driftBins() int {
+	if c.DriftBins > 0 {
+		return c.DriftBins
+	}
+	return 10
+}
+
+// servingModel is one immutable published model. Workers load the pointer
+// once per batch, so every decision in a batch comes from one consistent
+// (model, version) pair — a swap can never produce a torn read.
+type servingModel struct {
+	m       *core.Model
+	version uint32
+}
+
+// Server is the online admission service. Create with NewServer, attach
+// listeners with Serve, stop with Close.
+type Server struct {
+	cfg    Config
+	model  atomic.Pointer[servingModel]
+	vers   atomic.Uint32
+	swaps  atomic.Uint64
+	shards []*shard
+	start  time.Time
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wgConns   sync.WaitGroup
+	wgWorkers sync.WaitGroup
+}
+
+// NewServer builds the shards and starts their workers. The model must be
+// treated as immutable from here on (publish changes via Swap).
+//
+//heimdall:walltime
+func NewServer(m *core.Model, cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.vers.Store(1)
+	s.model.Store(&servingModel{m: m, version: 1})
+	for i := 0; i < cfg.shards(); i++ {
+		sh := &shard{
+			srv:  s,
+			q:    make(chan *request, cfg.queueLen()),
+			devs: make(map[uint32]*deviceState),
+		}
+		if len(cfg.DriftRef) > 0 {
+			sh.det = drift.NewInputDetector(cfg.DriftRef, cfg.driftBins())
+		}
+		s.shards = append(s.shards, sh)
+		s.wgWorkers.Add(1)
+		go sh.run()
+	}
+	return s
+}
+
+// now is the server's monotonic clock: nanoseconds since NewServer. Queue
+// deadlines compare these stamps; nothing persists them.
+//
+//heimdall:walltime
+func (s *Server) now() int64 { return int64(time.Since(s.start)) }
+
+// Model returns the currently published model and its version.
+func (s *Server) Model() (*core.Model, uint32) {
+	sm := s.model.Load()
+	return sm.m, sm.version
+}
+
+// Swap atomically publishes a new model and returns its version. In-flight
+// batches finish on the model they loaded; later batches use the new one.
+// No request is dropped and none observes a half-swapped state.
+func (s *Server) Swap(m *core.Model) uint32 {
+	v := s.vers.Add(1)
+	s.model.Store(&servingModel{m: m, version: v})
+	s.swaps.Add(1)
+	return v
+}
+
+// Stats snapshots all shard counters.
+func (s *Server) Stats() Stats {
+	var out Stats
+	sm := s.model.Load()
+	out.ModelVersion = sm.version
+	out.Swaps = s.swaps.Load()
+	for _, sh := range s.shards {
+		out.add(sh.cnt.snapshot(len(sh.q)))
+		for i := range sh.cnt.batches {
+			out.BatchHist[i] += sh.cnt.batches[i].Load()
+		}
+	}
+	return out
+}
+
+// Listen opens a listener for addr. Addresses are "unix:/path/sock" or
+// "tcp:host:port" (bare addresses default to tcp).
+func Listen(addr string) (net.Listener, error) {
+	network := "tcp"
+	if len(addr) > 5 && addr[:5] == "unix:" {
+		network, addr = "unix", addr[5:]
+	} else if len(addr) > 4 && addr[:4] == "tcp:" {
+		addr = addr[4:]
+	}
+	return net.Listen(network, addr)
+}
+
+// Serve accepts connections on l until Close (or a listener error) and
+// blocks. Multiple listeners may serve concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if err := l.Close(); err != nil {
+			return err
+		}
+		return fmt.Errorf("serve: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wgConns.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Close stops accepting, closes client connections, drains the shards
+// (flushing any held joint-group members fail-open), and waits for all
+// goroutines. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for l := range s.listeners {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for c := range s.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Unlock()
+	s.wgConns.Wait()
+	for _, sh := range s.shards {
+		close(sh.q)
+	}
+	s.wgWorkers.Wait()
+	return firstErr
+}
+
+// request is one routed message. Pooled: the worker returns it after
+// answering so steady-state traffic allocates nothing per request.
+type request struct {
+	kind uint8 // msgDecide or msgComplete
+	dec  decideRequest
+	comp completion
+	enq  int64 // Server.now() at enqueue
+	out  *connWriter
+}
+
+var reqPool = sync.Pool{New: func() interface{} { return new(request) }}
+
+// device returns the request's routing key.
+func (r *request) device() uint32 {
+	if r.kind == msgComplete {
+		return r.comp.device
+	}
+	return r.dec.device
+}
+
+// handleConn reads frames and routes them. Decide and complete messages go
+// to the owning shard; stats and swap are answered inline (they are not hot).
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wgConns.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		_ = c.Close()
+	}()
+	br := bufio.NewReader(c)
+	cw := newConnWriter(c)
+	buf := make([]byte, 256)
+	nshards := uint32(len(s.shards))
+	for {
+		body, err := readFrame(br, buf)
+		if err != nil {
+			return // clean EOF, malformed frame, or dead peer: drop the conn
+		}
+		buf = body[:cap(body)]
+		switch body[0] {
+		case msgDecide:
+			dec, err := parseDecide(body)
+			if err != nil {
+				return
+			}
+			sh := s.shards[dec.device%nshards]
+			r := reqPool.Get().(*request)
+			r.kind, r.dec, r.enq, r.out = msgDecide, dec, s.now(), cw
+			select {
+			case sh.q <- r:
+			default:
+				// Queue full: fail open immediately so the I/O proceeds.
+				reqPool.Put(r)
+				sh.cnt.sheds.Add(1)
+				sh.cnt.admits.Add(1)
+				cw.decideResp(dec.id, true, FlagShed, s.model.Load().version)
+				cw.flush()
+			}
+		case msgComplete:
+			comp, err := parseComplete(body)
+			if err != nil {
+				return
+			}
+			r := reqPool.Get().(*request)
+			r.kind, r.comp, r.out = msgComplete, comp, cw
+			// Completions feed the feature history and are never shed —
+			// dropping one would fork the tracker from the client's view.
+			// The blocking send is backpressure on this connection only.
+			s.shards[comp.device%nshards].q <- r
+		case msgStats:
+			payload, err := json.Marshal(s.Stats())
+			if err != nil {
+				return
+			}
+			frame := make([]byte, 0, 1+len(payload))
+			frame = append(frame, msgStatsResp)
+			frame = append(frame, payload...)
+			if !cw.frameAndFlush(frame) {
+				return
+			}
+		case msgSwap:
+			resp := []byte{msgSwapResp, 1, 0, 0, 0, 0}
+			m, err := core.Load(bytes.NewReader(body[1:]))
+			var v uint32
+			if err != nil {
+				resp[1] = 0
+				resp = append(resp, err.Error()...)
+			} else {
+				v = s.Swap(m)
+			}
+			resp[2] = byte(v >> 24)
+			resp[3] = byte(v >> 16)
+			resp[4] = byte(v >> 8)
+			resp[5] = byte(v)
+			if !cw.frameAndFlush(resp) {
+				return
+			}
+		default:
+			return // unknown message type: protocol error, drop the conn
+		}
+	}
+}
+
+// connWriter serializes response writes to one connection. Shard workers
+// and the connection's reader both answer through it; the mutex is the only
+// lock on the decide path and is per-connection. Errors are sticky: once a
+// write fails the peer is gone and later writes no-op.
+type connWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+	buf [32]byte
+}
+
+func newConnWriter(c net.Conn) *connWriter {
+	return &connWriter{bw: bufio.NewWriter(c)}
+}
+
+// decideResp encodes and buffers one decide response. The frame is built in
+// the writer's fixed scratch, so steady state allocates nothing.
+//
+//heimdall:hotpath
+func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint32) {
+	w.mu.Lock()
+	if w.err == nil {
+		b := &w.buf
+		b[0], b[1], b[2], b[3] = 0, 0, 0, decideRespLen
+		b[4] = msgDecideResp
+		b[5] = byte(id >> 56)
+		b[6] = byte(id >> 48)
+		b[7] = byte(id >> 40)
+		b[8] = byte(id >> 32)
+		b[9] = byte(id >> 24)
+		b[10] = byte(id >> 16)
+		b[11] = byte(id >> 8)
+		b[12] = byte(id)
+		b[13] = 0
+		if admit {
+			b[13] = 1
+		}
+		b[14] = flags
+		b[15] = byte(version >> 24)
+		b[16] = byte(version >> 16)
+		b[17] = byte(version >> 8)
+		b[18] = byte(version)
+		_, w.err = w.bw.Write(b[:4+decideRespLen])
+	}
+	w.mu.Unlock()
+}
+
+// frameAndFlush writes a full control-plane frame and flushes. Reports
+// whether the writer is still healthy.
+func (w *connWriter) frameAndFlush(body []byte) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = writeFrame(w.bw, body)
+	}
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	return w.err == nil
+}
+
+// flush pushes buffered responses to the socket.
+func (w *connWriter) flush() {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	w.mu.Unlock()
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/feature"
+	"repro/internal/policy"
+)
+
+// deviceState is everything the server tracks for one device. It lives in
+// exactly one shard and is touched only by that shard's worker, so the
+// decide path needs no locks.
+type deviceState struct {
+	win *feature.Window
+	// row is the reusable raw-feature buffer for this device's inferences.
+	row []float64
+	// Joint-group assembly (JointSize P > 1): a device's decide requests
+	// are grouped strictly by arrival sequence — requests P·g .. P·g+P−1
+	// form group g, decided by one forward pass when the last member
+	// arrives. Membership never depends on batch timing, which is what
+	// keeps batched decisions byte-identical to sequential ones.
+	sizes    []int32
+	pend     []pendMember
+	headQLen uint32
+	firstEnq int64
+}
+
+// pendMember is a joint-group member whose response is held until the
+// group fills (or a timeout/shutdown flushes it fail-open).
+type pendMember struct {
+	id  uint64
+	out *connWriter
+}
+
+// shard owns a partition of the device space: a bounded queue, the
+// per-device state, one model scratch, and a breaker. All fields except
+// the queue and counters are worker-private.
+type shard struct {
+	srv  *Server
+	q    chan *request
+	devs map[uint32]*deviceState
+	cnt  counters
+
+	batch   []*request
+	touched []*connWriter
+
+	// scratch is rebuilt when the published model changes (its size
+	// depends on the network architecture).
+	scrFor *servingModel
+	scr    *core.Scratch
+
+	// deferred counts joint-group members across devices whose responses
+	// are held; when nonzero the worker waits with a timeout so a stalled
+	// group is flushed fail-open after GroupTimeout.
+	deferred int
+
+	// Breaker: policy.Guarded's decision-count-driven state machine,
+	// retargeted at shed rate. All state is worker-private.
+	bstate   policy.BreakerState
+	bn       int    // closed: decisions in the current window
+	shedBase uint64 // sheds+deadline counter at window/half-open start
+	cooldown int    // open: decisions left before half-open
+	probeSeq int    // half-open: decisions since entering
+	probes   int    // half-open: probes performed
+
+	det    *drift.InputDetector
+	detN   int
+	detPub int
+}
+
+func (sh *shard) shedTotal() uint64 {
+	return sh.cnt.sheds.Load() + sh.cnt.deadline.Load()
+}
+
+// run is the shard worker: block for one request, optionally linger
+// BatchWindow, drain up to MaxBatch, then decide the whole batch against
+// one atomic model load. Wall-clock use is audited: the batch window and
+// queue-age deadlines are real serving time, not simulation time.
+//
+//heimdall:walltime
+func (sh *shard) run() {
+	defer sh.srv.wgWorkers.Done()
+	cfg := sh.srv.cfg
+	window := cfg.BatchWindow
+	maxBatch := cfg.maxBatch()
+	groupTimeout := int64(cfg.groupTimeout())
+	var timer *time.Timer
+	for {
+		var r *request
+		var ok bool
+		if sh.deferred > 0 {
+			if timer == nil {
+				timer = time.NewTimer(cfg.groupTimeout())
+			} else {
+				timer.Reset(cfg.groupTimeout())
+			}
+			select {
+			case r, ok = <-sh.q:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+				sh.flushExpired(sh.srv.now(), groupTimeout)
+				continue
+			}
+		} else {
+			r, ok = <-sh.q
+		}
+		if !ok {
+			sh.shutdown()
+			return
+		}
+		sh.batch = append(sh.batch[:0], r)
+		if window > 0 {
+			time.Sleep(window)
+		}
+	drain:
+		for len(sh.batch) < maxBatch {
+			select {
+			case more, open := <-sh.q:
+				if !open {
+					break drain // next blocking receive triggers shutdown
+				}
+				sh.batch = append(sh.batch, more)
+			default:
+				break drain
+			}
+		}
+		sm := sh.srv.model.Load()
+		if sm != sh.scrFor {
+			sh.scr = sm.m.NewScratch()
+			sh.scrFor = sm
+		}
+		now := sh.srv.now()
+		for _, r := range sh.batch {
+			sh.process(sm, r, now)
+			reqPool.Put(r)
+		}
+		sh.cnt.observeBatch(len(sh.batch))
+		for i := range sh.batch {
+			sh.batch[i] = nil
+		}
+		for i, w := range sh.touched {
+			w.flush()
+			sh.touched[i] = nil
+		}
+		sh.touched = sh.touched[:0]
+		if sh.det != nil && sh.detN-sh.detPub >= 256 {
+			sh.cnt.maxPSI.Store(math.Float64bits(sh.det.MaxPSI()))
+			sh.detPub = sh.detN
+		}
+	}
+}
+
+// process handles one routed request: completions feed the device history;
+// decides pass through the deadline check and breaker before inference.
+func (sh *shard) process(sm *servingModel, r *request, now int64) {
+	st := sh.devs[r.device()]
+	if st == nil {
+		st = &deviceState{win: feature.NewWindow(sm.m.Spec().Depth)}
+		sh.devs[r.device()] = st
+	}
+	if r.kind == msgComplete {
+		c := r.comp
+		thpt := 0.0
+		if c.latency > 0 {
+			// MB/s, matching iolog.Record.ThroughputMBps.
+			thpt = float64(c.size) / (1 << 20) / (float64(c.latency) / 1e9)
+		}
+		st.win.Push(feature.Hist{
+			Latency:  float64(c.latency),
+			QueueLen: float64(c.queueLen),
+			Thpt:     thpt,
+		})
+		return
+	}
+
+	dec := r.dec
+	if w := sh.srv.cfg.breakerWindow(); w > 0 && !sh.breakerAdmits(sm, dec, r.out, w) {
+		return // answered fail-open by the open/half-open breaker
+	}
+	if budget := int64(sh.srv.cfg.Budget); budget > 0 && now-r.enq > budget {
+		// Aged out in queue: the I/O has already waited too long on the
+		// predictor, so fail open without inference. Shed requests do not
+		// join joint groups.
+		sh.cnt.deadline.Add(1)
+		sh.cnt.admits.Add(1)
+		r.out.decideResp(dec.id, true, FlagDeadline, sm.version)
+		sh.touch(r.out)
+		return
+	}
+	sh.decideOne(sm, st, dec, r.enq, r.out)
+}
+
+// breakerAdmits runs the shed-rate circuit breaker and reports whether the
+// request should continue to inference. When it returns false the request
+// was already answered admit+FlagBreaker.
+func (sh *shard) breakerAdmits(sm *servingModel, dec decideRequest, out *connWriter, window int) bool {
+	switch sh.bstate {
+	case policy.BreakerOpen:
+		sh.cooldown--
+		if sh.cooldown <= 0 {
+			sh.bstate = policy.BreakerHalfOpen
+			sh.probeSeq, sh.probes = 0, 0
+			sh.shedBase = sh.shedTotal()
+		}
+		sh.cnt.breakered.Add(1)
+		sh.cnt.admits.Add(1)
+		out.decideResp(dec.id, true, FlagBreaker, sm.version)
+		sh.touch(out)
+		return false
+	case policy.BreakerHalfOpen:
+		sh.probeSeq++
+		if sh.probeSeq%probeEvery != 0 {
+			sh.cnt.breakered.Add(1)
+			sh.cnt.admits.Add(1)
+			out.decideResp(dec.id, true, FlagBreaker, sm.version)
+			sh.touch(out)
+			return false
+		}
+		sh.probes++
+		if sh.probes >= sh.srv.cfg.probes() {
+			if sh.shedTotal() > sh.shedBase {
+				// Still shedding while probing: back to open.
+				sh.bstate = policy.BreakerOpen
+				sh.cooldown = sh.srv.cfg.cooldown()
+				sh.cnt.trips.Add(1)
+			} else {
+				sh.bstate = policy.BreakerClosed
+				sh.bn = 0
+				sh.shedBase = sh.shedTotal()
+				sh.cnt.recoveries.Add(1)
+			}
+		}
+		return true
+	}
+	// Closed: count the window and trip on sustained shed rate.
+	sh.bn++
+	if sh.bn >= window {
+		shed := sh.shedTotal()
+		if float64(shed-sh.shedBase)/float64(sh.bn) > sh.srv.cfg.tripShedRate() {
+			sh.bstate = policy.BreakerOpen
+			sh.cooldown = sh.srv.cfg.cooldown()
+			sh.cnt.trips.Add(1)
+		}
+		sh.bn = 0
+		sh.shedBase = shed
+	}
+	return true
+}
+
+// probeEvery matches policy.Guarded's half-open cadence: 1 in 4 decisions
+// trials the model, the rest stay failed open.
+const probeEvery = 4
+
+// touch records a writer for the batch-end flush, so one syscall per
+// connection per batch pushes out all its responses.
+//
+//heimdall:hotpath
+func (sh *shard) touch(w *connWriter) {
+	for _, t := range sh.touched {
+		if t == w {
+			return
+		}
+	}
+	sh.touched = append(sh.touched, w)
+}
+
+// decideOne is the steady-state inference path: assemble the raw feature
+// row in the device's reusable buffer, run one forward pass through the
+// published model, answer. For joint models the group decides on its last
+// member's arrival and every member gets the group verdict. Allocation-free
+// once buffers are warm (pinned by TestDecideOneZeroAlloc).
+//
+//heimdall:hotpath
+func (sh *shard) decideOne(sm *servingModel, st *deviceState, dec decideRequest, enq int64, out *connWriter) {
+	p := sm.m.JointSize()
+	spec := sm.m.Spec()
+	if p <= 1 {
+		st.row = spec.OnlineInto(st.row[:0], int(dec.queueLen), int32(dec.size), 0, 0, st.win)
+		if sh.det != nil {
+			sh.det.Observe(st.row)
+			sh.detN++
+		}
+		admit := sm.m.AdmitInto(st.row, sh.scr)
+		if admit {
+			sh.cnt.admits.Add(1)
+		} else {
+			sh.cnt.declines.Add(1)
+		}
+		out.decideResp(dec.id, admit, 0, sm.version)
+		sh.touch(out)
+		return
+	}
+	if len(st.sizes) == 0 {
+		st.headQLen = dec.queueLen
+		st.firstEnq = enq
+	}
+	st.sizes = append(st.sizes, int32(dec.size))
+	if len(st.sizes) < p {
+		st.pend = append(st.pend, pendMember{id: dec.id, out: out})
+		sh.deferred++
+		return
+	}
+	// Group complete: head features plus the remaining members' sizes,
+	// the layout JointFeatures/training uses (§4.2).
+	st.row = spec.OnlineInto(st.row[:0], int(st.headQLen), st.sizes[0], 0, 0, st.win)
+	for _, sz := range st.sizes[1:] {
+		st.row = append(st.row, float64(sz))
+	}
+	if sh.det != nil {
+		sh.det.Observe(st.row)
+		sh.detN++
+	}
+	admit := sm.m.AdmitInto(st.row, sh.scr)
+	n := uint64(len(st.pend)) + 1
+	if admit {
+		sh.cnt.admits.Add(n)
+	} else {
+		sh.cnt.declines.Add(n)
+	}
+	for i := range st.pend {
+		st.pend[i].out.decideResp(st.pend[i].id, admit, 0, sm.version)
+		sh.touch(st.pend[i].out)
+	}
+	out.decideResp(dec.id, admit, 0, sm.version)
+	sh.touch(out)
+	sh.deferred -= len(st.pend)
+	st.pend = st.pend[:0]
+	st.sizes = st.sizes[:0]
+}
+
+// flushExpired fails open every joint group older than the timeout: its
+// held members are answered admit+FlagPartial and the group resets. The
+// next decide for the device starts a fresh group.
+func (sh *shard) flushExpired(now, timeout int64) {
+	sm := sh.srv.model.Load()
+	for _, st := range sh.devs {
+		if len(st.sizes) == 0 || now-st.firstEnq < timeout {
+			continue
+		}
+		sh.flushPartial(sm, st)
+	}
+}
+
+// flushPartial answers a partial group's held members fail-open.
+func (sh *shard) flushPartial(sm *servingModel, st *deviceState) {
+	for i := range st.pend {
+		st.pend[i].out.decideResp(st.pend[i].id, true, FlagPartial, sm.version)
+		st.pend[i].out.flush()
+	}
+	sh.cnt.partial.Add(1)
+	sh.cnt.admits.Add(uint64(len(st.pend)))
+	sh.deferred -= len(st.pend)
+	st.pend = st.pend[:0]
+	st.sizes = st.sizes[:0]
+}
+
+// shutdown drains whatever is still queued (deciding normally), then fails
+// any held joint-group members open so no request is ever dropped.
+func (sh *shard) shutdown() {
+	sm := sh.srv.model.Load()
+	if sm != sh.scrFor {
+		sh.scr = sm.m.NewScratch()
+		sh.scrFor = sm
+	}
+	now := sh.srv.now()
+	for r := range sh.q {
+		sh.process(sm, r, now)
+		reqPool.Put(r)
+	}
+	for _, st := range sh.devs {
+		if len(st.sizes) > 0 {
+			sh.flushPartial(sm, st)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package serve is the online admission layer: a concurrent service that
+// wraps a trained core.Model behind a small binary protocol (stdlib net,
+// TCP or unix socket) and answers per-I/O admit/decline queries the way the
+// paper deploys Heimdall on a storage node (§5–§6).
+//
+// Architecture (see DESIGN.md "Serving architecture"):
+//
+//   - requests are routed to one of N shards by device id, so all state for
+//     a device (feature history, joint-group sequence) has a single writer
+//     and the decide path takes no locks;
+//   - each shard micro-batches: requests that arrive within BatchWindow are
+//     decided on one wakeup, and joint models (JointSize P > 1) answer P
+//     consecutive I/Os of a device with one forward pass — §5's group
+//     inference, online;
+//   - the model lives behind an atomic pointer; a background retrain
+//     publishes a new snapshot with Swap without pausing admission;
+//   - overload never blocks an I/O on the predictor: full queues and blown
+//     deadlines fail open to "admit", and a sustained shed rate trips a
+//     policy.Guarded-style breaker that bypasses inference until the shard
+//     drains.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: every frame is a 4-byte big-endian body length followed by
+// the body; the first body byte is the message type. Payload layouts are
+// fixed-width big-endian integers except stats (JSON) and swap (a gob model
+// in core.Save format).
+const (
+	// MaxFrame bounds a frame body. Decide traffic is tens of bytes; the
+	// ceiling exists for Swap payloads and to keep a hostile length prefix
+	// from allocating unbounded memory.
+	MaxFrame = 1 << 20
+
+	msgDecide     = 0x01 // id u64 | device u32 | queueLen u32 | size u32
+	msgDecideResp = 0x02 // id u64 | verdict u8 | flags u8 | modelVersion u32
+	msgComplete   = 0x03 // device u32 | latencyNs u64 | queueLen u32 | size u32
+	msgStats      = 0x04 // empty
+	msgStatsResp  = 0x05 // JSON Stats
+	msgSwap       = 0x06 // gob model (core.Save format)
+	msgSwapResp   = 0x07 // ok u8 | modelVersion u32 | error string
+)
+
+// Decide-response flag bits. A flagged verdict is always Admit=true: every
+// degraded path fails open so an I/O is never blocked on the predictor.
+const (
+	// FlagShed: the shard queue was full; answered without inference.
+	FlagShed = 1 << iota
+	// FlagDeadline: the request aged past Config.Budget in queue.
+	FlagDeadline
+	// FlagBreaker: the shard breaker was open; inference bypassed.
+	FlagBreaker
+	// FlagPartial: a joint group was flushed before filling (timeout or
+	// shutdown), so its members were answered without a forward pass.
+	FlagPartial
+)
+
+const (
+	decideLen     = 1 + 8 + 4 + 4 + 4
+	decideRespLen = 1 + 8 + 1 + 1 + 4
+	completeLen   = 1 + 4 + 8 + 4 + 4
+	swapRespMin   = 1 + 1 + 4
+)
+
+// ErrFrame reports a malformed or oversized wire frame. The codec returns
+// it (wrapped with detail) instead of panicking or allocating for hostile
+// lengths.
+var ErrFrame = errors.New("serve: malformed frame")
+
+// writeFrame frames body (type byte already included) with its length.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) == 0 || len(body) > MaxFrame {
+		return fmt.Errorf("%w: body %d bytes", ErrFrame, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into buf (grown as needed, but
+// never past MaxFrame) and returns the body. The returned slice aliases buf
+// and is valid until the next call with the same buffer.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF between frames means a clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: length %d", ErrFrame, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: truncated body (%v)", ErrFrame, err)
+	}
+	return body, nil
+}
+
+// decideRequest is the parsed form of a msgDecide body.
+type decideRequest struct {
+	id       uint64
+	device   uint32
+	queueLen uint32
+	size     uint32
+}
+
+func parseDecide(body []byte) (decideRequest, error) {
+	if len(body) != decideLen || body[0] != msgDecide {
+		return decideRequest{}, fmt.Errorf("%w: decide body %d bytes", ErrFrame, len(body))
+	}
+	return decideRequest{
+		id:       binary.BigEndian.Uint64(body[1:]),
+		device:   binary.BigEndian.Uint32(body[9:]),
+		queueLen: binary.BigEndian.Uint32(body[13:]),
+		size:     binary.BigEndian.Uint32(body[17:]),
+	}, nil
+}
+
+func appendDecide(dst []byte, r decideRequest) []byte {
+	dst = append(dst, msgDecide)
+	dst = binary.BigEndian.AppendUint64(dst, r.id)
+	dst = binary.BigEndian.AppendUint32(dst, r.device)
+	dst = binary.BigEndian.AppendUint32(dst, r.queueLen)
+	dst = binary.BigEndian.AppendUint32(dst, r.size)
+	return dst
+}
+
+// Verdict is one admission decision as seen by the client.
+type Verdict struct {
+	ID           uint64 // echoes the request id
+	Admit        bool
+	Flags        uint8  // FlagShed | FlagDeadline | FlagBreaker | FlagPartial
+	ModelVersion uint32 // version of the model that produced the decision
+}
+
+// Shed reports whether the verdict was produced by a degraded fail-open
+// path rather than a forward pass.
+func (v Verdict) Shed() bool { return v.Flags != 0 }
+
+func parseDecideResp(body []byte) (Verdict, error) {
+	if len(body) != decideRespLen || body[0] != msgDecideResp {
+		return Verdict{}, fmt.Errorf("%w: decide response body %d bytes", ErrFrame, len(body))
+	}
+	return Verdict{
+		ID:           binary.BigEndian.Uint64(body[1:]),
+		Admit:        body[9] != 0,
+		Flags:        body[10],
+		ModelVersion: binary.BigEndian.Uint32(body[11:]),
+	}, nil
+}
+
+// completion is the parsed form of a msgComplete body: one finished I/O
+// feeding the device's feature history.
+type completion struct {
+	device   uint32
+	latency  uint64 // ns
+	queueLen uint32
+	size     uint32
+}
+
+func parseComplete(body []byte) (completion, error) {
+	if len(body) != completeLen || body[0] != msgComplete {
+		return completion{}, fmt.Errorf("%w: complete body %d bytes", ErrFrame, len(body))
+	}
+	return completion{
+		device:   binary.BigEndian.Uint32(body[1:]),
+		latency:  binary.BigEndian.Uint64(body[5:]),
+		queueLen: binary.BigEndian.Uint32(body[13:]),
+		size:     binary.BigEndian.Uint32(body[17:]),
+	}, nil
+}
+
+func appendComplete(dst []byte, c completion) []byte {
+	dst = append(dst, msgComplete)
+	dst = binary.BigEndian.AppendUint32(dst, c.device)
+	dst = binary.BigEndian.AppendUint64(dst, c.latency)
+	dst = binary.BigEndian.AppendUint32(dst, c.queueLen)
+	dst = binary.BigEndian.AppendUint32(dst, c.size)
+	return dst
+}
+
+func parseSwapResp(body []byte) (uint32, error) {
+	if len(body) < swapRespMin || body[0] != msgSwapResp {
+		return 0, fmt.Errorf("%w: swap response body %d bytes", ErrFrame, len(body))
+	}
+	version := binary.BigEndian.Uint32(body[2:])
+	if body[1] == 0 {
+		return 0, fmt.Errorf("serve: swap rejected: %s", body[swapRespMin:])
+	}
+	return version, nil
+}

@@ -1,0 +1,55 @@
+package heimdall
+
+// Façade exports for the online admission serving layer (internal/serve):
+// an always-on per-device admission service with micro-batched group
+// inference, atomic model hot-swap, and fail-open load shedding.
+
+import (
+	"net"
+
+	"repro/internal/drift"
+	"repro/internal/feature"
+	"repro/internal/serve"
+)
+
+// ServeConfig tunes the admission server: shard count, queue bounds, the
+// micro-batch window, the queue-age shed budget, breaker thresholds, and
+// the optional drift reference.
+type ServeConfig = serve.Config
+
+// Server is the online admission service. Publish retrained models with
+// Swap; it never pauses admission.
+type Server = serve.Server
+
+// ServeClient speaks the admission wire protocol (one per goroutine).
+type ServeClient = serve.Client
+
+// ServeStats is a snapshot of the server's per-shard counters.
+type ServeStats = serve.Stats
+
+// ServeVerdict is one admission decision as seen by a client.
+type ServeVerdict = serve.Verdict
+
+// NewServer wraps a trained model in an admission server and starts its
+// shard workers. Attach listeners with (*Server).Serve.
+func NewServer(m *Model, cfg ServeConfig) *Server { return serve.NewServer(m, cfg) }
+
+// ListenAdmission opens a listener for "unix:/path/sock", "tcp:host:port",
+// or a bare TCP address.
+func ListenAdmission(addr string) (net.Listener, error) { return serve.Listen(addr) }
+
+// DialAdmission connects a client to an admission server (same address
+// forms as ListenAdmission).
+func DialAdmission(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// PSI is the population-stability index between a reference and a current
+// distribution (as fraction vectors) — the drift score behind
+// InputDriftDetector and the server's per-shard detectors.
+func PSI(ref, cur []float64) float64 { return drift.PSI(ref, cur) }
+
+// ExtractFeatures converts collected I/O records into the model's feature
+// rows — the shape ServeConfig.DriftRef and NewInputDriftDetector expect as
+// the training-distribution reference.
+func ExtractFeatures(recs []Record, m *Model) [][]float64 {
+	return feature.Extract(recs, m.Spec())
+}
