@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/serve"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// runChaosBench is the availability soak: it trains one joint=1 model, then
+// runs serve.ChaosSoak repeatedly — the same seed at two shard counts, each
+// repeated -runs times — and demands every run produce the same deterministic
+// key. The soak itself checks the per-request invariants (every decide
+// answered, fail-open locals only inside disruptive fault windows); this
+// wrapper checks the cross-run one: chaos outcomes are a pure function of the
+// seed, not of scheduling, shard count, or rerun.
+func runChaosBench(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	requests := fs.Int("requests", 1500, "decides per soak (also the fault-axis length)")
+	seed := fs.Int64("seed", 1, "fault-schedule and workload seed")
+	shards := fs.Int("shards", 1, "server shard count for the first soak group")
+	shardsAlt := fs.Int("shards-alt", 4, "second shard count to cross-check (0 = skip)")
+	runs := fs.Int("runs", 2, "reruns per shard count")
+	trainDur := fs.Duration("train-dur", 2*time.Second, "synthetic training-trace duration")
+	ioTimeout := fs.Duration("io-timeout", 150*time.Millisecond, "client per-op deadline (each stalled request costs one)")
+	jsonOut := fs.Bool("json", false, "write BENCH_chaos.json")
+	if err := fs.Parse(args); err != nil {
+		fatalChaos(err)
+	}
+
+	tr := trace.Generate(trace.MSRStyle(*seed, *trainDur))
+	log := iolog.Collect(tr, ssd.New(ssd.Samsung970Pro(), *seed))
+	cfg := core.DefaultConfig(*seed)
+	cfg.Epochs = 10
+	cfg.MaxTrainSamples = 10000
+	cfg.JointSize = 1 // the soak requires per-request verdict independence
+	model, err := core.Train(log, cfg)
+	if err != nil {
+		fatalChaos(err)
+	}
+
+	shardSet := []int{*shards}
+	if *shardsAlt > 0 && *shardsAlt != *shards {
+		shardSet = append(shardSet, *shardsAlt)
+	}
+
+	type chaosRun struct {
+		Shards int               `json:"shards"`
+		Run    int               `json:"run"`
+		Key    string            `json:"key"`
+		Report serve.ChaosReport `json:"report"`
+	}
+	var (
+		all        []chaosRun
+		violations int
+	)
+	start := time.Now()
+	for _, sc := range shardSet {
+		for r := 0; r < *runs; r++ {
+			dir, err := os.MkdirTemp("", "chaos")
+			if err != nil {
+				fatalChaos(err)
+			}
+			rep, err := serve.ChaosSoak(model, serve.ChaosConfig{
+				Requests:  *requests,
+				Seed:      *seed,
+				Shards:    sc,
+				IOTimeout: *ioTimeout,
+				Dir:       dir,
+			})
+			_ = os.RemoveAll(dir)
+			if err != nil {
+				fatalChaos(err)
+			}
+			violations += len(rep.Violations)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "violation (shards=%d run=%d): %s\n", sc, r, v)
+			}
+			all = append(all, chaosRun{Shards: sc, Run: r, Key: rep.DeterministicKey(), Report: rep})
+			fmt.Printf("shards=%d run=%d: remote=%d local=%d (blackout=%d reset=%d stall=%d truncate=%d) reconnects=%d ledger=%s\n",
+				sc, r, rep.Remote, rep.Local,
+				rep.LocalBlackout, rep.LocalReset, rep.LocalStall, rep.LocalTruncate,
+				rep.Client.Reconnects, rep.LedgerHash)
+		}
+	}
+	elapsed := time.Since(start)
+
+	deterministic := true
+	for _, cr := range all[1:] {
+		if cr.Key != all[0].Key {
+			deterministic = false
+			fmt.Fprintf(os.Stderr, "key mismatch (shards=%d run=%d):\n  want %s\n  got  %s\n",
+				cr.Shards, cr.Run, all[0].Key, cr.Key)
+		}
+	}
+
+	fmt.Printf("\nchaos: %d requests x %d soaks in %v: deterministic=%v violations=%d\n",
+		*requests, len(all), elapsed.Round(time.Millisecond), deterministic, violations)
+
+	if *jsonOut {
+		rec := struct {
+			Experiment    string     `json:"experiment"`
+			Requests      int        `json:"requests"`
+			Seed          int64      `json:"seed"`
+			ElapsedMS     float64    `json:"elapsed_ms"`
+			Deterministic bool       `json:"deterministic"`
+			Key           string     `json:"key"`
+			Runs          []chaosRun `json:"runs"`
+		}{"chaos", *requests, *seed, float64(elapsed.Microseconds()) / 1000, deterministic, all[0].Key, all}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalChaos(err)
+		}
+		if err := os.WriteFile("BENCH_chaos.json", append(data, '\n'), 0o644); err != nil {
+			fatalChaos(err)
+		}
+		fmt.Println("(wrote BENCH_chaos.json)")
+	}
+	if !deterministic || violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalChaos(err error) {
+	fmt.Fprintln(os.Stderr, "heimdall-bench chaos:", err)
+	os.Exit(1)
+}

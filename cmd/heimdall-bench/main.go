@@ -21,6 +21,13 @@
 // transient read errors, and offline windows into the replay and compares
 // always-admit, hedging, Heimdall, and circuit-breaker-guarded Heimdall
 // under each scenario.
+//
+// Two subcommands sit outside the experiment table machinery and parse their
+// own flags: `heimdall-bench serve` is the load generator for a live
+// heimdall-serve instance, and `heimdall-bench chaos` is the availability
+// soak — it drives the full client/proxy/server loop through seeded network
+// fault schedules and asserts the outcomes are deterministic across reruns
+// and shard counts (see -help on each).
 package main
 
 import (
@@ -73,6 +80,10 @@ func main() {
 	// before the experiment flags parse.
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServeBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaosBench(os.Args[2:])
 		return
 	}
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")

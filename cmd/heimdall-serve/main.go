@@ -48,6 +48,8 @@ func main() {
 	window := flag.Duration("batch-window", 0, "micro-batch gather window (0 = decide immediately)")
 	maxBatch := flag.Int("max-batch", 0, "per-wakeup batch bound (0 = default 64)")
 	budget := flag.Duration("budget", 0, "queue-age deadline; older decides fail open (0 = off)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-connection idle read deadline; silent peers are dropped (0 = off)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline; slow peers are shed (0 = off)")
 	flag.Parse()
 
 	var (
@@ -99,12 +101,14 @@ func main() {
 	}
 
 	srv := serve.NewServer(model, serve.Config{
-		Shards:      *shards,
-		QueueLen:    *queueLen,
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		Budget:      *budget,
-		DriftRef:    ref,
+		Shards:       *shards,
+		QueueLen:     *queueLen,
+		BatchWindow:  *window,
+		MaxBatch:     *maxBatch,
+		Budget:       *budget,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		DriftRef:     ref,
 	})
 	l, err := serve.Listen(*listen)
 	if err != nil {

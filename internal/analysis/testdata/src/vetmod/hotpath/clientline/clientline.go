@@ -1,0 +1,86 @@
+// Package clientline mirrors the resilient client's verdict path: in-flight
+// ids and buffered verdicts live in receiver-rooted slices that are appended
+// to, compacted, and swap-removed on every decide. The clean shapes must pass
+// untouched; the seeded regressions — formatting a drop reason, a retry
+// closure, boxing the verdict, and accumulating into a call-local slice —
+// must each be flagged.
+package clientline
+
+import "fmt"
+
+type verdict struct {
+	id    uint64
+	admit bool
+	flags uint8
+}
+
+type client struct {
+	inflight []uint64
+	ready    []verdict
+	head     int
+	locals   uint64
+}
+
+// local resolves one outstanding id as a fail-open admit. Both appends are
+// rooted at the receiver, so the lint stays silent.
+//
+//heimdall:hotpath
+func (c *client) local(id uint64) {
+	for i, in := range c.inflight {
+		if in == id {
+			c.inflight[i] = c.inflight[len(c.inflight)-1]
+			c.inflight = c.inflight[:len(c.inflight)-1]
+			break
+		}
+	}
+	c.locals++
+	c.ready = append(c.ready, verdict{id: id, admit: true, flags: 1 << 4})
+}
+
+// take pops a buffered verdict by id, compacting the consumed prefix.
+//
+//heimdall:hotpath
+func (c *client) take(id uint64) (verdict, bool) {
+	for i := c.head; i < len(c.ready); i++ {
+		if c.ready[i].id == id {
+			v := c.ready[i]
+			copy(c.ready[i:], c.ready[i+1:])
+			c.ready = c.ready[:len(c.ready)-1]
+			return v, true
+		}
+	}
+	return verdict{}, false
+}
+
+// decide carries the seeded regressions on an annotated client path.
+//
+//heimdall:hotpath
+func (c *client) decide(id uint64) (verdict, error) {
+	if id == 0 {
+		return verdict{}, fmt.Errorf("zero id %d", id) // want "fmt.Errorf called on a"
+	}
+	pending := make([]uint64, 0, 4)
+	pending = append(pending, id) // want "append to a slice not rooted"
+	retry := func() {             // want "closure constructed on a"
+		c.local(id)
+	}
+	_ = retry
+	_ = pending
+	v, ok := c.take(id)
+	if !ok {
+		c.local(id)
+		v, _ = c.take(id)
+	}
+	observe(v) // want "concrete value passed as interface"
+	return v, nil
+}
+
+func observe(v any) { _ = v }
+
+// drain is unannotated: the same shapes pass without findings.
+func (c *client) drain() []verdict {
+	out := make([]verdict, 0, len(c.ready))
+	out = append(out, c.ready[c.head:]...)
+	observe(out)
+	return out
+}

@@ -1,0 +1,332 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// This file extends the schedule-driven fault machinery from simulated disks
+// to the serving network. The idiom is the same as the device Schedule: a
+// list of windows, each carrying one fault kind, bound to a logical axis —
+// but here the axis is an operation/step counter, not simulation time, so a
+// test or benchmark that drives the axis itself is deterministic end to end.
+// The only randomness is a dedicated PRNG seeded at construction, drawn only
+// inside truncation windows with an unspecified cut point, so a fault-free
+// schedule is a bit-for-bit passthrough.
+
+// ErrNetReset reports an injected connection reset: the wire was cut by the
+// fault schedule, not by the peer.
+var ErrNetReset = errors.New("fault: connection reset by injector")
+
+// NetKind identifies one network fault class.
+type NetKind uint8
+
+const (
+	// NetDelay adds latency to every operation in the window without
+	// breaking it — a congested or throttled link. Delivery still succeeds,
+	// so a resilient client must NOT fail open under mere delay.
+	NetDelay NetKind = iota
+	// NetStall freezes delivery: operations in the window block (Conn: for
+	// Dur per op; Proxy: until the window ends and the link is cut) — a
+	// switch buffering black hole or a remote peer that stopped reading.
+	NetStall
+	// NetTruncate cuts a frame mid-body: the first Bytes bytes of a write
+	// are delivered, then the connection resets — a crash between two
+	// segments of one logical frame.
+	NetTruncate
+	// NetReset fails operations immediately and closes the connection — an
+	// RST from a crashed peer or a middlebox.
+	NetReset
+	// NetBlackout takes the listener down: new connections are refused for
+	// the whole window and existing ones are cut — a crashed server process
+	// or an unplugged node. Interpreted by Proxy; Conn treats it as NetReset.
+	NetBlackout
+)
+
+// String names the network fault kind.
+func (k NetKind) String() string {
+	switch k {
+	case NetDelay:
+		return "delay"
+	case NetStall:
+		return "stall"
+	case NetTruncate:
+		return "truncate"
+	case NetReset:
+		return "reset"
+	case NetBlackout:
+		return "blackout"
+	}
+	return "unknown"
+}
+
+// NetWindow is one scheduled network fault over the half-open interval
+// [Start, End) on the owner's logical axis: per-connection operation index
+// for Conn, driver step for Proxy.
+type NetWindow struct {
+	Start, End int64
+	Kind       NetKind
+	// Dur is the added latency for NetDelay (per op) and the per-op block
+	// for NetStall on a Conn (the Proxy stalls for the whole window).
+	Dur time.Duration
+	// Bytes is how much of the faulted write NetTruncate lets through
+	// before the cut; 0 draws a cut point from the seeded PRNG.
+	Bytes int
+}
+
+// Active reports whether the window covers the axis position op.
+func (w NetWindow) Active(op int64) bool { return op >= w.Start && op < w.End }
+
+// NetSchedule is a composable list of network fault windows. The zero value
+// (and nil) is fault-free. Windows may overlap; delay durations of
+// overlapping delay/stall windows add.
+type NetSchedule struct {
+	windows []NetWindow
+}
+
+// NewNetSchedule returns an empty schedule to chain windows onto.
+func NewNetSchedule() *NetSchedule { return &NetSchedule{} }
+
+// Delay schedules added latency d for every op in [start, end).
+func (s *NetSchedule) Delay(start, end int64, d time.Duration) *NetSchedule {
+	s.windows = append(s.windows, NetWindow{Start: start, End: end, Kind: NetDelay, Dur: d})
+	return s
+}
+
+// Stall schedules frozen delivery over [start, end). On a Conn each op in
+// the window blocks for d; on a Proxy the link is held for the whole window
+// and cut at its end (d is ignored there).
+func (s *NetSchedule) Stall(start, end int64, d time.Duration) *NetSchedule {
+	s.windows = append(s.windows, NetWindow{Start: start, End: end, Kind: NetStall, Dur: d})
+	return s
+}
+
+// Truncate schedules a mid-frame cut in [start, end): the faulted write
+// delivers only its first bytes bytes (0: a seeded random cut), then the
+// connection resets.
+func (s *NetSchedule) Truncate(start, end int64, bytes int) *NetSchedule {
+	s.windows = append(s.windows, NetWindow{Start: start, End: end, Kind: NetTruncate, Bytes: bytes})
+	return s
+}
+
+// Reset schedules immediate connection resets over [start, end).
+func (s *NetSchedule) Reset(start, end int64) *NetSchedule {
+	s.windows = append(s.windows, NetWindow{Start: start, End: end, Kind: NetReset})
+	return s
+}
+
+// Blackout schedules a listener outage over [start, end).
+func (s *NetSchedule) Blackout(start, end int64) *NetSchedule {
+	s.windows = append(s.windows, NetWindow{Start: start, End: end, Kind: NetBlackout})
+	return s
+}
+
+// Windows returns a copy of the scheduled windows.
+func (s *NetSchedule) Windows() []NetWindow {
+	if s == nil {
+		return nil
+	}
+	return append([]NetWindow(nil), s.windows...)
+}
+
+// Empty reports whether the schedule injects nothing (nil-safe).
+func (s *NetSchedule) Empty() bool { return s == nil || len(s.windows) == 0 }
+
+// ActiveAt reports whether a window of kind k covers op (nil-safe).
+func (s *NetSchedule) ActiveAt(op int64, k NetKind) bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.windows {
+		if w.Kind == k && w.Active(op) {
+			return true
+		}
+	}
+	return false
+}
+
+// DelayAt returns the summed added latency of the delay and stall windows
+// covering op (0 when none; nil-safe).
+func (s *NetSchedule) DelayAt(op int64) time.Duration {
+	var d time.Duration
+	if s == nil {
+		return d
+	}
+	for _, w := range s.windows {
+		if (w.Kind == NetDelay || w.Kind == NetStall) && w.Active(op) {
+			d += w.Dur
+		}
+	}
+	return d
+}
+
+// TruncateAt returns the truncation window covering op, if any (nil-safe).
+func (s *NetSchedule) TruncateAt(op int64) (NetWindow, bool) {
+	if s == nil {
+		return NetWindow{}, false
+	}
+	for _, w := range s.windows {
+		if w.Kind == NetTruncate && w.Active(op) {
+			return w, true
+		}
+	}
+	return NetWindow{}, false
+}
+
+// DisruptiveAt reports whether op falls in a window that breaks delivery
+// (stall, truncate, reset, blackout). Delay windows are excluded: a merely
+// slow wire still answers, so a fail-open verdict under pure delay is a
+// client bug, which is exactly what the chaos soak asserts.
+func (s *NetSchedule) DisruptiveAt(op int64) bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.windows {
+		if w.Kind != NetDelay && w.Active(op) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosSchedule derives a deterministic soak schedule from a seed: healthy
+// stretches alternating with fault windows whose kind cycles blackout →
+// reset → stall → truncate → delay over [0, steps). Stall windows stay
+// short because every stalled request costs the client a full read
+// deadline; truncation cuts at byte 9 of the 25-byte decide frame, squarely
+// mid-body.
+func ChaosSchedule(seed, steps int64) *NetSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewNetSchedule()
+	kinds := [...]NetKind{NetBlackout, NetReset, NetStall, NetTruncate, NetDelay}
+	pos := 20 + rng.Int63n(20)
+	for i := 0; pos < steps; i++ {
+		kind := kinds[i%len(kinds)]
+		var length int64
+		switch kind {
+		case NetStall:
+			length = 2 + rng.Int63n(2)
+		case NetTruncate:
+			length = 3 + rng.Int63n(3)
+		default:
+			length = 4 + rng.Int63n(8)
+		}
+		end := pos + length
+		if end > steps {
+			end = steps
+		}
+		switch kind {
+		case NetBlackout:
+			s.Blackout(pos, end)
+		case NetReset:
+			s.Reset(pos, end)
+		case NetStall:
+			s.Stall(pos, end, 0)
+		case NetTruncate:
+			s.Truncate(pos, end, 9)
+		case NetDelay:
+			s.Delay(pos, end, time.Millisecond)
+		}
+		pos = end + 25 + rng.Int63n(25)
+	}
+	return s
+}
+
+// Conn wraps a net.Conn with schedule-driven faults on a per-connection
+// operation axis: every Read and Write call advances the axis by one, so a
+// schedule like Reset(10, 12) cuts the wire at exactly the 11th operation
+// regardless of timing. Like ssd.Device and Injector, a Conn is not safe
+// for concurrent use of the same direction; concurrent Read and Write (the
+// usual split-reader/writer protocol shape) are fine because the op counter
+// is only approximate across directions — deterministic tests drive one
+// direction at a time.
+type Conn struct {
+	inner net.Conn
+	sched *NetSchedule
+	rng   *rand.Rand
+	ops   int64
+
+	// Injection counters, for observability and tests.
+	Delayed   int // ops that slept in a delay/stall window
+	Truncated int // writes cut mid-frame
+	Resets    int // ops failed by a reset/blackout window
+}
+
+// WrapConn binds a schedule to an established connection. A nil schedule is
+// a deterministic passthrough. The seed drives only truncation-point
+// sampling for windows with Bytes == 0.
+func WrapConn(c net.Conn, sched *NetSchedule, seed int64) *Conn {
+	return &Conn{inner: c, sched: sched, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Ops returns the number of operations the connection has mediated.
+func (c *Conn) Ops() int64 { return c.ops }
+
+// Read applies the schedule at the current op, then reads from the wrapped
+// connection.
+//
+//heimdall:walltime
+func (c *Conn) Read(p []byte) (int, error) {
+	op := c.ops
+	c.ops++
+	if c.sched.ActiveAt(op, NetReset) || c.sched.ActiveAt(op, NetBlackout) {
+		c.Resets++
+		_ = c.inner.Close()
+		return 0, ErrNetReset
+	}
+	if d := c.sched.DelayAt(op); d > 0 {
+		c.Delayed++
+		time.Sleep(d)
+	}
+	return c.inner.Read(p)
+}
+
+// Write applies the schedule at the current op, then writes to the wrapped
+// connection. Inside a truncation window only the window's byte budget is
+// delivered before the reset.
+//
+//heimdall:walltime
+func (c *Conn) Write(p []byte) (int, error) {
+	op := c.ops
+	c.ops++
+	if c.sched.ActiveAt(op, NetReset) || c.sched.ActiveAt(op, NetBlackout) {
+		c.Resets++
+		_ = c.inner.Close()
+		return 0, ErrNetReset
+	}
+	if w, ok := c.sched.TruncateAt(op); ok && len(p) > 0 {
+		cut := w.Bytes
+		if cut <= 0 || cut >= len(p) {
+			cut = c.rng.Intn(len(p)) // mid-frame: strictly fewer bytes than asked
+		}
+		c.Truncated++
+		n, _ := c.inner.Write(p[:cut])
+		_ = c.inner.Close()
+		return n, ErrNetReset
+	}
+	if d := c.sched.DelayAt(op); d > 0 {
+		c.Delayed++
+		time.Sleep(d)
+	}
+	return c.inner.Write(p)
+}
+
+// Close closes the wrapped connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr delegates to the wrapped connection.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr delegates to the wrapped connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline delegates to the wrapped connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline delegates to the wrapped connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the wrapped connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,392 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNetScheduleQueries(t *testing.T) {
+	s := NewNetSchedule().
+		Delay(0, 10, time.Millisecond).
+		Delay(5, 10, time.Millisecond).
+		Stall(20, 22, 3*time.Millisecond).
+		Truncate(30, 33, 9).
+		Reset(40, 44).
+		Blackout(50, 55)
+
+	if s.Empty() {
+		t.Fatal("schedule with windows reported Empty")
+	}
+	var nilSched *NetSchedule
+	if !nilSched.Empty() || nilSched.DisruptiveAt(0) || nilSched.DelayAt(0) != 0 {
+		t.Fatal("nil schedule must be inert")
+	}
+
+	if !s.ActiveAt(0, NetDelay) || s.ActiveAt(10, NetDelay) {
+		t.Fatal("delay window bounds wrong (half-open [0,10))")
+	}
+	if got := s.DelayAt(3); got != time.Millisecond {
+		t.Fatalf("DelayAt(3) = %v, want 1ms", got)
+	}
+	if got := s.DelayAt(7); got != 2*time.Millisecond {
+		t.Fatalf("overlapping delays must add: DelayAt(7) = %v, want 2ms", got)
+	}
+	if got := s.DelayAt(21); got != 3*time.Millisecond {
+		t.Fatalf("stall contributes to DelayAt: got %v, want 3ms", got)
+	}
+
+	if w, ok := s.TruncateAt(31); !ok || w.Bytes != 9 {
+		t.Fatalf("TruncateAt(31) = %+v, %v", w, ok)
+	}
+	if _, ok := s.TruncateAt(33); ok {
+		t.Fatal("TruncateAt at window end must be inactive")
+	}
+
+	// Delay is benign; everything else is disruptive.
+	if s.DisruptiveAt(3) {
+		t.Fatal("pure delay must not be disruptive")
+	}
+	for _, op := range []int64{20, 30, 40, 50} {
+		if !s.DisruptiveAt(op) {
+			t.Fatalf("op %d should be disruptive", op)
+		}
+	}
+	if s.DisruptiveAt(60) {
+		t.Fatal("op outside all windows reported disruptive")
+	}
+
+	ws := s.Windows()
+	if len(ws) != 6 {
+		t.Fatalf("Windows() returned %d entries, want 6", len(ws))
+	}
+	ws[0].Kind = NetReset // mutate the copy
+	if s.windows[0].Kind != NetDelay {
+		t.Fatal("Windows() must return a copy")
+	}
+
+	for _, k := range []NetKind{NetDelay, NetStall, NetTruncate, NetReset, NetBlackout} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	a := ChaosSchedule(42, 2000).Windows()
+	b := ChaosSchedule(42, 2000).Windows()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce identical schedules")
+	}
+	c := ChaosSchedule(43, 2000).Windows()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should diverge")
+	}
+
+	kinds := map[NetKind]int{}
+	for _, w := range a {
+		kinds[w.Kind]++
+		if w.Start < 0 || w.End > 2000 || w.Start >= w.End {
+			t.Fatalf("malformed window %+v", w)
+		}
+		if w.Kind == NetStall && w.End-w.Start > 3 {
+			t.Fatalf("stall window too long: %+v", w)
+		}
+	}
+	for _, k := range []NetKind{NetBlackout, NetReset, NetStall, NetTruncate, NetDelay} {
+		if kinds[k] == 0 {
+			t.Fatalf("2000-step chaos schedule never scheduled %v (windows: %d)", k, len(a))
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Start < a[i-1].End {
+			t.Fatalf("chaos windows overlap: %+v then %+v", a[i-1], a[i])
+		}
+	}
+}
+
+// drain reads everything from c into a buffer until EOF.
+func drain(c net.Conn, out *bytes.Buffer, done chan<- struct{}) {
+	_, _ = io.Copy(out, c)
+	close(done)
+}
+
+func TestConnPassthrough(t *testing.T) {
+	c1, c2 := net.Pipe()
+	fc := WrapConn(c1, nil, 7)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(c2, &got, done)
+
+	msg := []byte("heimdall admission frame")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("passthrough write: %v", err)
+	}
+	_ = fc.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("payload corrupted: %q", got.Bytes())
+	}
+	if fc.Delayed != 0 || fc.Truncated != 0 || fc.Resets != 0 {
+		t.Fatalf("passthrough injected faults: %+v", fc)
+	}
+	if fc.Ops() != 1 {
+		t.Fatalf("ops = %d, want 1", fc.Ops())
+	}
+}
+
+func TestConnResetWindow(t *testing.T) {
+	c1, c2 := net.Pipe()
+	fc := WrapConn(c1, NewNetSchedule().Reset(1, 2), 7)
+	var sink bytes.Buffer
+	done := make(chan struct{})
+	go drain(c2, &sink, done)
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("op 0 should pass: %v", err)
+	}
+	if _, err := fc.Write([]byte("cut")); !errors.Is(err, ErrNetReset) {
+		t.Fatalf("op 1 must reset, got %v", err)
+	}
+	if fc.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", fc.Resets)
+	}
+	<-done // inner conn closed by the reset
+	if sink.String() != "ok" {
+		t.Fatalf("delivered %q, want only the pre-reset op", sink.String())
+	}
+}
+
+func TestConnTruncateWindow(t *testing.T) {
+	c1, c2 := net.Pipe()
+	fc := WrapConn(c1, NewNetSchedule().Truncate(0, 1, 3), 7)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(c2, &got, done)
+
+	n, err := fc.Write([]byte("frame-body"))
+	if !errors.Is(err, ErrNetReset) {
+		t.Fatalf("truncated write must reset, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d bytes, want 3", n)
+	}
+	<-done
+	if got.String() != "fra" {
+		t.Fatalf("peer received %q, want %q", got.String(), "fra")
+	}
+	if fc.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", fc.Truncated)
+	}
+}
+
+func TestConnDelayWindow(t *testing.T) {
+	c1, c2 := net.Pipe()
+	fc := WrapConn(c1, NewNetSchedule().Delay(0, 4, time.Microsecond), 7)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(c2, &got, done)
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatalf("delayed write must still succeed: %v", err)
+	}
+	_ = fc.Close()
+	<-done
+	if fc.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", fc.Delayed)
+	}
+	if got.String() != "slow" {
+		t.Fatalf("payload corrupted: %q", got.String())
+	}
+}
+
+// startEcho runs a byte-echo server on a unix socket and returns its addr in
+// proxy/serve syntax.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "echo.sock")
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				_, _ = io.Copy(c, c)
+				_ = c.Close()
+			}(c)
+		}
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		wg.Wait()
+	})
+	return "unix:" + path
+}
+
+// echoOnce dials the proxy, sends msg, and expects it echoed back.
+func echoOnce(t *testing.T, addr, msg string) error {
+	t.Helper()
+	net_, target := splitAddr(addr)
+	c, err := net.DialTimeout(net_, target, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo corrupted: %q", buf)
+	}
+	return nil
+}
+
+func TestProxyFaultWindows(t *testing.T) {
+	backend := startEcho(t)
+	sched := NewNetSchedule().
+		Blackout(2, 4).
+		Reset(6, 8).
+		Truncate(10, 11, 3)
+	front := "unix:" + filepath.Join(t.TempDir(), "front.sock")
+	px, err := NewProxy(front, backend, sched)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer func() { _ = px.Close() }()
+	if px.Addr() != front {
+		t.Fatalf("Addr = %q, want %q", px.Addr(), front)
+	}
+
+	// Healthy steps pass traffic through.
+	for i := int64(0); i < 2; i++ {
+		if err := px.Step(i); err != nil {
+			t.Fatalf("Step(%d): %v", i, err)
+		}
+		if err := echoOnce(t, px.Addr(), "hello"); err != nil {
+			t.Fatalf("healthy step %d: %v", i, err)
+		}
+	}
+
+	// Blackout: the unix socket is unlinked, dials fail immediately.
+	for i := int64(2); i < 4; i++ {
+		if err := px.Step(i); err != nil {
+			t.Fatalf("Step(%d): %v", i, err)
+		}
+		if err := echoOnce(t, px.Addr(), "x"); err == nil {
+			t.Fatalf("blackout step %d: dial unexpectedly succeeded", i)
+		}
+	}
+
+	// Heal: the listener is back on the same address.
+	if err := px.Step(4); err != nil {
+		t.Fatalf("Step(4): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "healed"); err != nil {
+		t.Fatalf("post-blackout echo: %v", err)
+	}
+
+	// Reset: dial succeeds (listener backlog) but the conn dies unanswered.
+	if err := px.Step(6); err != nil {
+		t.Fatalf("Step(6): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "x"); err == nil {
+		t.Fatal("reset step: echo unexpectedly succeeded")
+	}
+
+	// Heal again.
+	if err := px.Step(8); err != nil {
+		t.Fatalf("Step(8): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "again"); err != nil {
+		t.Fatalf("post-reset echo: %v", err)
+	}
+
+	// Truncate: only the first 3 bytes reach the backend, then the link
+	// dies; the echo read sees EOF before the full message.
+	if err := px.Step(10); err != nil {
+		t.Fatalf("Step(10): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "frame-body"); err == nil {
+		t.Fatal("truncate step: echo unexpectedly completed")
+	}
+
+	cnt := px.Counters()
+	if cnt.Accepts < 4 {
+		t.Fatalf("Accepts = %d, want >= 4", cnt.Accepts)
+	}
+	if cnt.Refused < 1 {
+		t.Fatalf("Refused = %d, want >= 1 (reset window)", cnt.Refused)
+	}
+	if cnt.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", cnt.Truncated)
+	}
+	if cnt.Killed < 1 {
+		t.Fatalf("Killed = %d, want >= 1", cnt.Killed)
+	}
+}
+
+func TestProxyStall(t *testing.T) {
+	backend := startEcho(t)
+	sched := NewNetSchedule().Stall(1, 2, 0) // proxy ignores the per-op Dur
+	front := "unix:" + filepath.Join(t.TempDir(), "stall.sock")
+	px, err := NewProxy(front, backend, sched)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer func() { _ = px.Close() }()
+
+	if err := px.Step(0); err != nil {
+		t.Fatalf("Step(0): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "warm"); err != nil {
+		t.Fatalf("healthy step: %v", err)
+	}
+
+	// Stalled: the write is swallowed, the read must time out.
+	if err := px.Step(1); err != nil {
+		t.Fatalf("Step(1): %v", err)
+	}
+	net_, target := splitAddr(px.Addr())
+	c, err := net.DialTimeout(net_, target, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial during stall: %v", err)
+	}
+	_ = c.SetDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("write during stall: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read during stall returned data; want timeout")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read during stall: %v, want timeout", err)
+	}
+	_ = c.Close()
+
+	// Exit: stalled links are cut, new traffic flows.
+	if err := px.Step(2); err != nil {
+		t.Fatalf("Step(2): %v", err)
+	}
+	if err := echoOnce(t, px.Addr(), "flow"); err != nil {
+		t.Fatalf("post-stall echo: %v", err)
+	}
+}

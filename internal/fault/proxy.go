@@ -1,0 +1,356 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Proxy is an in-process chaos relay for the serving wire: it listens on a
+// front address, forwards every accepted connection to a backend, and
+// applies a NetSchedule on a driver-owned step axis. The driver calls
+// Step(i) before issuing request i, so fault windows land on exact request
+// indices and a soak is reproducible bit for bit — there is no wall-clock
+// randomness anywhere in the fault path.
+//
+// Window semantics on the proxy axis:
+//
+//   - NetBlackout: the front listener is closed for the whole window (unix
+//     sockets unlink, so dials fail immediately) and live links are cut; on
+//     window exit the listener reopens on the same address.
+//   - NetReset: live links are cut on entry and every connection accepted
+//     during the window is closed immediately after accept.
+//   - NetStall: forwarding freezes — accepted links read but deliver
+//     nothing; on window exit the stalled links are cut and forwarding
+//     resumes for new ones.
+//   - NetTruncate: re-armed at every in-window step; the next client→backend
+//     chunk is cut after the window's byte budget and the link is severed —
+//     a frame dies mid-body.
+//   - NetDelay: each forwarded chunk (both directions) is delayed by the
+//     window's Dur; delivery still succeeds.
+type Proxy struct {
+	sched *NetSchedule
+
+	frontNet, frontAddr     string
+	backendNet, backendAddr string
+
+	mu        sync.Mutex
+	ln        net.Listener
+	links     map[*link]struct{}
+	stallCh   chan struct{} // non-nil while stalled; closed on release
+	resetMode bool
+	delay     time.Duration
+	trunc     int // armed client→backend cut budget; -1 = disarmed
+	closed    bool
+
+	accepts, refused, killed, truncated int
+
+	wg sync.WaitGroup
+}
+
+// ProxyCounters is a snapshot of the proxy's injection activity.
+type ProxyCounters struct {
+	Accepts   int `json:"accepts"`          // connections accepted and linked
+	Refused   int `json:"refused"`          // connections closed at accept by a reset window
+	Killed    int `json:"killed_links"`     // links severed by fault windows or errors
+	Truncated int `json:"truncated_frames"` // client→backend chunks cut mid-body
+}
+
+type link struct {
+	cli, srv net.Conn
+}
+
+func (l *link) closeBoth() {
+	_ = l.cli.Close()
+	_ = l.srv.Close()
+}
+
+// ErrProxyClosed reports a Step call after Close.
+var ErrProxyClosed = errors.New("fault: proxy closed")
+
+// splitAddr parses the "unix:/path", "tcp:host:port", or bare "host:port"
+// address forms (the same syntax the serving layer uses).
+func splitAddr(addr string) (network, target string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	default:
+		return "tcp", addr
+	}
+}
+
+// NewProxy opens the front listener and starts relaying to backend. The
+// schedule is evaluated only when the driver calls Step; a proxy that is
+// never stepped (or has a nil schedule) is a plain passthrough.
+func NewProxy(front, backend string, sched *NetSchedule) (*Proxy, error) {
+	fn, fa := splitAddr(front)
+	bn, ba := splitAddr(backend)
+	p := &Proxy{
+		sched:       sched,
+		frontNet:    fn,
+		frontAddr:   fa,
+		backendNet:  bn,
+		backendAddr: ba,
+		links:       make(map[*link]struct{}),
+		trunc:       -1,
+	}
+	ln, err := net.Listen(fn, fa)
+	if err != nil {
+		return nil, err
+	}
+	if fn == "tcp" {
+		// Pin the concrete port so blackout windows can rebind it.
+		p.frontAddr = ln.Addr().String()
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return p, nil
+}
+
+// Addr returns the front address in the same "unix:"/"tcp:" form NewProxy
+// accepts, with the concrete port filled in for ":0"-style requests.
+func (p *Proxy) Addr() string {
+	if p.frontNet == "unix" {
+		return "unix:" + p.frontAddr
+	}
+	return "tcp:" + p.frontAddr
+}
+
+// Step advances the fault axis to step n, applying every window transition
+// it implies: listener teardown/rebind for blackouts, link cuts for reset
+// and stall boundaries, truncation arming, and delay updates. Call it
+// before issuing request n.
+func (p *Proxy) Step(n int64) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrProxyClosed
+	}
+	blackout := p.sched.ActiveAt(n, NetBlackout)
+	stall := p.sched.ActiveAt(n, NetStall)
+	p.resetMode = p.sched.ActiveAt(n, NetReset)
+	p.delay = p.sched.DelayAt(n)
+	if w, ok := p.sched.TruncateAt(n); ok {
+		p.trunc = w.Bytes
+	} else {
+		p.trunc = -1
+	}
+
+	if blackout || p.resetMode {
+		p.killLinksLocked()
+	}
+	if stall && p.stallCh == nil {
+		p.stallCh = make(chan struct{})
+	}
+	if !stall && p.stallCh != nil {
+		close(p.stallCh)
+		p.stallCh = nil
+		p.killLinksLocked() // whatever the stall swallowed is lost
+	}
+
+	var toClose net.Listener
+	relisten := false
+	if blackout && p.ln != nil {
+		toClose = p.ln
+		p.ln = nil
+	}
+	if !blackout && p.ln == nil {
+		relisten = true
+	}
+	p.mu.Unlock()
+
+	if toClose != nil {
+		_ = toClose.Close()
+	}
+	if relisten {
+		return p.relisten()
+	}
+	return nil
+}
+
+func (p *Proxy) relisten() error {
+	ln, err := net.Listen(p.frontNet, p.frontAddr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = ln.Close()
+		return nil
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// KillLinks severs every live proxied connection without touching the
+// listener — both sides observe an abrupt peer death.
+func (p *Proxy) KillLinks() {
+	p.mu.Lock()
+	p.killLinksLocked()
+	p.mu.Unlock()
+}
+
+func (p *Proxy) killLinksLocked() {
+	for l := range p.links {
+		delete(p.links, l)
+		p.killed++
+		l.closeBoth()
+	}
+}
+
+// Counters returns a snapshot of the proxy's injection activity.
+func (p *Proxy) Counters() ProxyCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProxyCounters{Accepts: p.accepts, Refused: p.refused, Killed: p.killed, Truncated: p.truncated}
+}
+
+// Close stops listening, severs all links, and waits for the proxy's
+// goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	p.ln = nil
+	if p.stallCh != nil {
+		close(p.stallCh)
+		p.stallCh = nil
+	}
+	p.killLinksLocked()
+	p.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		if p.resetMode {
+			p.refused++
+			p.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		p.accepts++
+		p.mu.Unlock()
+		s, err := net.DialTimeout(p.backendNet, p.backendAddr, 5*time.Second)
+		if err != nil {
+			_ = c.Close()
+			continue
+		}
+		l := &link{cli: c, srv: s}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			l.closeBoth()
+			return
+		}
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(l, c, s, true)
+		go p.pump(l, s, c, false)
+	}
+}
+
+// pump forwards one direction of a link, applying the armed faults to each
+// chunk: gate (stall), delay, and — client→backend only — truncation.
+//
+//heimdall:walltime
+func (p *Proxy) pump(l *link, src, dst net.Conn, c2s bool) {
+	defer p.wg.Done()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.gate()
+			d, cut, armed := p.chunkFaults(c2s, n)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if armed {
+				if cut > 0 {
+					_, _ = dst.Write(buf[:cut])
+				}
+				p.dropLink(l)
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				p.dropLink(l)
+				return
+			}
+		}
+		if err != nil {
+			p.dropLink(l)
+			return
+		}
+	}
+}
+
+// gate blocks while a stall window holds the proxy frozen.
+func (p *Proxy) gate() {
+	for {
+		p.mu.Lock()
+		ch := p.stallCh
+		p.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+	}
+}
+
+// chunkFaults samples the armed per-chunk faults; a truncation consumes its
+// arming so exactly one chunk per Step is cut.
+func (p *Proxy) chunkFaults(c2s bool, n int) (d time.Duration, cut int, armed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d = p.delay
+	if c2s && p.trunc >= 0 {
+		armed = true
+		cut = p.trunc
+		if cut > n {
+			cut = n
+		}
+		p.trunc = -1
+		p.truncated++
+	}
+	return d, cut, armed
+}
+
+// dropLink severs a link once; the second pump of the same link is a no-op.
+func (p *Proxy) dropLink(l *link) {
+	p.mu.Lock()
+	if _, ok := p.links[l]; ok {
+		delete(p.links, l)
+		p.killed++
+	}
+	p.mu.Unlock()
+	l.closeBoth()
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// This file is the chaos soak: it drives the full client↔proxy↔server loop
+// through a seeded fault schedule and checks the availability half of the
+// admission contract the way the experiments engine checks the decision
+// half — deterministically. The proxy's fault axis is the request index,
+// advanced explicitly before each decide, so which requests hit a blackout,
+// a reset, a stall, or a mid-frame truncation is a pure function of the
+// seed. The soak keeps the server state trivially deterministic too: only
+// decides flow (no completions, so feature windows stay empty) and the
+// model must be joint=1, which makes every remote verdict a pure function
+// of (queueLen, size) — a lost frame can never fork server state between
+// runs or shard counts.
+
+// ChaosConfig tunes one chaos soak. Dir is required: the soak lives on unix
+// sockets (their dial/EPIPE/EOF behavior is deterministic, unlike TCP RST
+// timing) and needs a short directory to put them in.
+type ChaosConfig struct {
+	// Requests is the number of decides, and the length of the fault axis
+	// (default 1000).
+	Requests int
+	// Seed derives both the fault schedule and the request workload.
+	Seed int64
+	// Shards configures the server (default 4); the report's deterministic
+	// key must not change with it.
+	Shards int
+	// Devices is the number of distinct device ids in the workload
+	// (default 8).
+	Devices int
+	// QueueLen bounds the server's shard queues (default 256).
+	QueueLen int
+	// IOTimeout is the client's per-operation deadline (default 150ms —
+	// short, because every stalled request costs one).
+	IOTimeout time.Duration
+	// DialTimeout bounds each client dial (default 250ms).
+	DialTimeout time.Duration
+	// ReadTimeout / WriteTimeout harden the server side (default 0: off).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Dir hosts the unix sockets. Keep it short: the kernel caps socket
+	// paths around 108 bytes.
+	Dir string
+}
+
+func (c ChaosConfig) requests() int {
+	if c.Requests > 0 {
+		return c.Requests
+	}
+	return 1000
+}
+
+func (c ChaosConfig) devices() int {
+	if c.Devices > 0 {
+		return c.Devices
+	}
+	return 8
+}
+
+func (c ChaosConfig) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 150 * time.Millisecond
+}
+
+func (c ChaosConfig) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 250 * time.Millisecond
+}
+
+// ChaosReport is one soak's outcome. Violations is empty on a passing run;
+// every entry is a broken availability invariant.
+type ChaosReport struct {
+	Requests int    `json:"requests"`
+	Remote   uint64 `json:"remote"` // verdicts from the server
+	Local    uint64 `json:"local"`  // client fail-open verdicts
+	Admits   uint64 `json:"admits"`
+	Declines uint64 `json:"declines"`
+
+	// Local verdicts attributed to the fault kind active at their step.
+	LocalBlackout uint64 `json:"local_blackout"`
+	LocalReset    uint64 `json:"local_reset"`
+	LocalStall    uint64 `json:"local_stall"`
+	LocalTruncate uint64 `json:"local_truncate"`
+
+	// LedgerHash is FNV-64a over every verdict's (id, admit, flags) in
+	// request order — the byte-identity witness across reruns and shard
+	// counts.
+	LedgerHash string `json:"ledger_hash"`
+
+	Client     ClientCounters      `json:"client"`
+	Server     Stats               `json:"server"`
+	Proxy      fault.ProxyCounters `json:"proxy"`
+	Violations []string            `json:"violations"`
+}
+
+// DeterministicKey collapses everything that must be byte-identical across
+// reruns and shard counts into one comparable string. Wire-level gauges that
+// legitimately vary (open conns at capture time, queue depths) are excluded.
+func (r ChaosReport) DeterministicKey() string {
+	s := r.Server
+	return fmt.Sprintf(
+		"ledger=%s remote=%d local=%d admits=%d declines=%d byKind=%d/%d/%d/%d client=%+v server=[admits=%d declines=%d sheds=%d deadline=%d partial=%d breaker=%d drained=%d accepted=%d conndrops=%d writedrops=%d] violations=%d",
+		r.LedgerHash, r.Remote, r.Local, r.Admits, r.Declines,
+		r.LocalBlackout, r.LocalReset, r.LocalStall, r.LocalTruncate,
+		r.Client,
+		s.Admits, s.Declines, s.Sheds, s.DeadlineSheds, s.PartialFlush,
+		s.BreakerOpen, s.Drained, s.ConnsAccepted, s.ConnDrops, s.WriteDrops,
+		len(r.Violations))
+}
+
+// ChaosSoak runs the loop: server on a unix socket, fault.Proxy in front,
+// ResilientClient through the proxy, one synchronous decide per step. It
+// checks, per request, the availability biconditional — a local fail-open
+// verdict if and only if the step sits in a disruptive fault window (a
+// merely delayed wire must still answer remotely) — and that every request
+// got exactly one verdict. Backoff is disabled so per-request outcomes
+// never depend on wall-clock dial pacing.
+func ChaosSoak(m *core.Model, cfg ChaosConfig) (ChaosReport, error) {
+	var rep ChaosReport
+	if m.JointSize() != 1 {
+		// Joint groups sequence verdicts across requests; a lost frame
+		// would fork group assembly between runs.
+		return rep, fmt.Errorf("serve: chaos soak requires a joint=1 model, got %d", m.JointSize())
+	}
+	if cfg.Dir == "" {
+		return rep, fmt.Errorf("serve: chaos soak needs ChaosConfig.Dir for its unix sockets")
+	}
+	reqs := cfg.requests()
+	rep.Requests = reqs
+
+	backend := "unix:" + filepath.Join(cfg.Dir, "chaos-srv.sock")
+	front := "unix:" + filepath.Join(cfg.Dir, "chaos-px.sock")
+
+	srv := NewServer(m, Config{
+		Shards:       cfg.Shards,
+		QueueLen:     cfg.QueueLen,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	})
+	ln, err := Listen(backend)
+	if err != nil {
+		_ = srv.Close()
+		return rep, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sched := fault.ChaosSchedule(cfg.Seed, int64(reqs))
+	px, err := fault.NewProxy(front, backend, sched)
+	if err != nil {
+		_ = srv.Close()
+		<-serveDone
+		return rep, err
+	}
+
+	rc := DialResilient(front, ClientConfig{
+		DialTimeout: cfg.dialTimeout(),
+		IOTimeout:   cfg.ioTimeout(),
+		BackoffBase: -1, // step-paced, not wall-clock-paced
+	})
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	ledger := fnv.New64a()
+	var lb [16]byte
+	violate := func(format string, args ...interface{}) {
+		if len(rep.Violations) < 32 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	for i := 0; i < reqs; i++ {
+		step := int64(i)
+		if err := px.Step(step); err != nil {
+			violate("step %d: proxy transition failed: %v", i, err)
+		}
+		device := uint32(rng.Intn(cfg.devices()))
+		queueLen := rng.Intn(64)
+		size := int32(1024 << rng.Intn(6))
+
+		v := rc.Decide(device, queueLen, size)
+
+		binary.BigEndian.PutUint64(lb[:8], v.ID)
+		lb[8] = 0
+		if v.Admit {
+			lb[8] = 1
+		}
+		lb[9] = v.Flags
+		_, _ = ledger.Write(lb[:10])
+
+		local := v.Flags&FlagLocal != 0
+		if v.Admit {
+			rep.Admits++
+		} else {
+			rep.Declines++
+		}
+		disruptive := sched.DisruptiveAt(step)
+		switch {
+		case local && !disruptive:
+			violate("step %d: local fail-open outside any disruptive window", i)
+		case !local && disruptive:
+			violate("step %d: remote verdict inside a disruptive window", i)
+		}
+		if local && !v.Admit {
+			violate("step %d: local verdict must fail open to admit", i)
+		}
+		if local {
+			rep.Local++
+			switch {
+			case sched.ActiveAt(step, fault.NetBlackout):
+				rep.LocalBlackout++
+			case sched.ActiveAt(step, fault.NetReset):
+				rep.LocalReset++
+			case sched.ActiveAt(step, fault.NetStall):
+				rep.LocalStall++
+			case sched.ActiveAt(step, fault.NetTruncate):
+				rep.LocalTruncate++
+			}
+		} else {
+			rep.Remote++
+		}
+	}
+	if rep.Remote+rep.Local != uint64(reqs) {
+		violate("answered %d of %d requests", rep.Remote+rep.Local, reqs)
+	}
+	if rc.Pending() != 0 {
+		violate("%d verdicts still pending after the soak", rc.Pending())
+	}
+
+	rep.LedgerHash = fmt.Sprintf("%016x", ledger.Sum64())
+	rep.Client = rc.Counters()
+	_ = rc.Close()
+	rep.Proxy = px.Counters()
+	if err := px.Close(); err != nil {
+		violate("proxy close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		violate("server close: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		violate("serve loop: %v", err)
+	}
+	// Captured after the graceful drain: every gauge must be settled (no
+	// open conns, empty queues), which keeps the whole snapshot stable.
+	rep.Server = srv.Stats()
+	return rep, nil
+}

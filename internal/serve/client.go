@@ -3,9 +3,8 @@ package serve
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
-	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/core"
 )
@@ -33,28 +32,48 @@ type Client struct {
 }
 
 // Dial connects to a server. Addresses follow Listen: "unix:/path/sock",
-// "tcp:host:port", or a bare TCP address.
-func Dial(addr string) (*Client, error) {
+// "tcp:host:port", or a bare TCP address. It blocks as long as the OS lets
+// a connect hang; use DialTimeout to bound it.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout is Dial with an upper bound on connection establishment
+// (0 means no bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	network := "tcp"
 	if len(addr) > 5 && addr[:5] == "unix:" {
 		network, addr = "unix", addr[5:]
 	} else if len(addr) > 4 && addr[:4] == "tcp:" {
 		addr = addr[4:]
 	}
-	conn, err := net.Dial(network, addr)
+	conn, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn — including a
+// fault-injecting wrapper) in a protocol client.
+func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
 		rbuf: make([]byte, 256),
-	}, nil
+	}
 }
 
 // Close shuts the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds every pending and future I/O on the connection.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// SetReadDeadline bounds pending and future reads.
+func (c *Client) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds pending and future writes.
+func (c *Client) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDeadline(t) }
 
 // Send queues one decide request (pipelined style). id is echoed in the
 // matching Verdict.
@@ -124,14 +143,7 @@ func (c *Client) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	c.rbuf = body[:cap(body)]
-	if len(body) < 1 || body[0] != msgStatsResp {
-		return Stats{}, fmt.Errorf("%w: stats response type %#x", ErrFrame, body[0])
-	}
-	var s Stats
-	if err := json.Unmarshal(body[1:], &s); err != nil {
-		return Stats{}, fmt.Errorf("serve: stats payload: %w", err)
-	}
-	return s, nil
+	return parseStatsResp(body)
 }
 
 // Swap uploads a model (core.Save format) and atomically publishes it,

@@ -23,6 +23,9 @@ func FuzzWireCodec(f *testing.F) {
 	if err := writeFrame(&seed, []byte{msgStats}); err != nil {
 		f.Fatal(err)
 	}
+	if err := writeFrame(&seed, append([]byte{msgStatsResp}, []byte(`{"decisions":3}`)...)); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(seed.Bytes())
 	// ...and hostile shapes: truncated header, truncated body, zero and
 	// oversized lengths.
@@ -31,6 +34,12 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
 	f.Add([]byte{0, 16, 0, 0, msgSwap})
+	// Server-response shapes the client-side parsers must survive: empty-ish
+	// stats frames (the old Stats path indexed body[0] before checking) and
+	// malformed JSON payloads.
+	f.Add([]byte{0, 0, 0, 1, msgStatsResp})
+	f.Add([]byte{0, 0, 0, 3, msgStatsResp, '{', 'x'})
+	f.Add([]byte{0, 0, 0, 2, msgSwapResp, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -65,6 +74,7 @@ func FuzzWireCodec(f *testing.F) {
 			}
 			_, _ = parseDecideResp(body)
 			_, _ = parseSwapResp(body)
+			_, _ = parseStatsResp(body)
 		}
 	})
 }

@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ClientConfig tunes a ResilientClient. The zero value is a sane default;
+// negative values disable the corresponding bound where noted.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment (default 2s; <0 = none).
+	DialTimeout time.Duration
+	// IOTimeout is the per-operation read/write deadline. A decide whose
+	// response does not arrive within it is answered locally (default 1s;
+	// <0 = no deadline — the fail-open guarantee then rests on the peer
+	// closing the wire).
+	IOTimeout time.Duration
+	// BackoffBase seeds the capped exponential redial backoff (default
+	// 10ms; <0 disables the gate so every operation may attempt a dial —
+	// what a deterministic step-driven soak wants).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff (default 2s).
+	BackoffMax time.Duration
+	// MaxInflight bounds outstanding decides; excess sends are answered
+	// locally instead of growing the tracking set (default 256).
+	MaxInflight int
+}
+
+func (c ClientConfig) dialTimeout() time.Duration {
+	if c.DialTimeout < 0 {
+		return 0
+	}
+	if c.DialTimeout == 0 {
+		return 2 * time.Second
+	}
+	return c.DialTimeout
+}
+
+func (c ClientConfig) ioTimeout() time.Duration {
+	if c.IOTimeout < 0 {
+		return 0
+	}
+	if c.IOTimeout == 0 {
+		return time.Second
+	}
+	return c.IOTimeout
+}
+
+func (c ClientConfig) backoffBase() time.Duration {
+	if c.BackoffBase == 0 {
+		return 10 * time.Millisecond
+	}
+	return c.BackoffBase // negative disables the gate
+}
+
+func (c ClientConfig) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 2 * time.Second
+	}
+	return c.BackoffMax
+}
+
+func (c ClientConfig) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 256
+	}
+	return c.MaxInflight
+}
+
+// ClientCounters is a snapshot of a ResilientClient's degradation activity.
+// LocalVerdicts is the one to alert on: it counts admissions the server
+// never saw.
+type ClientCounters struct {
+	Dials            uint64 `json:"dials"`             // successful connections
+	DialFailures     uint64 `json:"dial_failures"`     // failed dial attempts
+	Reconnects       uint64 `json:"reconnects"`        // successful dials after a loss
+	RemoteVerdicts   uint64 `json:"remote_verdicts"`   // verdicts from the server
+	LocalVerdicts    uint64 `json:"local_verdicts"`    // fail-open FlagLocal verdicts
+	DeadlineExpired  uint64 `json:"deadline_expired"`  // conns dropped on a blown deadline
+	WireErrors       uint64 `json:"wire_errors"`       // conns dropped on any other error
+	StaleVerdicts    uint64 `json:"stale_verdicts"`    // wire verdicts for ids no longer tracked
+	DroppedCompletes uint64 `json:"dropped_completes"` // completions lost to a down wire
+}
+
+// ErrNoOutstanding reports a Recv with nothing in flight and nothing ready.
+var ErrNoOutstanding = errors.New("serve: no outstanding requests")
+
+// ResilientClient wraps Client with the availability half of the admission
+// contract: every decide handed to it gets a verdict. Remote when the wire
+// cooperates; otherwise a local fail-open admit carrying FlagLocal — a down
+// predictor must degrade to the baseline (admit everything), never block an
+// I/O. It reconnects with capped exponential backoff, bounds every dial,
+// read, and write with deadlines, and tracks in-flight decides so a dead
+// connection resolves all of them instead of stranding the caller.
+//
+// Like Client it is not safe for concurrent use: one ResilientClient per
+// goroutine. Pipelined callers own the id space they pass to Send; Decide
+// draws ids from an internal sequence, so don't mix both styles on one
+// client unless the caller's ids can't collide with small integers.
+type ResilientClient struct {
+	addr string
+	cfg  ClientConfig
+
+	c             *Client // nil while disconnected
+	everConnected bool
+	backoff       time.Duration
+	backoffUntil  time.Time
+
+	seq       uint64
+	inflight  []uint64
+	ready     []Verdict
+	readyHead int
+
+	cnt ClientCounters
+}
+
+// DialResilient returns a client bound to addr. It never fails: a dead
+// address yields a client that answers locally until the address heals.
+func DialResilient(addr string, cfg ClientConfig) *ResilientClient {
+	r := &ResilientClient{addr: addr, cfg: cfg, seq: 1}
+	r.ensureConn()
+	return r
+}
+
+// Counters returns a snapshot of the client's degradation counters.
+func (r *ResilientClient) Counters() ClientCounters { return r.cnt }
+
+// Pending returns how many verdicts the caller has yet to Recv (in flight
+// on the wire plus already resolved and queued).
+func (r *ResilientClient) Pending() int {
+	return len(r.inflight) + (len(r.ready) - r.readyHead)
+}
+
+// Connected reports whether the client currently holds a live connection.
+func (r *ResilientClient) Connected() bool { return r.c != nil }
+
+// Close drops the connection. Outstanding decides resolve to local
+// fail-open verdicts, still retrievable with Recv.
+func (r *ResilientClient) Close() error {
+	r.failInflight()
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// Send queues one decide (pipelined style). It never returns an error:
+// a full in-flight window or a dead wire resolves the id locally, and a
+// mid-send wire failure resolves every tracked id locally — Recv delivers
+// them either way.
+func (r *ResilientClient) Send(id uint64, device uint32, queueLen int, size int32) error {
+	if len(r.inflight) >= r.cfg.maxInflight() || !r.ensureConn() {
+		r.local(id)
+		return nil
+	}
+	r.inflight = append(r.inflight, id)
+	r.armWrite()
+	if err := r.c.Send(id, device, queueLen, size); err != nil {
+		r.dropConn(err)
+	}
+	return nil
+}
+
+// Flush pushes queued requests to the server. A write failure resolves all
+// in-flight decides locally; Flush itself never errors.
+func (r *ResilientClient) Flush() error {
+	if r.c == nil {
+		return nil
+	}
+	r.armWrite()
+	if err := r.c.Flush(); err != nil {
+		r.dropConn(err)
+	}
+	return nil
+}
+
+// Recv returns the next verdict — remote if the wire delivers one in time,
+// local fail-open otherwise. It errors only when nothing is outstanding.
+func (r *ResilientClient) Recv() (Verdict, error) {
+	if v, ok := r.popReadyHead(); ok {
+		return v, nil
+	}
+	if len(r.inflight) == 0 {
+		return Verdict{}, ErrNoOutstanding
+	}
+	if v, ok := r.recvWire(); ok {
+		return v, nil
+	}
+	// The wire died; recvWire resolved every in-flight id into ready.
+	if v, ok := r.popReadyHead(); ok {
+		return v, nil
+	}
+	return Verdict{}, ErrNoOutstanding
+}
+
+// Decide asks for one admission decision and always returns a verdict: the
+// server's if the round trip beats the deadline, a FlagLocal admit if not.
+func (r *ResilientClient) Decide(device uint32, queueLen int, size int32) Verdict {
+	id := r.seq
+	r.seq++
+	_ = r.Send(id, device, queueLen, size)
+	_ = r.Flush()
+	if v, ok := r.takeReady(id); ok {
+		return v
+	}
+	for len(r.inflight) > 0 {
+		if v, ok := r.recvWire(); ok {
+			if v.ID == id {
+				return v
+			}
+			r.ready = append(r.ready, v)
+			continue
+		}
+		if v, ok := r.takeReady(id); ok {
+			return v
+		}
+	}
+	if v, ok := r.takeReady(id); ok {
+		return v
+	}
+	// Unreachable unless the id was never tracked; still fail open.
+	r.cnt.LocalVerdicts++
+	return Verdict{ID: id, Admit: true, Flags: FlagLocal}
+}
+
+// Complete reports one finished I/O (buffered until the next Flush, like
+// Client.Complete). Completions are advisory feature updates, so a dead
+// wire drops them — counted, never blocking.
+func (r *ResilientClient) Complete(device uint32, latencyNs uint64, queueLen int, size int32) {
+	if !r.ensureConn() {
+		r.cnt.DroppedCompletes++
+		return
+	}
+	r.armWrite()
+	if err := r.c.Complete(device, latencyNs, queueLen, size); err != nil {
+		r.cnt.DroppedCompletes++
+		r.dropConn(err)
+	}
+}
+
+// recvWire reads tracked verdicts off the wire. It returns (v, true) for a
+// tracked remote verdict, or (zero, false) after a wire failure has
+// resolved every in-flight id into ready.
+func (r *ResilientClient) recvWire() (Verdict, bool) {
+	for r.c != nil {
+		r.armRead()
+		v, err := r.c.Recv()
+		if err != nil {
+			r.dropConn(err)
+			return Verdict{}, false
+		}
+		if r.track(v.ID) {
+			r.cnt.RemoteVerdicts++
+			return v, true
+		}
+		r.cnt.StaleVerdicts++
+	}
+	return Verdict{}, false
+}
+
+// dropConn closes a failed connection, classifies the failure, and resolves
+// every in-flight decide to a local fail-open verdict.
+func (r *ResilientClient) dropConn(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		r.cnt.DeadlineExpired++
+	} else {
+		r.cnt.WireErrors++
+	}
+	if r.c != nil {
+		_ = r.c.Close()
+		r.c = nil
+	}
+	r.failInflight()
+}
+
+// failInflight resolves every tracked decide to a local fail-open verdict.
+//
+//heimdall:hotpath
+func (r *ResilientClient) failInflight() {
+	for _, id := range r.inflight {
+		r.local(id)
+	}
+	r.inflight = r.inflight[:0]
+}
+
+// local queues a client-side fail-open admit for id.
+//
+//heimdall:hotpath
+func (r *ResilientClient) local(id uint64) {
+	r.cnt.LocalVerdicts++
+	r.ready = append(r.ready, Verdict{ID: id, Admit: true, Flags: FlagLocal})
+}
+
+// track removes id from the in-flight set, reporting whether it was there.
+//
+//heimdall:hotpath
+func (r *ResilientClient) track(id uint64) bool {
+	for i, x := range r.inflight {
+		if x == id {
+			last := len(r.inflight) - 1
+			r.inflight[i] = r.inflight[last]
+			r.inflight = r.inflight[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// popReadyHead pops the oldest queued verdict, compacting when drained.
+func (r *ResilientClient) popReadyHead() (Verdict, bool) {
+	if r.readyHead >= len(r.ready) {
+		r.ready = r.ready[:0]
+		r.readyHead = 0
+		return Verdict{}, false
+	}
+	v := r.ready[r.readyHead]
+	r.readyHead++
+	if r.readyHead == len(r.ready) {
+		r.ready = r.ready[:0]
+		r.readyHead = 0
+	}
+	return v, true
+}
+
+// takeReady removes and returns the queued verdict for id, if present.
+func (r *ResilientClient) takeReady(id uint64) (Verdict, bool) {
+	for i := r.readyHead; i < len(r.ready); i++ {
+		if r.ready[i].ID == id {
+			v := r.ready[i]
+			copy(r.ready[i:], r.ready[i+1:])
+			r.ready = r.ready[:len(r.ready)-1]
+			if r.readyHead >= len(r.ready) {
+				r.ready = r.ready[:0]
+				r.readyHead = 0
+			}
+			return v, true
+		}
+	}
+	return Verdict{}, false
+}
+
+// ensureConn returns true with a live connection, dialing (subject to the
+// backoff gate) if needed.
+//
+//heimdall:walltime
+func (r *ResilientClient) ensureConn() bool {
+	if r.c != nil {
+		return true
+	}
+	if r.cfg.backoffBase() >= 0 && !r.backoffUntil.IsZero() && time.Now().Before(r.backoffUntil) {
+		return false
+	}
+	c, err := DialTimeout(r.addr, r.cfg.dialTimeout())
+	if err != nil {
+		r.cnt.DialFailures++
+		r.bumpBackoff()
+		return false
+	}
+	r.cnt.Dials++
+	if r.everConnected {
+		r.cnt.Reconnects++
+	}
+	r.everConnected = true
+	r.backoff = 0
+	r.backoffUntil = time.Time{}
+	r.c = c
+	return true
+}
+
+// bumpBackoff doubles the redial gate up to the cap.
+//
+//heimdall:walltime
+func (r *ResilientClient) bumpBackoff() {
+	base := r.cfg.backoffBase()
+	if base < 0 {
+		return
+	}
+	if r.backoff == 0 {
+		r.backoff = base
+	} else {
+		r.backoff *= 2
+	}
+	if capd := r.cfg.backoffMax(); r.backoff > capd {
+		r.backoff = capd
+	}
+	r.backoffUntil = time.Now().Add(r.backoff)
+}
+
+// armWrite arms the per-operation write deadline.
+//
+//heimdall:walltime
+func (r *ResilientClient) armWrite() {
+	if d := r.cfg.ioTimeout(); d > 0 {
+		_ = r.c.SetWriteDeadline(time.Now().Add(d))
+	}
+}
+
+// armRead arms the per-operation read deadline.
+//
+//heimdall:walltime
+func (r *ResilientClient) armRead() {
+	if d := r.cfg.ioTimeout(); d > 0 {
+		_ = r.c.SetReadDeadline(time.Now().Add(d))
+	}
+}

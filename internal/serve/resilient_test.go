@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// resilientConfig is the step-paced test configuration: short deadlines,
+// no wall-clock backoff gate, so a dead wire resolves in milliseconds and
+// every operation may attempt a redial.
+var resilientConfig = ClientConfig{
+	DialTimeout: 250 * time.Millisecond,
+	IOTimeout:   200 * time.Millisecond,
+	BackoffBase: -1,
+}
+
+// TestResilientClientFailOpen walks the client through the full availability
+// arc: remote verdicts while the server is up, local FlagLocal fail-open
+// admits while it is down, and remote again — with a counted reconnect —
+// after it comes back on the same address.
+func TestResilientClientFailOpen(t *testing.T) {
+	m := testModel(t, 31, 1)
+	addr := "unix:" + filepath.Join(t.TempDir(), "fo.sock")
+
+	start := func() (*Server, chan error) {
+		srv := NewServer(m, Config{})
+		l, err := Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		return srv, done
+	}
+
+	srv, done := start()
+	rc := DialResilient(addr, resilientConfig)
+	defer func() {
+		if err := rc.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+	}()
+
+	for i := 0; i < 8; i++ {
+		v := rc.Decide(uint32(i%2), i, 4096)
+		if v.Flags&FlagLocal != 0 {
+			t.Fatalf("decide %d: local verdict with the server up", i)
+		}
+	}
+	if got := rc.Counters().RemoteVerdicts; got != 8 {
+		t.Fatalf("remote verdicts = %d, want 8", got)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 8; i++ {
+		v := rc.Decide(uint32(i%2), i, 4096)
+		if v.Flags&FlagLocal == 0 {
+			t.Fatalf("decide %d: remote verdict with the server down", i)
+		}
+		if !v.Admit {
+			t.Fatalf("decide %d: local verdict must fail open to admit", i)
+		}
+	}
+	if got := rc.Counters().LocalVerdicts; got != 8 {
+		t.Fatalf("local verdicts = %d, want 8", got)
+	}
+
+	srv, done = start()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	v := rc.Decide(3, 9, 8192)
+	if v.Flags&FlagLocal != 0 {
+		t.Fatal("decide after restart: still local")
+	}
+	c := rc.Counters()
+	if c.Reconnects == 0 {
+		t.Fatal("no reconnect counted after the server came back")
+	}
+	if rc.Pending() != 0 {
+		t.Fatalf("pending = %d after synchronous decides", rc.Pending())
+	}
+}
+
+// TestServerDeathMidPipeline kills the wire under a pipelined client with
+// decides outstanding. The raw Client must surface an error — never hang —
+// and the ResilientClient must resolve every outstanding id to a local
+// fail-open verdict.
+func TestServerDeathMidPipeline(t *testing.T) {
+	m := testModel(t, 32, 1)
+	srv := NewServer(m, Config{})
+	dir := t.TempDir()
+	backend := "unix:" + filepath.Join(dir, "srv.sock")
+	front := "unix:" + filepath.Join(dir, "px.sock")
+	l, err := Listen(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	px, err := fault.NewProxy(front, backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := px.Close(); err != nil {
+			t.Errorf("proxy close: %v", err)
+		}
+	})
+
+	// Raw client: pipeline decides, kill the link before the flush, and
+	// demand an error within the watchdog window. One warm-up round trip
+	// first — the dial alone only reaches the listener backlog, and
+	// KillLinks can only kill an accepted link.
+	c, err := DialTimeout(front, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decide(0, 1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(10); id <= 13; id++ {
+		if err := c.Send(id, 0, 3, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	px.KillLinks()
+	_ = c.Flush() // may already fail; the read path must error regardless
+	errCh := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := c.Recv(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv returned nil error after the wire died")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipelined Recv hung after the wire died")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("raw client close: %v", err)
+	}
+
+	// ResilientClient: same death, but every outstanding decide must come
+	// back as a verdict — local, fail-open, flagged. The warm-up decide
+	// establishes the link (and takes id 1 from the internal sequence, so
+	// the pipelined ids start above the small integers).
+	rc := DialResilient(front, resilientConfig)
+	if v := rc.Decide(0, 1, 4096); v.Flags&FlagLocal != 0 {
+		t.Fatal("warm-up decide through a healthy proxy came back local")
+	}
+	for id := uint64(10); id <= 13; id++ {
+		_ = rc.Send(id, 0, 3, 4096)
+	}
+	px.KillLinks()
+	_ = rc.Flush()
+	got := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		v, err := rc.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if v.Flags&FlagLocal == 0 || !v.Admit {
+			t.Fatalf("recv %d: verdict %+v is not a local fail-open admit", i, v)
+		}
+		got[v.ID] = true
+	}
+	for id := uint64(10); id <= 13; id++ {
+		if !got[id] {
+			t.Errorf("id %d never resolved", id)
+		}
+	}
+	if rc.Pending() != 0 {
+		t.Fatalf("pending = %d after draining", rc.Pending())
+	}
+	if _, err := rc.Recv(); err != ErrNoOutstanding {
+		t.Fatalf("Recv on empty client: %v, want ErrNoOutstanding", err)
+	}
+	if err := rc.Close(); err != nil {
+		t.Errorf("resilient close: %v", err)
+	}
+}
+
+// TestGracefulDrain holds a joint group open (3 members of a group of 4),
+// closes the server, and requires the drain to flush the partial group to
+// the still-connected client — FlagPartial fail-open verdicts, then a clean
+// EOF — without leaking a single goroutine.
+func TestGracefulDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	m := testModel(t, 33, 4)
+	srv := NewServer(m, Config{})
+	addr := "unix:" + filepath.Join(t.TempDir(), "drain.sock")
+	l, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	c, err := DialTimeout(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if err := c.Send(id, 7, 3, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the shard to hold all three group members.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Held != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("held = %d, want 3 before the drain", srv.Stats().Held)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[uint64]bool{}
+	for i := 0; i < 3; i++ {
+		v, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d after drain: %v", i, err)
+		}
+		if v.Flags&FlagPartial == 0 || !v.Admit {
+			t.Fatalf("recv %d: verdict %+v is not a partial-flush fail-open", i, v)
+		}
+		got[v.ID] = true
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if !got[id] {
+			t.Errorf("id %d never drained", id)
+		}
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("conn still delivering after drain; want EOF")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("client close: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.Drained != 3 {
+		t.Errorf("drained = %d, want 3", st.Drained)
+	}
+	if st.PartialFlush == 0 {
+		t.Error("partial flushes = 0; the held group was not flushed")
+	}
+	if st.ConnsOpen != 0 {
+		t.Errorf("conns open = %d after close", st.ConnsOpen)
+	}
+
+	// Every server goroutine (acceptor, workers, readers) must be gone.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d, baseline %d — server leaked", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosSoakDeterministic is the in-tree version of `heimdall-bench
+// chaos`: two shard counts, two runs each, one deterministic key.
+func TestChaosSoakDeterministic(t *testing.T) {
+	m := testModel(t, 34, 1)
+	var keys []string
+	for _, shards := range []int{1, 4} {
+		for run := 0; run < 2; run++ {
+			rep, err := ChaosSoak(m, ChaosConfig{
+				Requests:  300,
+				Seed:      7,
+				Shards:    shards,
+				IOTimeout: 150 * time.Millisecond,
+				Dir:       t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("shards=%d run=%d: %s", shards, run, v)
+			}
+			if rep.Local == 0 {
+				t.Errorf("shards=%d run=%d: chaos produced no local verdicts", shards, run)
+			}
+			if rep.Remote == 0 {
+				t.Errorf("shards=%d run=%d: chaos produced no remote verdicts", shards, run)
+			}
+			keys = append(keys, rep.DeterministicKey())
+		}
+	}
+	for i, k := range keys[1:] {
+		if k != keys[0] {
+			t.Errorf("key %d diverged:\nwant %s\ngot  %s", i+1, keys[0], k)
+		}
+	}
+}

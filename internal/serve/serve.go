@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,15 @@ type Config struct {
 	Cooldown int
 	// Probes is how many half-open probes decide recovery (default 16).
 	Probes int
+
+	// ReadTimeout, when positive, bounds how long a connection may idle
+	// between frames; a peer that sends nothing for longer is dropped. Zero
+	// keeps connections open indefinitely (the pre-hardening behavior).
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds every response write. A peer that
+	// cannot drain its responses within it is dropped (write shed) so a slow
+	// client can never hold a shard worker hostage. Zero disables the bound.
+	WriteTimeout time.Duration
 
 	// DriftRef, when set, gives every shard an input-drift detector
 	// (internal/drift PSI) referenced on these training-time feature rows.
@@ -148,6 +158,11 @@ type Server struct {
 	shards []*shard
 	start  time.Time
 
+	accepts    atomic.Uint64 // connections accepted over all listeners
+	connDrops  atomic.Uint64 // connections dropped on read/protocol errors
+	writeDrops atomic.Uint64 // connections shed because a response write failed
+	drained    atomic.Uint64 // decides answered during graceful shutdown
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -214,6 +229,13 @@ func (s *Server) Stats() Stats {
 	sm := s.model.Load()
 	out.ModelVersion = sm.version
 	out.Swaps = s.swaps.Load()
+	out.ConnsAccepted = s.accepts.Load()
+	out.ConnDrops = s.connDrops.Load()
+	out.WriteDrops = s.writeDrops.Load()
+	out.Drained = s.drained.Load()
+	s.mu.Lock()
+	out.ConnsOpen = len(s.conns)
+	s.mu.Unlock()
 	for _, sh := range s.shards {
 		out.add(sh.cnt.snapshot(len(sh.q)))
 		for i := range sh.cnt.batches {
@@ -268,14 +290,19 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
+		s.accepts.Add(1)
 		s.wgConns.Add(1)
 		go s.handleConn(c)
 	}
 }
 
-// Close stops accepting, closes client connections, drains the shards
-// (flushing any held joint-group members fail-open), and waits for all
-// goroutines. Safe to call once.
+// Close drains gracefully: stop accepting, half-close every connection so
+// no new request enters but pending verdicts still flow, wait for the
+// readers, drain the shard queues (deciding normally, flushing held
+// joint-group members fail-open), and only then close the sockets. Every
+// request that made it into a queue gets its verdict. Safe to call once.
+//
+//heimdall:walltime
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -289,17 +316,35 @@ func (s *Server) Close() error {
 			firstErr = err
 		}
 	}
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		if err := c.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	// Half-close the read side (deadline-kick as a fallback for conn types
+	// without CloseRead): readers wake and exit, the write side stays up so
+	// drained work is still answered.
+	for _, c := range conns {
+		if cr, ok := c.(interface{ CloseRead() error }); ok {
+			_ = cr.CloseRead()
+		} else {
+			_ = c.SetReadDeadline(time.Now())
+		}
+	}
 	s.wgConns.Wait()
 	for _, sh := range s.shards {
 		close(sh.q)
 	}
 	s.wgWorkers.Wait()
+	// Everything enqueued has been answered and flushed; drop the wire.
+	s.mu.Lock()
+	for c := range s.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
 	return firstErr
 }
 
@@ -323,31 +368,53 @@ func (r *request) device() uint32 {
 	return r.dec.device
 }
 
-// handleConn reads frames and routes them. Decide and complete messages go
-// to the owning shard; stats and swap are answered inline (they are not hot).
+// handleConn runs one connection's read loop and settles its lifecycle:
+// on a graceful drain the socket is left to Close (which answers the
+// drained work through it first); otherwise abnormal exits are counted and
+// the socket dropped.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.wgConns.Done()
-	defer func() {
-		s.mu.Lock()
+	err := s.serveConn(c)
+	s.mu.Lock()
+	draining := s.closed
+	if !draining {
 		delete(s.conns, c)
-		s.mu.Unlock()
-		_ = c.Close()
-	}()
+	}
+	s.mu.Unlock()
+	if draining {
+		return // Close owns the socket now
+	}
+	if err != nil && err != io.EOF {
+		s.connDrops.Add(1)
+	}
+	_ = c.Close()
+}
+
+// serveConn reads frames and routes them. Decide and complete messages go
+// to the owning shard; stats and swap are answered inline (they are not
+// hot). io.EOF is the clean-close return.
+//
+//heimdall:walltime
+func (s *Server) serveConn(c net.Conn) error {
 	br := bufio.NewReader(c)
-	cw := newConnWriter(c)
+	cw := newConnWriter(c, s.cfg.WriteTimeout, &s.writeDrops)
 	buf := make([]byte, 256)
 	nshards := uint32(len(s.shards))
+	rt := s.cfg.ReadTimeout
 	for {
+		if rt > 0 {
+			_ = c.SetReadDeadline(time.Now().Add(rt))
+		}
 		body, err := readFrame(br, buf)
 		if err != nil {
-			return // clean EOF, malformed frame, or dead peer: drop the conn
+			return err
 		}
 		buf = body[:cap(body)]
 		switch body[0] {
 		case msgDecide:
 			dec, err := parseDecide(body)
 			if err != nil {
-				return
+				return err
 			}
 			sh := s.shards[dec.device%nshards]
 			r := reqPool.Get().(*request)
@@ -365,7 +432,7 @@ func (s *Server) handleConn(c net.Conn) {
 		case msgComplete:
 			comp, err := parseComplete(body)
 			if err != nil {
-				return
+				return err
 			}
 			r := reqPool.Get().(*request)
 			r.kind, r.comp, r.out = msgComplete, comp, cw
@@ -376,13 +443,13 @@ func (s *Server) handleConn(c net.Conn) {
 		case msgStats:
 			payload, err := json.Marshal(s.Stats())
 			if err != nil {
-				return
+				return err
 			}
 			frame := make([]byte, 0, 1+len(payload))
 			frame = append(frame, msgStatsResp)
 			frame = append(frame, payload...)
 			if !cw.frameAndFlush(frame) {
-				return
+				return cw.sticky()
 			}
 		case msgSwap:
 			resp := []byte{msgSwapResp, 1, 0, 0, 0, 0}
@@ -399,10 +466,11 @@ func (s *Server) handleConn(c net.Conn) {
 			resp[4] = byte(v >> 8)
 			resp[5] = byte(v)
 			if !cw.frameAndFlush(resp) {
-				return
+				return cw.sticky()
 			}
 		default:
-			return // unknown message type: protocol error, drop the conn
+			// Unknown message type: protocol error, drop the conn.
+			return fmt.Errorf("%w: unknown message type %#x", ErrFrame, body[0])
 		}
 	}
 }
@@ -410,16 +478,49 @@ func (s *Server) handleConn(c net.Conn) {
 // connWriter serializes response writes to one connection. Shard workers
 // and the connection's reader both answer through it; the mutex is the only
 // lock on the decide path and is per-connection. Errors are sticky: once a
-// write fails the peer is gone and later writes no-op.
+// write fails the peer is shed — counted, its socket closed so the reader
+// wakes — and later writes no-op. With a write timeout armed, a worker
+// blocks on a slow peer for at most that long, never indefinitely.
 type connWriter struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	err error
-	buf [32]byte
+	mu      sync.Mutex
+	c       net.Conn // nil in tests that write to a plain buffer
+	bw      *bufio.Writer
+	timeout time.Duration // per-write deadline; 0 = unbounded
+	drops   *atomic.Uint64
+	err     error
+	buf     [32]byte
 }
 
-func newConnWriter(c net.Conn) *connWriter {
-	return &connWriter{bw: bufio.NewWriter(c)}
+func newConnWriter(c net.Conn, timeout time.Duration, drops *atomic.Uint64) *connWriter {
+	return &connWriter{c: c, bw: bufio.NewWriter(c), timeout: timeout, drops: drops}
+}
+
+// arm starts the write-deadline clock for the next write. Called with mu
+// held.
+//
+//heimdall:walltime
+func (w *connWriter) arm() {
+	if w.timeout > 0 && w.c != nil {
+		_ = w.c.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+}
+
+// shedLocked handles the first sticky error: count the drop and close the
+// socket so the connection's reader exits too. Called with mu held.
+func (w *connWriter) shedLocked() {
+	if w.drops != nil {
+		w.drops.Add(1)
+	}
+	if w.c != nil {
+		_ = w.c.Close()
+	}
+}
+
+// sticky returns the writer's sticky error, if any.
+func (w *connWriter) sticky() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // decideResp encodes and buffers one decide response. The frame is built in
@@ -449,7 +550,11 @@ func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint
 		b[16] = byte(version >> 16)
 		b[17] = byte(version >> 8)
 		b[18] = byte(version)
+		w.arm()
 		_, w.err = w.bw.Write(b[:4+decideRespLen])
+		if w.err != nil {
+			w.shedLocked()
+		}
 	}
 	w.mu.Unlock()
 }
@@ -459,11 +564,16 @@ func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint
 func (w *connWriter) frameAndFlush(body []byte) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.err == nil {
-		w.err = writeFrame(w.bw, body)
+	if w.err != nil {
+		return false
 	}
+	w.arm()
+	w.err = writeFrame(w.bw, body)
 	if w.err == nil {
 		w.err = w.bw.Flush()
+	}
+	if w.err != nil {
+		w.shedLocked()
 	}
 	return w.err == nil
 }
@@ -472,7 +582,10 @@ func (w *connWriter) frameAndFlush(body []byte) bool {
 func (w *connWriter) flush() {
 	w.mu.Lock()
 	if w.err == nil {
-		w.err = w.bw.Flush()
+		w.arm()
+		if w.err = w.bw.Flush(); w.err != nil {
+			w.shedLocked()
+		}
 	}
 	w.mu.Unlock()
 }

@@ -104,6 +104,7 @@ func (sh *shard) run() {
 				}
 			case <-timer.C:
 				sh.flushExpired(sh.srv.now(), groupTimeout)
+				sh.cnt.held.Store(int64(sh.deferred))
 				continue
 			}
 		} else {
@@ -140,6 +141,7 @@ func (sh *shard) run() {
 			reqPool.Put(r)
 		}
 		sh.cnt.observeBatch(len(sh.batch))
+		sh.cnt.held.Store(int64(sh.deferred))
 		for i := range sh.batch {
 			sh.batch[i] = nil
 		}
@@ -359,8 +361,10 @@ func (sh *shard) flushPartial(sm *servingModel, st *deviceState) {
 	st.sizes = st.sizes[:0]
 }
 
-// shutdown drains whatever is still queued (deciding normally), then fails
-// any held joint-group members open so no request is ever dropped.
+// shutdown drains whatever is still queued (deciding normally), fails any
+// held joint-group members open, and flushes every touched writer so no
+// request is ever dropped — the graceful half of Close, which keeps the
+// sockets writable until all workers return.
 func (sh *shard) shutdown() {
 	sm := sh.srv.model.Load()
 	if sm != sh.scrFor {
@@ -369,12 +373,22 @@ func (sh *shard) shutdown() {
 	}
 	now := sh.srv.now()
 	for r := range sh.q {
+		if r.kind == msgDecide {
+			sh.srv.drained.Add(1)
+		}
 		sh.process(sm, r, now)
 		reqPool.Put(r)
 	}
 	for _, st := range sh.devs {
 		if len(st.sizes) > 0 {
+			sh.srv.drained.Add(uint64(len(st.pend)))
 			sh.flushPartial(sm, st)
 		}
 	}
+	for i, w := range sh.touched {
+		w.flush()
+		sh.touched[i] = nil
+	}
+	sh.touched = sh.touched[:0]
+	sh.cnt.held.Store(0)
 }

@@ -24,6 +24,7 @@ type counters struct {
 	recoveries atomic.Uint64
 	batches    [batchBuckets]atomic.Uint64
 	maxPSI     atomic.Uint64 // math.Float64bits, published per window
+	held       atomic.Int64  // gauge: joint-group members currently deferred
 }
 
 func (c *counters) observeBatch(n int) {
@@ -47,6 +48,7 @@ type ShardStats struct {
 	Recoveries    uint64  `json:"recoveries"`
 	QueueDepth    int     `json:"queue_depth"`
 	MaxPSI        float64 `json:"max_psi"`
+	Held          int64   `json:"held"`
 }
 
 func (c *counters) snapshot(depth int) ShardStats {
@@ -61,6 +63,7 @@ func (c *counters) snapshot(depth int) ShardStats {
 		Recoveries:    c.recoveries.Load(),
 		QueueDepth:    depth,
 		MaxPSI:        math.Float64frombits(c.maxPSI.Load()),
+		Held:          c.held.Load(),
 	}
 }
 
@@ -79,6 +82,15 @@ type Stats struct {
 	ModelVersion  uint32  `json:"model_version"`
 	QueueDepth    int     `json:"queue_depth"`
 	MaxPSI        float64 `json:"max_psi"`
+	// Held is the gauge of joint-group members whose verdicts are deferred
+	// waiting for their group to fill; Drained counts decides answered by
+	// the graceful-shutdown drain.
+	Held          int64  `json:"held"`
+	Drained       uint64 `json:"drained"`
+	ConnsOpen     int    `json:"conns_open"`
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnDrops     uint64 `json:"conn_drops"`
+	WriteDrops    uint64 `json:"write_drops"`
 	// BatchHist[i] counts batches of size in [2^i, 2^(i+1)), summed over
 	// shards.
 	BatchHist [batchBuckets]uint64 `json:"batch_hist"`
@@ -91,9 +103,10 @@ func (s Stats) Decisions() uint64 { return s.Admits + s.Declines }
 // String renders a one-line operator summary.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "decisions=%d admits=%d declines=%d sheds=%d deadline=%d partial=%d breaker=%d trips=%d swaps=%d v=%d depth=%d psi=%.3f batches=[",
+	fmt.Fprintf(&b, "decisions=%d admits=%d declines=%d sheds=%d deadline=%d partial=%d breaker=%d trips=%d swaps=%d v=%d depth=%d psi=%.3f conns=%d/%d drops=%d+%d drained=%d batches=[",
 		s.Decisions(), s.Admits, s.Declines, s.Sheds, s.DeadlineSheds, s.PartialFlush,
-		s.BreakerOpen, s.Trips, s.Swaps, s.ModelVersion, s.QueueDepth, s.MaxPSI)
+		s.BreakerOpen, s.Trips, s.Swaps, s.ModelVersion, s.QueueDepth, s.MaxPSI,
+		s.ConnsOpen, s.ConnsAccepted, s.ConnDrops, s.WriteDrops, s.Drained)
 	for i, n := range s.BatchHist {
 		if i > 0 {
 			b.WriteByte(' ')
@@ -114,6 +127,7 @@ func (s *Stats) add(sh ShardStats) {
 	s.Trips += sh.Trips
 	s.Recoveries += sh.Recoveries
 	s.QueueDepth += sh.QueueDepth
+	s.Held += sh.Held
 	if sh.MaxPSI > s.MaxPSI {
 		s.MaxPSI = sh.MaxPSI
 	}

@@ -22,6 +22,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +59,11 @@ const (
 	// FlagPartial: a joint group was flushed before filling (timeout or
 	// shutdown), so its members were answered without a forward pass.
 	FlagPartial
+	// FlagLocal: the verdict was synthesized by a ResilientClient because
+	// the wire was down or the deadline expired. Never set by the server —
+	// its presence distinguishes client-side fail-open from server-side
+	// degradation in any counter or trace.
+	FlagLocal
 )
 
 const (
@@ -189,6 +195,22 @@ func appendComplete(dst []byte, c completion) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, c.queueLen)
 	dst = binary.BigEndian.AppendUint32(dst, c.size)
 	return dst
+}
+
+// parseStatsResp decodes a msgStatsResp body. The length check never
+// indexes the body, so an empty frame errors instead of panicking.
+func parseStatsResp(body []byte) (Stats, error) {
+	if len(body) < 1 {
+		return Stats{}, fmt.Errorf("%w: empty stats response", ErrFrame)
+	}
+	if body[0] != msgStatsResp {
+		return Stats{}, fmt.Errorf("%w: stats response type %#x", ErrFrame, body[0])
+	}
+	var s Stats
+	if err := json.Unmarshal(body[1:], &s); err != nil {
+		return Stats{}, fmt.Errorf("serve: stats payload: %w", err)
+	}
+	return s, nil
 }
 
 func parseSwapResp(body []byte) (uint32, error) {
