@@ -54,6 +54,62 @@ func BenchmarkInferenceQuantized(b *testing.B) {
 	}
 }
 
+// BenchmarkInferenceInt8 measures one admission decision through the int8
+// engine — the lowest rung of the quantization ladder.
+func BenchmarkInferenceInt8(b *testing.B) {
+	m := benchModel(b)
+	if err := m.EnableInt8(nil); err != nil {
+		b.Fatal(err)
+	}
+	hist := feature.NewWindow(3)
+	hist.Push(feature.Hist{Latency: 100_000, QueueLen: 2, Thpt: 40})
+	raw := m.Features(3, 4096, hist)
+	m.Admit(raw) // warm the scratch outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Admit(raw)
+	}
+}
+
+// benchBatchAdmit times the batched admission path (scaling + forward pass +
+// threshold) through the model's active engine, reporting ns per row.
+func benchBatchAdmit(b *testing.B, m *core.Model) {
+	b.Helper()
+	tr := trace.Generate(trace.MSRStyle(2, 2*time.Second))
+	log := iolog.Collect(tr, ssd.New(ssd.Samsung970Pro(), 2))
+	rows := feature.Extract(iolog.Reads(log), m.Spec())
+	const batch = 64
+	rows = rows[:len(rows)/batch*batch]
+	scr := m.NewBatchScratch(batch)
+	verdicts := make([]bool, batch)
+	m.AdmitBatchInto(rows[:batch], verdicts, scr) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(rows); off += batch {
+			m.AdmitBatchInto(rows[off:off+batch], verdicts, scr)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(rows)), "ns/row")
+}
+
+// BenchmarkBatchAdmitInt32 and BenchmarkBatchAdmitInt8 compare the batched
+// admission path across the two integer engines on identical rows — the pair
+// behind the heimdall-bench int8 table.
+func BenchmarkBatchAdmitInt32(b *testing.B) {
+	m := benchModel(b)
+	benchBatchAdmit(b, m.WithPredictor(m.Quantized()))
+}
+
+func BenchmarkBatchAdmitInt8(b *testing.B) {
+	m := benchModel(b)
+	if err := m.EnableInt8(nil); err != nil {
+		b.Fatal(err)
+	}
+	benchBatchAdmit(b, m)
+}
+
 // BenchmarkInferenceFloat is the un-quantized reference (the paper's 20µs
 // pre-optimization path, here already fast because Go compiles natively). It
 // runs through ScoreFast — the scratch-reusing PredictInto path — and must

@@ -22,12 +22,16 @@
 // always-admit, hedging, Heimdall, and circuit-breaker-guarded Heimdall
 // under each scenario.
 //
-// Two subcommands sit outside the experiment table machinery and parse their
-// own flags: `heimdall-bench serve` is the load generator for a live
-// heimdall-serve instance, and `heimdall-bench chaos` is the availability
-// soak — it drives the full client/proxy/server loop through seeded network
-// fault schedules and asserts the outcomes are deterministic across reruns
-// and shard counts (see -help on each).
+// Three subcommands sit outside the experiment table machinery and parse
+// their own flags: `heimdall-bench serve` is the load generator for a live
+// heimdall-serve instance (add -int8 to self-host on the batched int8
+// engine), `heimdall-bench chaos` is the availability soak — it drives the
+// full client/proxy/server loop through seeded network fault schedules and
+// asserts the outcomes are deterministic across reruns and shard counts —
+// and `heimdall-bench int8` measures the int8 batch engine against the
+// int32 reference (ns/op per row, allocs, verdict agreement) and writes
+// BENCH_int8.json, exiting nonzero if the int8 path allocates or agreement
+// regresses (see -help on each).
 package main
 
 import (
@@ -84,6 +88,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		runChaosBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "int8" {
+		runInt8Bench(os.Args[2:])
 		return
 	}
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")

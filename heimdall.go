@@ -19,6 +19,9 @@
 // labeling with gradient-descent threshold search, 3-stage noise filtering,
 // feature engineering with min-max scaling, the tuned 128/16 ReLU network,
 // and fixed-point quantization for sub-microsecond admission decisions.
+// Every inference engine — float, int32 fixed-point, and the batched int8
+// engine (Config.Quantize8 or (*Model).EnableInt8) — sits behind the one
+// Predictor interface; see predictor.go.
 //
 // This package is a façade: it re-exports the stable API of the internal
 // packages so downstream users import a single path.
@@ -192,6 +195,9 @@ func AMSPolicy() Selector { return policy.AMS{} }
 func HeronPolicy() Selector { return &policy.Heron{} }
 
 // HeimdallPolicy wraps per-replica trained models into an admission policy.
+// Each model decides through its active Predictor (see predictor.go); use
+// (*Model).SetPredictor or (*Model).WithPredictor to pin a specific rung of
+// the quantization ladder per replica.
 func HeimdallPolicy(models []*Model) Selector { return &policy.Heimdall{Models: models} }
 
 // LinnOSPolicy wraps per-replica LinnOS models; hedge > 0 adds hedging on

@@ -1,0 +1,78 @@
+// Package batchkernel exercises the hot-path lint against the shapes of a
+// batched inference kernel: per-batch scratch growth must append to buffers
+// rooted at the receiver or a parameter (amortized by caller reuse), and the
+// inner loops may not format, close over state, or box into interfaces.
+package batchkernel
+
+import "fmt"
+
+// Scratch mirrors the caller-owned buffer bundle a batch kernel grows once
+// and then reuses allocation-free.
+type Scratch struct {
+	a8, b8 []int8
+	rows   [][]int8
+}
+
+type kernel struct {
+	w    []int8
+	flat []int8
+}
+
+func observe(v any) { _ = v }
+
+// ForwardBatch is the well-formed shape: every append is rooted at the
+// scratch parameter or the receiver, re-slicing is free, and the inner dot
+// is plain integer arithmetic. The lint must stay silent here.
+//
+//heimdall:hotpath
+func (k *kernel) ForwardBatch(xs [][]int8, out []int32, s *Scratch) {
+	need := len(k.w) * len(xs)
+	if cap(s.a8) < need {
+		s.a8 = append(s.a8[:0], make([]int8, need)...)
+	}
+	s.rows = s.rows[:0]
+	for _, x := range xs {
+		s.rows = append(s.rows, x)
+	}
+	k.flat = append(k.flat[:0], k.w...)
+	for r, x := range s.rows {
+		var acc int32
+		w := k.w[:len(x)]
+		for i, v := range x {
+			acc += int32(w[i]) * int32(v)
+		}
+		out[r] = acc
+	}
+}
+
+// ForwardBatchLeaky seeds one violation of each allocating shape inside an
+// annotated batch kernel.
+//
+//heimdall:hotpath
+func (k *kernel) ForwardBatchLeaky(xs [][]int8, out []int32, s *Scratch) {
+	fmt.Printf("batch of %d\n", len(xs)) // want "fmt.Printf called on a"
+	tile := make([]int8, 0, len(k.w))
+	tile = append(tile, k.w...)      // want "append to a slice not rooted"
+	dot := func(w, a []int8) int32 { // want "closure constructed on a"
+		var acc int32
+		for i := range w {
+			acc += int32(w[i]) * int32(a[i])
+		}
+		return acc
+	}
+	for r, x := range xs {
+		out[r] = dot(tile[:len(x)], x)
+	}
+	observe(out[0]) // want "concrete value passed as interface"
+	_ = s
+}
+
+// forwardCold is the same leaky body with no annotation: out of scope.
+func (k *kernel) forwardCold(xs [][]int8, out []int32) {
+	fmt.Printf("batch of %d\n", len(xs))
+	tile := make([]int8, 0, len(k.w))
+	tile = append(tile, k.w...)
+	for r := range xs {
+		out[r] = int32(len(tile))
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/iolog"
+)
+
+// evalRows extracts a deterministic raw feature set from a fresh device log.
+func evalRows(t *testing.T, m *Model, seed int64) [][]float64 {
+	t.Helper()
+	_, lg := testLog(t, seed, 3*time.Second)
+	return feature.Extract(iolog.Reads(lg), m.Spec())
+}
+
+// TestAdmitBatchIntoMatchesAdmitInto pins the API contract the serving layer
+// leans on: one batched pass returns exactly the verdicts row-by-row
+// admission would, at every batch size, for every rung of the quantization
+// ladder.
+func TestAdmitBatchIntoMatchesAdmitInto(t *testing.T) {
+	for _, mode := range []struct {
+		name          string
+		quant, quant8 bool
+	}{
+		{"float", false, false},
+		{"int32", true, false},
+		{"int8", false, true},
+		{"int32+int8", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, lg := testLog(t, 31, 3*time.Second)
+			cfg := quickCfg(31)
+			cfg.Quantize = mode.quant
+			cfg.Quantize8 = mode.quant8
+			m, err := Train(lg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode.quant8 && m.Quantized8() == nil {
+				t.Fatal("Quantize8 set but no int8 engine built")
+			}
+			rows := evalRows(t, m, 32)[:400]
+			scr := m.NewScratch()
+			want := make([]bool, len(rows))
+			for i, r := range rows {
+				want[i] = m.AdmitInto(r, scr)
+			}
+			for _, bs := range []int{1, 7, 64, len(rows)} {
+				bscr := m.NewBatchScratch(bs)
+				got := make([]bool, len(rows))
+				for off := 0; off < len(rows); off += bs {
+					end := off + bs
+					if end > len(rows) {
+						end = len(rows)
+					}
+					m.AdmitBatchInto(rows[off:end], got[off:], bscr)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s batch=%d row %d: batched %v != row-by-row %v",
+							mode.name, bs, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInt8VerdictAgreement is the golden gate: int8 verdicts against the
+// int32 reference engine on a seeded eval set, with the exact agreement rate
+// reported. The serving layer treats int8 as a drop-in engine, so agreement
+// must stay near-total.
+func TestInt8VerdictAgreement(t *testing.T) {
+	_, lg := testLog(t, 33, 4*time.Second)
+	cfg := quickCfg(33)
+	cfg.Quantize = true
+	cfg.Quantize8 = true
+	m, err := Train(lg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := evalRows(t, m, 34)
+	m32 := m.WithPredictor(m.Quantized())
+	m8 := m.WithPredictor(m.Quantized8())
+	s32 := m32.NewBatchScratch(len(rows))
+	s8 := m8.NewBatchScratch(len(rows))
+	v32 := make([]bool, len(rows))
+	v8 := make([]bool, len(rows))
+	m32.AdmitBatchInto(rows, v32, s32)
+	m8.AdmitBatchInto(rows, v8, s8)
+	agree := 0
+	for i := range v32 {
+		if v32[i] == v8[i] {
+			agree++
+		}
+	}
+	rate := float64(agree) / float64(len(rows))
+	t.Logf("int8 vs int32 verdict agreement: %d/%d = %.4f", agree, len(rows), rate)
+	if rate < 0.98 {
+		t.Fatalf("int8 verdict agreement %.4f below gate 0.98", rate)
+	}
+}
+
+// TestEnableInt8 covers post-training upgrade: a model trained without
+// Quantize8 gains the int8 engine from caller-supplied calibration rows and
+// starts deciding through it.
+func TestEnableInt8(t *testing.T) {
+	_, lg := testLog(t, 35, 3*time.Second)
+	m, err := Train(lg, quickCfg(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Quantized8() != nil {
+		t.Fatal("int8 engine present before EnableInt8")
+	}
+	rows := evalRows(t, m, 36)[:300]
+	if err := m.EnableInt8(rows); err != nil {
+		t.Fatal(err)
+	}
+	q8 := m.Quantized8()
+	if q8 == nil || m.Predictor() != q8 {
+		t.Fatal("EnableInt8 did not install the int8 engine as active Predictor")
+	}
+	// Decisions flow and batched == row-by-row through the new engine.
+	scr := m.NewBatchScratch(len(rows))
+	got := make([]bool, len(rows))
+	m.AdmitBatchInto(rows, got, scr)
+	for i, r := range rows {
+		if m.Admit(r) != got[i] {
+			t.Fatalf("row %d: Admit != AdmitBatchInto after EnableInt8", i)
+		}
+	}
+	// Idempotent: a second call keeps the same engine.
+	if err := m.EnableInt8(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Quantized8() != q8 {
+		t.Fatal("second EnableInt8 rebuilt the engine")
+	}
+}
+
+// TestSetPredictorLadder pins engine selection: ladder default prefers int8
+// over int32 over float, SetPredictor overrides, nil restores.
+func TestSetPredictorLadder(t *testing.T) {
+	_, lg := testLog(t, 37, 3*time.Second)
+	cfg := quickCfg(37)
+	cfg.Quantize = true
+	cfg.Quantize8 = true
+	m, err := Train(lg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predictor() != m.Quantized8() {
+		t.Fatal("ladder default should be the int8 engine")
+	}
+	m.SetPredictor(m.Net())
+	if m.Predictor() != m.Net() {
+		t.Fatal("SetPredictor(float) not honored")
+	}
+	raw := evalRows(t, m, 38)[0]
+	_ = m.Admit(raw) // must run fine on a fresh engine-specific scratch
+	m.SetPredictor(nil)
+	if m.Predictor() != m.Quantized8() {
+		t.Fatal("SetPredictor(nil) should restore the ladder default")
+	}
+	// WithPredictor derives an independent model; the original is untouched.
+	c := m.WithPredictor(m.Quantized())
+	if c.Predictor() != m.Quantized() || m.Predictor() != m.Quantized8() {
+		t.Fatal("WithPredictor leaked into the original model")
+	}
+	if c.Threshold() != m.Threshold() {
+		t.Fatal("WithPredictor lost the calibrated threshold")
+	}
+}
+
+// TestSaveLoadInt8RoundTrip pins serialization exactness for the int8
+// engine: stored activation scales plus the float snapshot rebuild an engine
+// whose every verdict matches the original.
+func TestSaveLoadInt8RoundTrip(t *testing.T) {
+	_, lg := testLog(t, 39, 3*time.Second)
+	cfg := quickCfg(39)
+	cfg.Quantize8 = true
+	m, err := Train(lg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Quantized8() == nil {
+		t.Fatal("int8 engine not rebuilt on Load")
+	}
+	if m2.Predictor() != m2.Quantized8() {
+		t.Fatal("loaded model does not decide through the int8 engine")
+	}
+	rows := evalRows(t, m, 40)[:500]
+	s1 := m.NewBatchScratch(len(rows))
+	s2 := m2.NewBatchScratch(len(rows))
+	v1 := make([]bool, len(rows))
+	v2 := make([]bool, len(rows))
+	m.AdmitBatchInto(rows, v1, s1)
+	m2.AdmitBatchInto(rows, v2, s2)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("row %d: verdict diverged across save/load", i)
+		}
+	}
+}
+
+// TestAdmitBatchIntoZeroAlloc pins 0 allocs/op on the batched decide path —
+// the guarantee the serving layer's drain loop depends on.
+func TestAdmitBatchIntoZeroAlloc(t *testing.T) {
+	_, lg := testLog(t, 41, 3*time.Second)
+	cfg := quickCfg(41)
+	cfg.Quantize8 = true
+	m, err := Train(lg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := evalRows(t, m, 42)[:64]
+	scr := m.NewBatchScratch(len(rows))
+	verdicts := make([]bool, len(rows))
+	if a := testing.AllocsPerRun(200, func() {
+		m.AdmitBatchInto(rows, verdicts, scr)
+	}); a != 0 {
+		t.Fatalf("AdmitBatchInto allocates %.1f per run", a)
+	}
+}
+
+// TestExportCInt8 checks the generated file gains the int8 batch kernel when
+// the model carries the engine, and stays well-formed.
+func TestExportCInt8(t *testing.T) {
+	_, lg := testLog(t, 43, 3*time.Second)
+	cfg := quickCfg(43)
+	cfg.Quantize8 = true
+	m, err := Train(lg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.ExportC(&buf, "hd"); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{
+		"void hd_score_batch8(const float *raw, int n, float *out)",
+		"void hd_admit_batch8(const float *raw, int n, int *out)",
+		"static const int8_t hd_w8_0[1408]", // 11 x 128
+		"static const int32_t hd_b8_0[128]",
+		"static const int64_t hd_mq8_0[128]", // fixed-point hidden requant
+		"static const double hd_m8_2[1]",     // float output dequant
+		"static const double hd_sa8",
+		"static int8_t hd_q8(double t)",
+		"(p + 32768) >> 16",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated C missing %q", want)
+		}
+	}
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Error("unbalanced braces in generated C")
+	}
+}

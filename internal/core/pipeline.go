@@ -86,6 +86,13 @@ type Config struct {
 	// Quantize produces the fixed-point deployment network (§4.1). On by
 	// default in DefaultConfig.
 	Quantize bool
+
+	// Quantize8 additionally builds the int8 batch engine (per-channel
+	// symmetric weight scales, activation scales calibrated on the scaled
+	// training rows) and installs it as the model's active Predictor. Off by
+	// default: the int32 ladder remains the reference deployment; flip this
+	// (or call Model.EnableInt8) to serve through the batched int8 kernel.
+	Quantize8 bool
 }
 
 // DefaultConfig returns the shipped Heimdall pipeline: period labeling with
@@ -135,7 +142,14 @@ type Model struct {
 	scaler feature.Scaler
 	net    *nn.Network
 	qnet   *nn.QuantNetwork
+	qnet8  *nn.QuantNetwork8
 	report Report
+
+	// pred is the active inference engine every admission decision routes
+	// through. By default it is the highest rung of the quantization ladder
+	// the configuration built (int8 > int32 > float); SetPredictor installs
+	// a custom engine.
+	pred nn.Predictor
 
 	// threshold is the calibrated decision boundary: scores at or above it
 	// decline the I/O. Calibrated so that the training-set decline rate
@@ -143,9 +157,9 @@ type Model struct {
 	// minority after BCE training on imbalanced data (§3.6).
 	threshold float64
 
-	scratchA, scratchB []int64
-	rowBuf             []float64
-	fcur, fnext        []float64
+	iscr        *Scratch // internal scratch backing the Admit convenience path
+	rowBuf      []float64
+	fcur, fnext []float64
 }
 
 // ErrNoReads is returned when the training log contains no read I/Os.
@@ -250,9 +264,18 @@ func Train(recs []iolog.Record, cfg Config) (*Model, error) {
 			return nil, fmt.Errorf("core: quantize: %w", err)
 		}
 		m.qnet = q
-		m.scratchA = make([]int64, q.ScratchSize())
-		m.scratchB = make([]int64, q.ScratchSize())
 	}
+	if cfg.Quantize8 {
+		// The scaled training rows double as the activation-scale
+		// calibration set: they are exactly the distribution the model
+		// will see online.
+		q8, err := net.Quantize8(rows)
+		if err != nil {
+			return nil, fmt.Errorf("core: quantize8: %w", err)
+		}
+		m.qnet8 = q8
+	}
+	m.pred = m.defaultPredictor()
 	return m, nil
 }
 
@@ -399,6 +422,91 @@ func (m *Model) Net() *nn.Network { return m.net }
 // Quantized exposes the fixed-point network, nil if quantization is off.
 func (m *Model) Quantized() *nn.QuantNetwork { return m.qnet }
 
+// Quantized8 exposes the int8 batch engine, nil unless Quantize8 was set or
+// EnableInt8 was called.
+func (m *Model) Quantized8() *nn.QuantNetwork8 { return m.qnet8 }
+
+// defaultPredictor returns the highest rung of the quantization ladder this
+// model carries: int8, else int32, else the float network.
+func (m *Model) defaultPredictor() nn.Predictor {
+	if m.qnet8 != nil {
+		return m.qnet8
+	}
+	if m.qnet != nil {
+		return m.qnet
+	}
+	return m.net
+}
+
+// Predictor returns the active inference engine — what AdmitInto,
+// AdmitBatchInto, Admit, and the serving layer decide through.
+func (m *Model) Predictor() nn.Predictor {
+	if m.pred == nil {
+		m.pred = m.defaultPredictor()
+	}
+	return m.pred
+}
+
+// SetPredictor installs a custom inference engine; nil restores the ladder
+// default. The engine must accept this model's input width. Not safe to call
+// concurrently with inference — use WithPredictor to derive a second model
+// instead of mutating a shared one.
+func (m *Model) SetPredictor(p nn.Predictor) {
+	if p == nil {
+		p = m.defaultPredictor()
+	}
+	m.pred = p
+	m.iscr = nil // engine-specific scratch shapes may differ
+}
+
+// WithPredictor returns a shallow copy of the model that decides through p:
+// same feature spec, scaler, calibrated threshold, and networks, but an
+// independent engine and no shared scratch — the copy and the original can
+// serve concurrently. Passing nil copies with the ladder default.
+func (m *Model) WithPredictor(p nn.Predictor) *Model {
+	c := *m
+	c.iscr = nil
+	c.rowBuf, c.fcur, c.fnext = nil, nil, nil
+	if p == nil {
+		p = c.defaultPredictor()
+	}
+	c.pred = p
+	return &c
+}
+
+// EnableInt8 builds the int8 batch engine from the float network and
+// installs it as the active Predictor. Activation scales are calibrated on
+// rawCalib (raw, unscaled feature rows of the model's input width — e.g.
+// feature.Extract output; rows of any other width are skipped); with no
+// usable rows the scales fall back to conservative analytic bounds, which
+// cost int8 resolution. Models trained with Config.Quantize8 already carry
+// calibrated scales and keep them. Not safe to call concurrently with
+// inference.
+func (m *Model) EnableInt8(rawCalib [][]float64) error {
+	if m.qnet8 != nil {
+		m.SetPredictor(m.qnet8)
+		return nil
+	}
+	width := m.net.Config().Inputs
+	var scaled [][]float64
+	for _, r := range rawCalib {
+		if len(r) != width {
+			continue
+		}
+		row := append([]float64(nil), r...)
+		m.scale(row)
+		scaled = append(scaled, row)
+	}
+	q8, err := m.net.Quantize8(scaled)
+	if err != nil {
+		return fmt.Errorf("core: quantize8: %w", err)
+	}
+	m.qnet8 = q8
+	m.cfg.Quantize8 = true // Save/Load keeps the engine choice
+	m.SetPredictor(q8)
+	return nil
+}
+
 // scale applies the trained scaler to the raw (unscaled) feature row in
 // place. The scaler was fitted on assembled rows, so joint models scale the
 // extended group row directly.
@@ -451,66 +559,114 @@ func (m *Model) SetThreshold(t float64) { m.threshold = t }
 // Scratch can call AdmitInto on the same Model without synchronization —
 // what the serving layer's shards do.
 type Scratch struct {
-	row    []float64
-	fa, fb []float64
-	qa, qb []int64
+	flat   []float64   // scaled feature rows, batch-major, one contiguous block
+	rows   [][]float64 // views into flat, one per staged row
+	scores []float64   // model outputs per staged row
+	ns     *nn.Scratch // the active Predictor's layer buffers
+	width  int         // feature width flat was laid out for
 }
 
-// NewScratch sizes a Scratch for this model's network and feature width.
-func (m *Model) NewScratch() *Scratch {
-	s := &Scratch{}
-	w := m.net.ScratchSize()
-	s.fa = make([]float64, w)
-	s.fb = make([]float64, w)
-	if m.qnet != nil {
-		s.qa = make([]int64, m.qnet.ScratchSize())
-		s.qb = make([]int64, m.qnet.ScratchSize())
+// NewScratch sizes a Scratch for single-row admission (batch of 1) against
+// the model's active Predictor.
+func (m *Model) NewScratch() *Scratch { return m.NewBatchScratch(1) }
+
+// NewBatchScratch sizes a Scratch so AdmitBatchInto can decide up to
+// maxBatch rows with zero allocations. A Scratch is bound to the Predictor
+// that was active when it was created — SetPredictor invalidates it.
+func (m *Model) NewBatchScratch(maxBatch int) *Scratch {
+	if maxBatch < 1 {
+		maxBatch = 1
 	}
-	// Joint rows extend the base width by P-1 sizes; reserve generously so
-	// the first AdmitInto does not have to grow it.
-	s.row = make([]float64, 0, m.spec.Width()+m.cfg.JointSize)
-	return s
+	// Joint rows extend the base width by P-1 sizes.
+	w := m.spec.Width() + m.cfg.JointSize
+	return &Scratch{
+		flat:   make([]float64, 0, maxBatch*w),
+		rows:   make([][]float64, 0, maxBatch),
+		scores: make([]float64, maxBatch),
+		ns:     nn.NewScratch(m.Predictor(), maxBatch),
+		width:  w,
+	}
 }
 
 // AdmitInto decides one I/O (or one joint group) from a raw feature row
-// using the quantized fast path when available, exactly like Admit, but with
+// through the model's active Predictor, exactly like Admit, but with
 // caller-provided scratch instead of the model's internal buffers. The input
 // is not modified. Safe for concurrent use with per-goroutine Scratch; zero
-// allocations once the scratch row has grown to the feature width.
+// allocations once the scratch has grown to the feature width.
 //
 //heimdall:hotpath
 func (m *Model) AdmitInto(raw []float64, s *Scratch) bool {
-	row := s.row
-	if cap(row) < len(raw) {
-		row = make([]float64, len(raw))
-		s.row = row
+	if cap(s.flat) < len(raw) {
+		s.flat = make([]float64, 0, len(raw))
 	}
-	row = row[:len(raw)]
-	copy(row, raw)
-	m.scale(row)
-	if m.qnet != nil {
-		return m.qnet.PredictInto(row, s.qa, s.qb) < m.threshold
+	s.flat = append(s.flat[:0], raw...)
+	m.scale(s.flat)
+	if cap(s.rows) < 1 {
+		s.rows = make([][]float64, 0, 1)
 	}
-	return m.net.PredictInto(row, s.fa, s.fb) < m.threshold
+	s.rows = append(s.rows[:0], s.flat)
+	if len(s.scores) < 1 {
+		s.scores = make([]float64, 1)
+	}
+	m.pred.PredictBatchInto(s.rows, s.scores[:1], s.ns)
+	return s.scores[0] < m.threshold
 }
 
-// Admit decides one I/O (or one joint group) from a raw feature row using
-// the quantized fast path when available: true = admit, false = decline and
-// reroute. The input is not modified. Not safe for concurrent use (shared
-// scratch buffers); clone the model per goroutine or use Score.
+// AdmitBatchInto decides a batch of raw feature rows in one pass through the
+// active Predictor's batch kernel, writing one verdict per row into
+// verdicts[:len(raws)] (true = admit). Inputs are not modified. Verdicts are
+// bit-identical to calling AdmitInto row by row — integer-quantized engines
+// are exact at any batch shape — which is what lets the serving layer batch
+// without changing answers. Zero allocations once s (from NewBatchScratch)
+// has grown to the batch shape.
+//
+//heimdall:hotpath
+func (m *Model) AdmitBatchInto(raws [][]float64, verdicts []bool, s *Scratch) {
+	n := len(raws)
+	if n == 0 {
+		return
+	}
+	need := 0
+	for _, r := range raws {
+		need += len(r)
+	}
+	// Grow flat up front: appending must never reallocate mid-loop or the
+	// earlier row views in s.rows would dangle into the old block.
+	if cap(s.flat) < need {
+		s.flat = make([]float64, 0, need)
+	}
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, 0, n)
+	}
+	if len(s.scores) < n {
+		s.scores = make([]float64, n)
+	}
+	s.flat = s.flat[:0]
+	s.rows = s.rows[:0]
+	for _, r := range raws {
+		off := len(s.flat)
+		s.flat = append(s.flat, r...)
+		row := s.flat[off : off+len(r) : off+len(r)]
+		m.scale(row)
+		s.rows = append(s.rows, row)
+	}
+	m.pred.PredictBatchInto(s.rows, s.scores[:n], s.ns)
+	for i := 0; i < n; i++ {
+		verdicts[i] = s.scores[i] < m.threshold
+	}
+}
+
+// Admit decides one I/O (or one joint group) from a raw feature row through
+// the model's active Predictor: true = admit, false = decline and reroute.
+// The input is not modified. Not safe for concurrent use (shared internal
+// scratch); use AdmitInto with a per-goroutine Scratch instead.
 //
 //heimdall:hotpath
 func (m *Model) Admit(raw []float64) bool {
-	if cap(m.rowBuf) < len(raw) {
-		m.rowBuf = make([]float64, len(raw))
+	if m.iscr == nil {
+		m.iscr = m.NewScratch()
 	}
-	row := m.rowBuf[:len(raw)]
-	copy(row, raw)
-	m.scale(row)
-	if m.qnet != nil {
-		return m.qnet.PredictInto(row, m.scratchA, m.scratchB) < m.threshold
-	}
-	return m.net.Infer(row) < m.threshold
+	return m.AdmitInto(raw, m.iscr)
 }
 
 // Features assembles the raw (unscaled) online feature row for a single I/O.

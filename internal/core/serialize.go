@@ -21,6 +21,13 @@ type modelFile struct {
 	Scaler    feature.ScalerState
 	Threshold float64
 	Report    Report
+	// Act8 holds the int8 engine's calibrated activation scales when the
+	// model carries one. Weight scales are derived deterministically from
+	// the float weights, so float snapshot + Act8 rebuilds a bit-identical
+	// int8 network. Gob ignores unknown fields, so adding this keeps
+	// Version 1 readable both ways (older readers drop it; older files
+	// leave it empty here).
+	Act8 []float64
 }
 
 const modelFileVersion = 1
@@ -35,6 +42,9 @@ func (m *Model) Save(w io.Writer) error {
 		Scaler:    m.scaler.State(),
 		Threshold: m.threshold,
 		Report:    m.report,
+	}
+	if m.qnet8 != nil {
+		f.Act8 = m.qnet8.ActScales()
 	}
 	if err := gob.NewEncoder(w).Encode(f); err != nil {
 		return fmt.Errorf("core: save model: %w", err)
@@ -74,8 +84,14 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: load model: %w", err)
 		}
 		m.qnet = q
-		m.scratchA = make([]int64, q.ScratchSize())
-		m.scratchB = make([]int64, q.ScratchSize())
 	}
+	if len(f.Act8) > 0 {
+		q8, err := net.Quantize8Scales(f.Act8)
+		if err != nil {
+			return nil, fmt.Errorf("core: load model: %w", err)
+		}
+		m.qnet8 = q8
+	}
+	m.pred = m.defaultPredictor()
 	return m, nil
 }

@@ -82,3 +82,41 @@ func TestQuantPredictIntoZeroAlloc(t *testing.T) {
 	}
 	_, _ = sink, decided
 }
+
+// TestPredictBatchIntoZeroAlloc asserts every Predictor's batch entry point
+// allocates nothing once its Scratch has grown to the batch shape — the
+// guarantee the serving layer's batched decide path is built on.
+func TestPredictBatchIntoZeroAlloc(t *testing.T) {
+	net := allocNet(t, []LayerSpec{{128, ReLU}, {16, ReLU}, {1, Sigmoid}})
+	q32, err := net.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8, err := net.Quantize8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 64
+	xs := make([][]float64, batch)
+	for i := range xs {
+		row := make([]float64, 11)
+		for j := range row {
+			row[j] = float64(i*11+j%7) * 0.01
+		}
+		xs[i] = row
+	}
+	out := make([]float64, batch)
+	for _, tc := range []struct {
+		name string
+		p    Predictor
+	}{
+		{"float", net}, {"int32", q32}, {"int8", q8},
+	} {
+		s := NewScratch(tc.p, batch)
+		if a := testing.AllocsPerRun(200, func() {
+			tc.p.PredictBatchInto(xs, out, s)
+		}); a != 0 {
+			t.Fatalf("%s PredictBatchInto allocates %.1f per run", tc.name, a)
+		}
+	}
+}

@@ -58,6 +58,70 @@ func FuzzQuantizedInference(f *testing.F) {
 	})
 }
 
+// FuzzQuantize8 drives the int8 quantization round trip over arbitrary
+// network seeds and calibration inputs: Quantize8 must never panic, every
+// quantized weight must stay inside the symmetric ±127 bound, activation
+// scales must stay positive and finite, rebuilding from ActScales must be
+// exact, and inference on the calibration rows must stay a probability.
+func FuzzQuantize8(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.9, 0.3)
+	f.Add(int64(-7), 0.0, 0.0, 0.0)
+	f.Add(int64(1<<40), 1e6, -1e6, 3.14)
+	f.Fuzz(func(t *testing.T, seed int64, a, b, c float64) {
+		net, err := New(Config{
+			Inputs: 3,
+			Layers: []LayerSpec{{8, ReLU}, {4, LeakyReLU}, {1, Sigmoid}},
+			Seed:   seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sane := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return v
+		}
+		calib := [][]float64{
+			{sane(a), sane(b), sane(c)},
+			{sane(b), sane(c), sane(a)},
+		}
+		q, err := net.Quantize8(calib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li, l := range q.ExportLayers() {
+			for _, w := range l.W {
+				if w > Int8Max || w < -Int8Max {
+					t.Fatalf("layer %d weight %d exceeds symmetric int8 bound", li, w)
+				}
+			}
+		}
+		for i, s := range q.ActScales() {
+			if !(s > 0) || math.IsInf(s, 0) {
+				t.Fatalf("activation scale %d is %v", i, s)
+			}
+		}
+		q2, err := net.Quantize8Scales(q.ActScales())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewScratch(q, 2)
+		out := make([]float64, 2)
+		out2 := make([]float64, 2)
+		q.PredictBatchInto(calib, out, s)
+		q2.PredictBatchInto(calib, out2, s)
+		for i := range out {
+			if math.IsNaN(out[i]) || out[i] < 0 || out[i] > 1 {
+				t.Fatalf("int8 output %d is %v, want probability", i, out[i])
+			}
+			if out[i] != out2[i] {
+				t.Fatalf("scale round trip diverged: %v != %v", out[i], out2[i])
+			}
+		}
+	})
+}
+
 func clamp01f(v float64) float64 {
 	if math.IsNaN(v) || v < 0 {
 		return 0

@@ -1,0 +1,69 @@
+package nn
+
+// Kernel-level benchmark pair: the int32 and int8 batched forward passes on
+// identical synthetic rows at the paper's deployed geometry (11-128-16-1),
+// isolated from feature scaling and admission plumbing. The int8 kernel must
+// stay ahead of the int32 reference here; the full-path comparison lives in
+// cmd/heimdall-bench (int8 subcommand) and the root bench_test.go.
+
+import "testing"
+
+func kernelNet(b *testing.B) (*Network, [][]float64) {
+	b.Helper()
+	net, err := New(Config{
+		Inputs: 11,
+		Layers: []LayerSpec{{Units: 128, Act: ReLU}, {Units: 16, Act: ReLU}, {Units: 1, Act: Sigmoid}},
+		Seed:   7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Deterministic xorshift rows: the kernels' cost is data-independent, the
+	// values just need to exercise both activation signs.
+	rng := uint64(12345)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(int64(rng%2000))/1000.0 - 1
+	}
+	rows := make([][]float64, 64)
+	for r := range rows {
+		rows[r] = make([]float64, 11)
+		for i := range rows[r] {
+			rows[r][i] = next()
+		}
+	}
+	return net, rows
+}
+
+func benchKernel(b *testing.B, p Predictor, rows [][]float64) {
+	b.Helper()
+	s := NewScratch(p, len(rows))
+	out := make([]float64, len(rows))
+	p.PredictBatchInto(rows, out, s) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictBatchInto(rows, out, s)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(rows)), "ns/row")
+}
+
+func BenchmarkKernelInt32(b *testing.B) {
+	net, rows := kernelNet(b)
+	q, err := net.Quantize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKernel(b, q, rows)
+}
+
+func BenchmarkKernelInt8(b *testing.B) {
+	net, rows := kernelNet(b)
+	q, err := net.Quantize8(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKernel(b, q, rows)
+}

@@ -133,6 +133,10 @@ func (q *QuantNetwork) PredictInto(x []float64, cur, next []int64) float64 {
 // sigmoid: for a single sigmoid output, P >= 0.5 iff the pre-activation is
 // non-negative, so the decision needs integer arithmetic only.
 //
+// Deprecated: kept one release for callers that hard-wire the 0.5 boundary.
+// Decide through the Predictor interface (PredictBatchInto against a
+// calibrated threshold) instead — the deployed models do not use 0.5.
+//
 //heimdall:hotpath
 func (q *QuantNetwork) DecideInto(x []float64, cur, next []int64) bool {
 	for i, v := range x {
@@ -185,8 +189,12 @@ func (q *QuantNetwork) ParamCount() (weights, biases int) {
 	return weights, biases
 }
 
-// MemoryBytes is the deployed footprint: 4-byte weights plus 8-byte biases.
+// MemoryBytes is the honest deployed footprint: 4-byte weights, 8-byte
+// biases, the two int64 scratch buffers one inference needs (2×8×ScratchSize
+// — resident per serving thread), and the per-layer geometry/scale table
+// (in, out, activation at 8 bytes each). Counting the working set keeps
+// int32-vs-int8 footprint comparisons in bench output honest.
 func (q *QuantNetwork) MemoryBytes() int {
 	w, b := q.ParamCount()
-	return 4*w + 8*b
+	return 4*w + 8*b + 2*8*q.maxw + 24*len(q.layers)
 }

@@ -8,36 +8,45 @@ import (
 	"repro/internal/feature"
 )
 
-// TestDecideOneZeroAlloc pins the acceptance criterion for the steady-state
-// decide path: once the device state and writer buffers are warm, one
-// decision — feature assembly, forward pass, response encode — allocates
-// nothing. The writer drains into io.Discard so the pin covers the whole
-// serve-side path up to the socket write.
-func TestDecideOneZeroAlloc(t *testing.T) {
+// TestStagedDecideZeroAlloc pins the acceptance criterion for the
+// steady-state decide path: once the staging buffers and writer are warm, a
+// full batch cycle — stage (feature assembly), one batched forward pass,
+// respond — allocates nothing. The writer drains into io.Discard so the pin
+// covers the whole serve-side path up to the socket write.
+func TestStagedDecideZeroAlloc(t *testing.T) {
+	const batch = 4
 	for _, joint := range []int{1, 4} {
 		m := testModel(t, 31, joint)
-		// A bare shard: decideOne touches no server state beyond the
+		// A bare shard: the decide path touches no server state beyond the
 		// published model, so no worker goroutine is needed (or wanted —
 		// the pin must measure only the decide path itself).
 		sm := &servingModel{m: m, version: 1}
-		sh := &shard{scr: m.NewScratch(), scrFor: sm}
+		sh := &shard{scr: m.NewBatchScratch(batch), scrFor: sm}
 		st := &deviceState{win: feature.NewWindow(m.Spec().Depth)}
 		st.win.Push(feature.Hist{Latency: 120_000, QueueLen: 3, Thpt: 55})
 		out := &connWriter{bw: bufio.NewWriter(io.Discard)}
 
 		var seq uint64
-		// Warm up: grow st.row/st.sizes/st.pend and the touched slice, and
-		// fill a joint group at least once.
-		for i := 0; i < 8; i++ {
-			sh.decideOne(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
+		// Warm up: grow the slot buffers, st.sizes/st.pend, the staging and
+		// touched slices, and fill a joint group at least once.
+		for i := 0; i < 4*batch; i++ {
+			sh.stageDecide(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
 			seq++
+			if len(sh.infs) >= batch {
+				sh.decideStaged(sm)
+			}
 		}
+		sh.decideStaged(sm)
 		sh.touched = sh.touched[:0]
 		if a := testing.AllocsPerRun(400, func() {
-			sh.decideOne(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
-			seq++
+			for k := 0; k < batch; k++ {
+				sh.stageDecide(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
+				seq++
+			}
+			sh.decideStaged(sm)
+			sh.touched = sh.touched[:0]
 		}); a != 0 {
-			t.Errorf("joint=%d: decideOne allocates %.2f per op", joint, a)
+			t.Errorf("joint=%d: staged decide cycle allocates %.2f per op", joint, a)
 		}
 	}
 }

@@ -204,6 +204,53 @@ func TestServeDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeDeterminismInt8 re-pins the determinism contract with the int8
+// batch engine active: integer arithmetic makes the batched kernel exact at
+// any batch shape, so verdicts stay byte-identical across shard counts and
+// batch sizes even on the quantized fast path.
+func TestServeDeterminismInt8(t *testing.T) {
+	const devs, opsPer = 4, 150
+	for _, joint := range []int{1, 3} {
+		tr := trace.Generate(trace.MSRStyle(25, 3*time.Second))
+		dev := ssd.New(ssd.Samsung970Pro(), 25)
+		log := iolog.Collect(tr, dev)
+		cfg := core.DefaultConfig(25)
+		cfg.Epochs = 8
+		cfg.MaxTrainSamples = 8000
+		cfg.Quantize8 = true
+		if joint > 1 {
+			cfg.JointSize = joint
+		}
+		m, err := core.Train(log, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Quantized8() == nil || m.Predictor() != m.Quantized8() {
+			t.Fatal("int8 engine not active")
+		}
+		const q = 8192
+		ref := decisionTrace(t, m, Config{Shards: 1, MaxBatch: 1, QueueLen: q, GroupTimeout: time.Minute}, devs, opsPer, joint)
+		for _, scfg := range []Config{
+			{Shards: 4, BatchWindow: 2 * time.Millisecond, MaxBatch: 64, QueueLen: q, GroupTimeout: time.Minute},
+			{Shards: 8, MaxBatch: 8, QueueLen: q, GroupTimeout: time.Minute},
+		} {
+			got := decisionTrace(t, m, scfg, devs, opsPer, joint)
+			for d := uint32(0); d < devs; d++ {
+				if len(got[d]) != len(ref[d]) {
+					t.Fatalf("joint=%d shards=%d device %d: %d verdicts, reference %d",
+						joint, scfg.Shards, d, len(got[d]), len(ref[d]))
+				}
+				for i := range ref[d] {
+					if got[d][i] != ref[d][i] {
+						t.Fatalf("joint=%d shards=%d device %d decision %d: int8 batched %v != sequential %v",
+							joint, scfg.Shards, d, i, got[d][i], ref[d][i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestServeJointGroupVerdicts pins §5 group semantics: all P members of a
 // joint group receive the same verdict.
 func TestServeJointGroupVerdicts(t *testing.T) {

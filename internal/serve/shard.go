@@ -15,8 +15,6 @@ import (
 // decide path needs no locks.
 type deviceState struct {
 	win *feature.Window
-	// row is the reusable raw-feature buffer for this device's inferences.
-	row []float64
 	// Joint-group assembly (JointSize P > 1): a device's decide requests
 	// are grouped strictly by arrival sequence — requests P·g .. P·g+P−1
 	// form group g, decided by one forward pass when the last member
@@ -35,6 +33,15 @@ type pendMember struct {
 	out *connWriter
 }
 
+// pendingInf is one staged inference awaiting the batched forward pass: the
+// request to answer plus, for a completed joint group, the span of held
+// members in shard.members that share its verdict.
+type pendingInf struct {
+	id         uint64
+	out        *connWriter
+	mOff, mLen int
+}
+
 // shard owns a partition of the device space: a bounded queue, the
 // per-device state, one model scratch, and a breaker. All fields except
 // the queue and counters are worker-private.
@@ -47,8 +54,22 @@ type shard struct {
 	batch   []*request
 	touched []*connWriter
 
+	// Batched-decide staging: requests that survive the breaker and
+	// deadline checks assemble their feature rows at arrival order (phase
+	// A) into per-slot buffers — one buffer per staged inference, because
+	// two decides for the same device can sit in one batch — then a single
+	// AdmitBatchInto call scores them all (phase B), and the verdicts fan
+	// out in staging order (phase C). Integer-quantized engines are exact
+	// at any batch shape, so the verdicts are byte-identical to the old
+	// one-forward-pass-per-request path.
+	rowBufs  [][]float64
+	rows     [][]float64
+	infs     []pendingInf
+	members  []pendMember
+	verdicts []bool
+
 	// scratch is rebuilt when the published model changes (its size
-	// depends on the network architecture).
+	// depends on the network architecture and active Predictor).
 	scrFor *servingModel
 	scr    *core.Scratch
 
@@ -132,7 +153,7 @@ func (sh *shard) run() {
 		}
 		sm := sh.srv.model.Load()
 		if sm != sh.scrFor {
-			sh.scr = sm.m.NewScratch()
+			sh.scr = sm.m.NewBatchScratch(maxBatch)
 			sh.scrFor = sm
 		}
 		now := sh.srv.now()
@@ -140,6 +161,7 @@ func (sh *shard) run() {
 			sh.process(sm, r, now)
 			reqPool.Put(r)
 		}
+		sh.decideStaged(sm)
 		sh.cnt.observeBatch(len(sh.batch))
 		sh.cnt.held.Store(int64(sh.deferred))
 		for i := range sh.batch {
@@ -158,7 +180,10 @@ func (sh *shard) run() {
 }
 
 // process handles one routed request: completions feed the device history;
-// decides pass through the deadline check and breaker before inference.
+// decides pass through the deadline check and breaker, then stage their
+// feature row for the batched forward pass (phase A — rows capture the
+// device window exactly as it stood at this request's turn in arrival
+// order, so batching cannot change what any row sees).
 func (sh *shard) process(sm *servingModel, r *request, now int64) {
 	st := sh.devs[r.device()]
 	if st == nil {
@@ -194,7 +219,7 @@ func (sh *shard) process(sm *servingModel, r *request, now int64) {
 		sh.touch(r.out)
 		return
 	}
-	sh.decideOne(sm, st, dec, r.enq, r.out)
+	sh.stageDecide(sm, st, dec, r.enq, r.out)
 }
 
 // breakerAdmits runs the shed-rate circuit breaker and reports whether the
@@ -271,30 +296,27 @@ func (sh *shard) touch(w *connWriter) {
 	sh.touched = append(sh.touched, w)
 }
 
-// decideOne is the steady-state inference path: assemble the raw feature
-// row in the device's reusable buffer, run one forward pass through the
-// published model, answer. For joint models the group decides on its last
-// member's arrival and every member gets the group verdict. Allocation-free
-// once buffers are warm (pinned by TestDecideOneZeroAlloc).
+// stageDecide stages one surviving decide for the batched forward pass:
+// assemble the raw feature row into this inference's slot buffer and record
+// who to answer. For joint models the group stages on its last member's
+// arrival and every member shares the staged verdict. Allocation-free once
+// buffers are warm (pinned by TestStagedDecideZeroAlloc).
 //
 //heimdall:hotpath
-func (sh *shard) decideOne(sm *servingModel, st *deviceState, dec decideRequest, enq int64, out *connWriter) {
+func (sh *shard) stageDecide(sm *servingModel, st *deviceState, dec decideRequest, enq int64, out *connWriter) {
 	p := sm.m.JointSize()
 	spec := sm.m.Spec()
+	slot := len(sh.infs)
 	if p <= 1 {
-		st.row = spec.OnlineInto(st.row[:0], int(dec.queueLen), int32(dec.size), 0, 0, st.win)
+		if slot == len(sh.rowBufs) {
+			sh.rowBufs = append(sh.rowBufs, make([]float64, 0, spec.Width()+p))
+		}
+		sh.rowBufs[slot] = spec.OnlineInto(sh.rowBufs[slot][:0], int(dec.queueLen), int32(dec.size), 0, 0, st.win)
 		if sh.det != nil {
-			sh.det.Observe(st.row)
+			sh.det.Observe(sh.rowBufs[slot])
 			sh.detN++
 		}
-		admit := sm.m.AdmitInto(st.row, sh.scr)
-		if admit {
-			sh.cnt.admits.Add(1)
-		} else {
-			sh.cnt.declines.Add(1)
-		}
-		out.decideResp(dec.id, admit, 0, sm.version)
-		sh.touch(out)
+		sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out})
 		return
 	}
 	if len(st.sizes) == 0 {
@@ -309,30 +331,70 @@ func (sh *shard) decideOne(sm *servingModel, st *deviceState, dec decideRequest,
 	}
 	// Group complete: head features plus the remaining members' sizes,
 	// the layout JointFeatures/training uses (§4.2).
-	st.row = spec.OnlineInto(st.row[:0], int(st.headQLen), st.sizes[0], 0, 0, st.win)
+	if slot == len(sh.rowBufs) {
+		sh.rowBufs = append(sh.rowBufs, make([]float64, 0, spec.Width()+p))
+	}
+	sh.rowBufs[slot] = spec.OnlineInto(sh.rowBufs[slot][:0], int(st.headQLen), st.sizes[0], 0, 0, st.win)
 	for _, sz := range st.sizes[1:] {
-		st.row = append(st.row, float64(sz))
+		sh.rowBufs[slot] = append(sh.rowBufs[slot], float64(sz))
 	}
 	if sh.det != nil {
-		sh.det.Observe(st.row)
+		sh.det.Observe(sh.rowBufs[slot])
 		sh.detN++
 	}
-	admit := sm.m.AdmitInto(st.row, sh.scr)
-	n := uint64(len(st.pend)) + 1
-	if admit {
-		sh.cnt.admits.Add(n)
-	} else {
-		sh.cnt.declines.Add(n)
-	}
-	for i := range st.pend {
-		st.pend[i].out.decideResp(st.pend[i].id, admit, 0, sm.version)
-		sh.touch(st.pend[i].out)
-	}
-	out.decideResp(dec.id, admit, 0, sm.version)
-	sh.touch(out)
+	mOff := len(sh.members)
+	sh.members = append(sh.members, st.pend...)
+	sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out, mOff: mOff, mLen: len(st.pend)})
 	sh.deferred -= len(st.pend)
 	st.pend = st.pend[:0]
 	st.sizes = st.sizes[:0]
+}
+
+// decideStaged is phases B and C: one batched forward pass over every
+// staged row, then answers in staging order — held joint members first,
+// then the group head, exactly the fan-out order the sequential path used.
+//
+//heimdall:hotpath
+func (sh *shard) decideStaged(sm *servingModel) {
+	n := len(sh.infs)
+	if n == 0 {
+		return
+	}
+	if cap(sh.rows) < n {
+		sh.rows = make([][]float64, 0, n)
+	}
+	sh.rows = sh.rows[:0]
+	for i := 0; i < n; i++ {
+		sh.rows = append(sh.rows, sh.rowBufs[i])
+	}
+	if len(sh.verdicts) < n {
+		sh.verdicts = make([]bool, n)
+	}
+	sm.m.AdmitBatchInto(sh.rows, sh.verdicts[:n], sh.scr)
+	for i := 0; i < n; i++ {
+		inf := &sh.infs[i]
+		admit := sh.verdicts[i]
+		if admit {
+			sh.cnt.admits.Add(uint64(inf.mLen) + 1)
+		} else {
+			sh.cnt.declines.Add(uint64(inf.mLen) + 1)
+		}
+		for j := inf.mOff; j < inf.mOff+inf.mLen; j++ {
+			sh.members[j].out.decideResp(sh.members[j].id, admit, 0, sm.version)
+			sh.touch(sh.members[j].out)
+		}
+		inf.out.decideResp(inf.id, admit, 0, sm.version)
+		sh.touch(inf.out)
+	}
+	// Drop connection references so an idle shard cannot pin closed conns.
+	for i := range sh.members {
+		sh.members[i] = pendMember{}
+	}
+	sh.members = sh.members[:0]
+	for i := range sh.infs {
+		sh.infs[i] = pendingInf{}
+	}
+	sh.infs = sh.infs[:0]
 }
 
 // flushExpired fails open every joint group older than the timeout: its
@@ -367,8 +429,9 @@ func (sh *shard) flushPartial(sm *servingModel, st *deviceState) {
 // sockets writable until all workers return.
 func (sh *shard) shutdown() {
 	sm := sh.srv.model.Load()
+	maxBatch := sh.srv.cfg.maxBatch()
 	if sm != sh.scrFor {
-		sh.scr = sm.m.NewScratch()
+		sh.scr = sm.m.NewBatchScratch(maxBatch)
 		sh.scrFor = sm
 	}
 	now := sh.srv.now()
@@ -378,7 +441,11 @@ func (sh *shard) shutdown() {
 		}
 		sh.process(sm, r, now)
 		reqPool.Put(r)
+		if len(sh.infs) >= maxBatch {
+			sh.decideStaged(sm)
+		}
 	}
+	sh.decideStaged(sm)
 	for _, st := range sh.devs {
 		if len(st.sizes) > 0 {
 			sh.srv.drained.Add(uint64(len(st.pend)))

@@ -1,0 +1,56 @@
+package heimdall
+
+// Façade exports for the unified inference engine API: every rung of the
+// quantization ladder — the float network, the x1024 int32 fixed-point
+// network, and the batched int8 engine — implements one Predictor
+// interface, and a Model decides through whichever Predictor is active.
+// Admission callers (Admit, AdmitInto, AdmitBatchInto, the serving layer,
+// HeimdallPolicy) never name a concrete engine.
+
+import (
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// Predictor is the unified inference engine: single-row Predict, the
+// zero-alloc batch-major PredictBatchInto, and the sizing accessors scratch
+// allocation needs. Implemented by FloatNetwork, QuantizedNetwork, and
+// Int8Network; custom engines (e.g. a remote or hardware-offloaded scorer)
+// can implement it too and be installed with (*Model).SetPredictor.
+type Predictor = nn.Predictor
+
+// PredictorScratch holds a Predictor's reusable layer buffers; one per
+// goroutine makes PredictBatchInto allocation-free and concurrency-safe.
+type PredictorScratch = nn.Scratch
+
+// NewPredictorScratch sizes scratch for batches of up to maxBatch rows
+// through p.
+func NewPredictorScratch(p Predictor, maxBatch int) *PredictorScratch {
+	return nn.NewScratch(p, maxBatch)
+}
+
+// FloatNetwork is the trained float64 network — the ladder's reference rung.
+type FloatNetwork = nn.Network
+
+// QuantizedNetwork is the x1024 int32 fixed-point network (§4.1).
+type QuantizedNetwork = nn.QuantNetwork
+
+// Int8Network is the batched int8 engine: per-output-channel symmetric
+// weight scales, calibrated activation scales, int32 accumulation. Integer
+// arithmetic makes its batch kernel bit-identical at any batch shape, which
+// is what lets the serving layer batch decisions without changing verdicts.
+type Int8Network = nn.QuantNetwork8
+
+// ModelScratch is the per-caller buffer set behind (*Model).AdmitInto and
+// (*Model).AdmitBatchInto; create one per goroutine with
+// (*Model).NewScratch or (*Model).NewBatchScratch.
+type ModelScratch = core.Scratch
+
+// NewServerWithPredictor wraps the model in an admission server that
+// decides through p instead of the model's active engine — e.g. pin the
+// int32 rung for a canary while the fleet default is int8. The original
+// model is not mutated; passing nil serves the model's ladder default.
+func NewServerWithPredictor(m *Model, p Predictor, cfg ServeConfig) *Server {
+	return serve.NewServer(m.WithPredictor(p), cfg)
+}

@@ -42,7 +42,9 @@ const (
 )
 
 // NewServer wraps a trained model in an admission server and starts its
-// shard workers. Attach listeners with (*Server).Serve.
+// shard workers. Attach listeners with (*Server).Serve. Decisions flow
+// through the model's active Predictor in one batched pass per drained
+// micro-batch; NewServerWithPredictor pins a specific engine instead.
 func NewServer(m *Model, cfg ServeConfig) *Server { return serve.NewServer(m, cfg) }
 
 // ListenAdmission opens a listener for "unix:/path/sock", "tcp:host:port",
