@@ -48,6 +48,9 @@ func main() {
 	queueLen := flag.Int("queue", 0, "per-shard queue bound (0 = default 256)")
 	window := flag.Duration("batch-window", 0, "micro-batch gather window (0 = decide immediately)")
 	maxBatch := flag.Int("max-batch", 0, "per-wakeup batch bound (0 = default 64)")
+	adaptive := flag.Bool("adaptive", false, "adaptive micro-batching: widen the batch window/size under queue pressure, narrow when drained (verdicts unchanged)")
+	windowMax := flag.Duration("batch-window-max", 0, "adaptive ceiling for the gather window (0 = default 8x -batch-window, or 500us)")
+	adaptPeriod := flag.Int("adapt-period", 0, "decisions between adaptive controller steps (0 = default 256)")
 	budget := flag.Duration("budget", 0, "queue-age deadline; older decides fail open (0 = off)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-connection idle read deadline; silent peers are dropped (0 = off)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline; slow peers are shed (0 = off)")
@@ -120,14 +123,17 @@ func main() {
 	}
 
 	srv := serve.NewServer(model, serve.Config{
-		Shards:       *shards,
-		QueueLen:     *queueLen,
-		BatchWindow:  *window,
-		MaxBatch:     *maxBatch,
-		Budget:       *budget,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		DriftRef:     ref,
+		Shards:         *shards,
+		QueueLen:       *queueLen,
+		BatchWindow:    *window,
+		MaxBatch:       *maxBatch,
+		AdaptiveBatch:  *adaptive,
+		BatchWindowMax: *windowMax,
+		AdaptPeriod:    *adaptPeriod,
+		Budget:         *budget,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		DriftRef:       ref,
 	})
 	l, err := serve.Listen(*listen)
 	if err != nil {

@@ -1,0 +1,135 @@
+// Package framecodec mirrors the zero-copy serving codec: a frame reader
+// that hands out views into its receiver-rooted read buffer, a writer whose
+// response buffers cycle through a per-connection freelist, and a windowed
+// submit that reaps already-buffered verdicts into a reused slice. The clean
+// shapes — receiver-rooted appends, freelist push/pop, in-place length-prefix
+// stamping — must pass untouched; the seeded regressions (formatting a
+// truncated-frame error, boxing a decoded frame, a flush closure, and
+// reaping into a call-local slice) must each be flagged.
+package framecodec
+
+import "fmt"
+
+type frame struct {
+	id   uint64
+	kind byte
+}
+
+// reader owns a growable buffer and yields in-place views; next never
+// allocates once buf has reached the high-water mark.
+type reader struct {
+	buf []byte
+	r   int
+	w   int
+}
+
+// next returns the bytes of one length-prefixed frame without copying.
+// The compactions and the append both root at the receiver's buffer, so
+// the lint stays silent.
+//
+//heimdall:hotpath
+func (rd *reader) next() []byte {
+	if rd.r == rd.w {
+		rd.r, rd.w = 0, 0
+	}
+	for rd.w-rd.r < 4 {
+		rd.buf = append(rd.buf, 0)
+		rd.w++
+	}
+	n := int(rd.buf[rd.r])<<8 | int(rd.buf[rd.r+1])
+	body := rd.buf[rd.r+4 : rd.r+4+n]
+	rd.r += 4 + n
+	return body
+}
+
+// buffered reports whether a whole frame is already readable without a
+// syscall — the predicate the pipelined reap loop spins on.
+//
+//heimdall:hotpath
+func (rd *reader) buffered() bool { return rd.w-rd.r >= 4 }
+
+// writer recycles response buffers through a bounded freelist instead of
+// sync.Pool, so the steady-state encode path never allocates and never
+// crosses a lock.
+type writer struct {
+	free [][]byte
+	out  [][]byte
+}
+
+// acquire pops a buffer from the freelist (or grows one once, at cold
+// start); release pushes it back unless the list is at its cap. Every
+// append roots at the receiver, so both pass clean.
+//
+//heimdall:hotpath
+func (w *writer) acquire() []byte {
+	if n := len(w.free); n > 0 {
+		b := w.free[n-1]
+		w.free = w.free[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, 64)
+}
+
+//heimdall:hotpath
+func (w *writer) release(b []byte) {
+	if len(w.free) < 16 {
+		w.free = append(w.free, b)
+	}
+}
+
+// encode appends one frame into the caller's buffer and stamps the length
+// prefix in place over the 4 reserved head bytes. Appending to a parameter
+// is the caller's buffer — the lint allows it — and queueing the result on
+// w.out roots at the receiver.
+//
+//heimdall:hotpath
+func encode(b []byte, f frame) []byte {
+	b = append(b, 0, 0, 0, 0, f.kind)
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(f.id>>(56-8*i)))
+	}
+	n := len(b) - 4
+	b[0], b[1], b[2], b[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return b
+}
+
+// push encodes into an acquired freelist buffer and queues it for the next
+// vectored write.
+//
+//heimdall:hotpath
+func (w *writer) push(f frame) {
+	w.out = append(w.out, encode(w.acquire(), f))
+}
+
+// submit carries the seeded regressions on an annotated codec path.
+//
+//heimdall:hotpath
+func (w *writer) submit(rd *reader, f frame) error {
+	if f.kind == 0 {
+		return fmt.Errorf("bad frame kind %d", f.kind) // want "fmt.Errorf called on a"
+	}
+	w.push(f)
+	flush := func() { w.out = w.out[:0] } // want "closure constructed on a"
+	_ = flush
+	reaped := make([]frame, 0, 4)
+	for rd.buffered() {
+		body := rd.next()
+		reaped = append(reaped, frame{kind: body[0]}) // want "append to a slice not rooted"
+	}
+	trace(f) // want "concrete value passed as interface"
+	_ = reaped
+	return nil
+}
+
+func trace(v any) { _ = v }
+
+// drain is unannotated: the same shapes pass without findings.
+func (w *writer) drain(rd *reader) []frame {
+	out := make([]frame, 0, 4)
+	for rd.buffered() {
+		body := rd.next()
+		out = append(out, frame{kind: body[0]})
+	}
+	trace(out)
+	return out
+}

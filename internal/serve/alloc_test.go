@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bufio"
 	"io"
 	"testing"
 
@@ -11,8 +10,9 @@ import (
 // TestStagedDecideZeroAlloc pins the acceptance criterion for the
 // steady-state decide path: once the staging buffers and writer are warm, a
 // full batch cycle — stage (feature assembly), one batched forward pass,
-// respond — allocates nothing. The writer drains into io.Discard so the pin
-// covers the whole serve-side path up to the socket write.
+// respond, flush — allocates nothing. The writer drains into io.Discard so
+// the pin covers the whole serve-side path up to the socket write, including
+// the response-buffer freelist recycling through flush.
 func TestStagedDecideZeroAlloc(t *testing.T) {
 	const batch = 4
 	for _, joint := range []int{1, 4} {
@@ -24,7 +24,7 @@ func TestStagedDecideZeroAlloc(t *testing.T) {
 		sh := &shard{scr: m.NewBatchScratch(batch), scrFor: sm}
 		st := &deviceState{win: feature.NewWindow(m.Spec().Depth)}
 		st.win.Push(feature.Hist{Latency: 120_000, QueueLen: 3, Thpt: 55})
-		out := &connWriter{bw: bufio.NewWriter(io.Discard)}
+		out := newSinkWriter(io.Discard)
 
 		var seq uint64
 		// Warm up: grow the slot buffers, st.sizes/st.pend, the staging and
@@ -38,6 +38,7 @@ func TestStagedDecideZeroAlloc(t *testing.T) {
 		}
 		sh.decideStaged(sm)
 		sh.touched = sh.touched[:0]
+		out.flush()
 		if a := testing.AllocsPerRun(400, func() {
 			for k := 0; k < batch; k++ {
 				sh.stageDecide(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
@@ -45,18 +46,40 @@ func TestStagedDecideZeroAlloc(t *testing.T) {
 			}
 			sh.decideStaged(sm)
 			sh.touched = sh.touched[:0]
+			out.flush()
 		}); a != 0 {
 			t.Errorf("joint=%d: staged decide cycle allocates %.2f per op", joint, a)
 		}
 	}
 }
 
-// TestDecideRespZeroAlloc pins the response encoder alone.
+// TestDecideRespZeroAlloc pins the response encoder alone, flushing every
+// iteration so the encode buffer keeps cycling through the freelist.
 func TestDecideRespZeroAlloc(t *testing.T) {
-	out := &connWriter{bw: bufio.NewWriter(io.Discard)}
+	out := newSinkWriter(io.Discard)
+	out.decideResp(42, true, 0, 7)
+	out.flush()
 	if a := testing.AllocsPerRun(400, func() {
 		out.decideResp(42, true, 0, 7)
+		out.flush()
 	}); a != 0 {
 		t.Errorf("decideResp allocates %.2f per op", a)
+	}
+}
+
+// TestControlFrameZeroAlloc pins the pooled control-frame encoder used for
+// stats, swap, and shed replies (satellite for the old per-response
+// allocation at the stats/error reply path): framing a caller-supplied
+// payload must not allocate once the writer is warm.
+func TestControlFrameZeroAlloc(t *testing.T) {
+	out := newSinkWriter(io.Discard)
+	payload := make([]byte, 512)
+	out.control(msgStatsResp, payload)
+	out.flush()
+	if a := testing.AllocsPerRun(400, func() {
+		out.control(msgStatsResp, payload)
+		out.flush()
+	}); a != 0 {
+		t.Errorf("control frame allocates %.2f per op", a)
 	}
 }

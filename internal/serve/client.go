@@ -12,23 +12,29 @@ import (
 // Client speaks the serve wire protocol. It is not safe for concurrent use
 // (matching the repo's single-writer idiom); open one Client per goroutine.
 //
-// Two usage styles:
+// Three usage styles:
 //
 //   - synchronous: Decide blocks for the verdict — simplest, one request in
 //     flight;
 //   - pipelined: Send queues requests, Flush pushes them, Recv reads
 //     verdicts as they arrive. Joint models (JointSize P > 1) hold a
 //     group's responses until its P-th member arrives, so a synchronous
-//     caller would deadlock — pipeline at least P requests per device.
+//     caller would deadlock — pipeline at least P requests per device;
+//   - windowed: Pipeline wraps Send/Flush/Recv in a fixed in-flight window
+//     (see Pipeline) so one connection saturates a shard without the caller
+//     hand-managing the id space.
 //
 // Responses may arrive out of request order (e.g. a queue-full shed is
 // answered ahead of queued work); match them by Verdict.ID.
+//
+// Receives decode in place out of the connection's read buffer (the same
+// zero-copy frameReader the server uses), so the steady-state decide path
+// allocates nothing on either side of the wire.
 type Client struct {
 	conn net.Conn
-	br   *bufio.Reader
+	fr   *frameReader
 	bw   *bufio.Writer
 	wbuf []byte
-	rbuf []byte
 }
 
 // Dial connects to a server. Addresses follow Listen: "unix:/path/sock",
@@ -57,9 +63,8 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
-		br:   bufio.NewReader(conn),
+		fr:   newFrameReader(conn),
 		bw:   bufio.NewWriter(conn),
-		rbuf: make([]byte, 256),
 	}
 }
 
@@ -77,8 +82,10 @@ func (c *Client) SetWriteDeadline(t time.Time) error { return c.conn.SetWriteDea
 
 // Send queues one decide request (pipelined style). id is echoed in the
 // matching Verdict.
+//
+//heimdall:hotpath
 func (c *Client) Send(id uint64, device uint32, queueLen int, size int32) error {
-	c.wbuf = appendDecide(c.wbuf[:0], decideRequest{
+	c.wbuf = appendDecide(append(c.wbuf[:0], 0, 0, 0, 0), decideRequest{
 		id: id, device: device, queueLen: uint32(queueLen), size: uint32(size),
 	})
 	return c.writeFrameBuffered()
@@ -86,22 +93,27 @@ func (c *Client) Send(id uint64, device uint32, queueLen int, size int32) error 
 
 // Complete reports one finished I/O so the server's feature tracker for the
 // device advances. Buffered like Send; no response.
+//
+//heimdall:hotpath
 func (c *Client) Complete(device uint32, latencyNs uint64, queueLen int, size int32) error {
-	c.wbuf = appendComplete(c.wbuf[:0], completion{
+	c.wbuf = appendComplete(append(c.wbuf[:0], 0, 0, 0, 0), completion{
 		device: device, latency: latencyNs, queueLen: uint32(queueLen), size: uint32(size),
 	})
 	return c.writeFrameBuffered()
 }
 
+// writeFrameBuffered stamps the length prefix over the 4 bytes Send/Complete
+// reserved at the head of wbuf and queues the whole frame with one buffered
+// write. Header and body share the reused wbuf — a separate stack header
+// would escape through the io.Writer and cost an allocation per frame.
+//
+//heimdall:hotpath
 func (c *Client) writeFrameBuffered() error {
-	var hdr [4]byte
-	hdr[0] = byte(len(c.wbuf) >> 24)
-	hdr[1] = byte(len(c.wbuf) >> 16)
-	hdr[2] = byte(len(c.wbuf) >> 8)
-	hdr[3] = byte(len(c.wbuf))
-	if _, err := c.bw.Write(hdr[:]); err != nil {
-		return err
-	}
+	n := len(c.wbuf) - 4
+	c.wbuf[0] = byte(n >> 24)
+	c.wbuf[1] = byte(n >> 16)
+	c.wbuf[2] = byte(n >> 8)
+	c.wbuf[3] = byte(n)
 	_, err := c.bw.Write(c.wbuf)
 	return err
 }
@@ -109,13 +121,16 @@ func (c *Client) writeFrameBuffered() error {
 // Flush pushes queued requests to the server.
 func (c *Client) Flush() error { return c.bw.Flush() }
 
-// Recv reads the next decide verdict.
+// Recv reads the next decide verdict. The decode is in place: the frame body
+// is parsed straight out of the read buffer and every field copied into the
+// returned Verdict, so nothing aliases the buffer after Recv returns.
+//
+//heimdall:hotpath
 func (c *Client) Recv() (Verdict, error) {
-	body, err := readFrame(c.br, c.rbuf)
+	body, err := c.fr.next()
 	if err != nil {
 		return Verdict{}, err
 	}
-	c.rbuf = body[:cap(body)]
 	return parseDecideResp(body)
 }
 
@@ -130,6 +145,105 @@ func (c *Client) Decide(device uint32, queueLen int, size int32) (Verdict, error
 	return c.Recv()
 }
 
+// Pipeline is the windowed async decide API: up to window decides ride the
+// wire at once, and the caller gets verdicts back as the window recycles.
+// Submit owns the id space — ids are assigned sequentially from 1 — so the
+// caller only correlates results by the ids Submit returns.
+//
+// The window is what turns one connection into a shard-saturating load
+// source: while a verdict is in flight the next windowful of requests is
+// already queued behind it, so the per-request cost is one buffered encode
+// and 1/window of a round trip instead of a full RTT. Joint models hold a
+// group's verdicts until its last member arrives, so run window ≥ JointSize
+// per device to keep groups filling promptly (the server's GroupTimeout
+// flushes stragglers fail-open either way).
+//
+// Not safe for concurrent use, and don't interleave Pipeline calls with the
+// Client's own Send/Recv — the Pipeline assumes every response on the wire
+// answers one of its submits.
+type Pipeline struct {
+	c        *Client
+	window   int
+	seq      uint64
+	inflight int
+	buf      []Verdict
+}
+
+// Pipeline starts a windowed async session over the client with the given
+// in-flight bound (values < 1 are treated as 1, which degrades to
+// synchronous behavior).
+func (c *Client) Pipeline(window int) *Pipeline {
+	if window < 1 {
+		window = 1
+	}
+	return &Pipeline{c: c, window: window, seq: 1}
+}
+
+// Inflight returns how many submitted decides have no verdict yet.
+func (p *Pipeline) Inflight() int { return p.inflight }
+
+// Submit queues one decide and returns its assigned id. While the window has
+// room the send is only buffered — no syscall, no wait. Once the window is
+// full, Submit flushes the queued requests, blocks for one verdict, and then
+// reaps every further response already sitting in the read buffer — so the
+// two syscalls of the flush/receive pair amortize over however many verdicts
+// came back together, and the next several Submits are pure buffered encodes.
+// The caller matches reaped verdicts to earlier Submits by v.ID (responses
+// can overtake each other across shards and on degraded paths).
+//
+// The returned slice aliases an internal buffer, valid only until the next
+// Submit or Drain call; it is nil when the window still had room.
+// Allocation-free in steady state (pinned by TestPipelineZeroAlloc).
+//
+//heimdall:hotpath
+func (p *Pipeline) Submit(device uint32, queueLen int, size int32) (id uint64, reaped []Verdict, err error) {
+	id = p.seq
+	p.seq++
+	if err = p.c.Send(id, device, queueLen, size); err != nil {
+		return id, nil, err
+	}
+	p.inflight++
+	if p.inflight < p.window {
+		return id, nil, nil
+	}
+	if err = p.c.Flush(); err != nil {
+		return id, nil, err
+	}
+	p.buf = p.buf[:0]
+	v, err := p.c.Recv()
+	if err != nil {
+		return id, nil, err
+	}
+	p.inflight--
+	p.buf = append(p.buf, v)
+	for p.inflight > 0 && p.c.fr.buffered() {
+		v, err := p.c.Recv()
+		if err != nil {
+			return id, p.buf, err
+		}
+		p.inflight--
+		p.buf = append(p.buf, v)
+	}
+	return id, p.buf, nil
+}
+
+// Drain flushes queued requests and reaps every outstanding verdict,
+// appending them to dst (which may be nil). After Drain the window is empty.
+func (p *Pipeline) Drain(dst []Verdict) ([]Verdict, error) {
+	if err := p.c.Flush(); err != nil {
+		return dst, err
+	}
+	for p.inflight > 0 {
+		v, err := p.c.Recv()
+		if err != nil {
+			return dst, err
+		}
+		p.inflight--
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
 // Stats fetches the server's counter snapshot.
 func (c *Client) Stats() (Stats, error) {
 	if err := writeFrame(c.bw, []byte{msgStats}); err != nil {
@@ -138,11 +252,10 @@ func (c *Client) Stats() (Stats, error) {
 	if err := c.bw.Flush(); err != nil {
 		return Stats{}, err
 	}
-	body, err := readFrame(c.br, c.rbuf)
+	body, err := c.fr.next()
 	if err != nil {
 		return Stats{}, err
 	}
-	c.rbuf = body[:cap(body)]
 	return parseStatsResp(body)
 }
 
@@ -160,10 +273,9 @@ func (c *Client) Swap(m *core.Model) (uint32, error) {
 	if err := c.bw.Flush(); err != nil {
 		return 0, err
 	}
-	body, err := readFrame(c.br, c.rbuf)
+	body, err := c.fr.next()
 	if err != nil {
 		return 0, err
 	}
-	c.rbuf = body[:cap(body)]
 	return parseSwapResp(body)
 }

@@ -42,30 +42,62 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 2, msgSwapResp, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Differential pass: the zero-copy frameReader must yield the same
+		// frame sequence as the copying readFrame over the same stream, the
+		// in-place decode must not alias the read buffer past the parse, and
+		// the pooled response encoder must never over-allocate no matter what
+		// mix of responses the stream provokes.
+		fr := newFrameReader(bytes.NewReader(data))
 		r := bytes.NewReader(data)
 		buf := make([]byte, 64)
+		w := newSinkWriter(io.Discard)
 		for {
+			zc, zerr := fr.next()
 			body, err := readFrame(r, buf)
+			if (zerr == nil) != (err == nil) {
+				t.Fatalf("frameReader/readFrame disagree: %v vs %v", zerr, err)
+			}
 			if err != nil {
 				// Every failure mode must be a clean error: end of input,
 				// a truncated read, or a typed frame error — never a
 				// panic, and never an attempt to allocate the claimed
-				// length (readFrame bounds it by MaxFrame first).
-				if err != io.EOF && !errors.Is(err, ErrFrame) && !errors.Is(err, io.ErrUnexpectedEOF) {
-					t.Fatalf("unexpected error type: %v", err)
+				// length (both readers bound it by MaxFrame first).
+				for _, e := range []error{err, zerr} {
+					if e != io.EOF && !errors.Is(e, ErrFrame) && !errors.Is(e, io.ErrUnexpectedEOF) {
+						t.Fatalf("unexpected error type: %v", e)
+					}
 				}
-				return
+				// Clean close must stay distinguishable in both readers.
+				if (zerr == io.EOF) != (err == io.EOF) {
+					t.Fatalf("EOF classification disagrees: %v vs %v", zerr, err)
+				}
+				break
 			}
 			if len(body) == 0 || len(body) > MaxFrame {
 				t.Fatalf("readFrame returned %d-byte body", len(body))
 			}
+			if !bytes.Equal(zc, body) {
+				t.Fatalf("frameReader body %x != readFrame body %x", zc, body)
+			}
 			buf = body[:cap(body)]
-			// Parsers must never panic on arbitrary bodies.
-			if dec, err := parseDecide(body); err == nil {
+			// Parsers must never panic on arbitrary bodies. Parse from the
+			// zero-copy body — it aliases the read buffer, exactly like the
+			// server's dispatch path.
+			if dec, err := parseDecide(zc); err == nil {
 				// Accepted bodies must re-encode to the identical frame.
-				if got := appendDecide(nil, dec); !bytes.Equal(got, body) {
-					t.Fatalf("decide round trip: %x != %x", got, body)
+				want := appendDecide(nil, dec)
+				if !bytes.Equal(want, body) {
+					t.Fatalf("decide round trip: %x != %x", want, body)
 				}
+				// Clobber the shared read buffer after the decode: the parsed
+				// request must be a full copy, unaffected by buffer reuse.
+				for i := range zc {
+					zc[i] ^= 0xff
+				}
+				if got := appendDecide(nil, dec); !bytes.Equal(got, want) {
+					t.Fatal("parsed decide aliases the read buffer")
+				}
+				w.decideResp(dec.id, true, 0, 1)
 			}
 			if c, err := parseComplete(body); err == nil {
 				if got := appendComplete(nil, c); !bytes.Equal(got, body) {
@@ -74,9 +106,36 @@ func FuzzWireCodec(f *testing.F) {
 			}
 			_, _ = parseDecideResp(body)
 			_, _ = parseSwapResp(body)
-			_, _ = parseStatsResp(body)
+			if _, err := parseStatsResp(body); err == nil {
+				// Echo accepted control payloads through the pooled encoder.
+				w.control(msgStatsResp, body[1:])
+			}
 		}
+		w.flush()
+		checkWriterBounds(t, w)
 	})
+}
+
+// checkWriterBounds asserts the pooled-encoder invariants: every recycled
+// buffer keeps its fixed respBufSize capacity (chunked control payloads may
+// never inflate one), the freelist honors its bound, and a flush leaves
+// nothing pending.
+func checkWriterBounds(t *testing.T, w *connWriter) {
+	t.Helper()
+	if cap(w.cur) != respBufSize {
+		t.Fatalf("open buffer cap %d, want %d", cap(w.cur), respBufSize)
+	}
+	if len(w.free) > respFreeMax {
+		t.Fatalf("freelist holds %d buffers, bound is %d", len(w.free), respFreeMax)
+	}
+	for i, b := range w.free {
+		if cap(b) != respBufSize {
+			t.Fatalf("freelist buffer %d cap %d, want %d", i, cap(b), respBufSize)
+		}
+	}
+	if len(w.pend) != 0 {
+		t.Fatalf("%d buffers still pending after flush", len(w.pend))
+	}
 }
 
 // TestWireFrameBounds pins the explicit limits of the codec.

@@ -226,6 +226,52 @@ func (r *ResilientClient) Decide(device uint32, queueLen int, size int32) Verdic
 	return Verdict{ID: id, Admit: true, Flags: FlagLocal}
 }
 
+// Submit is the windowed async counterpart of Decide: it queues one decide
+// under an in-flight window and, when the window is full, flushes and reaps
+// exactly one verdict (reaped=true). The fail-open contract is unchanged —
+// a full window, a dead wire, or a mid-flight failure resolves decides to
+// FlagLocal admits, and those surface through the same reap path as remote
+// verdicts — so a caller looping over Submit plus a final Drain sees every
+// id it ever submitted, exactly once, wire or no wire.
+//
+// window is clamped to [1, MaxInflight]; ids come from the same internal
+// sequence Decide uses (don't mix with caller-owned Send ids).
+func (r *ResilientClient) Submit(window int, device uint32, queueLen int, size int32) (id uint64, v Verdict, reaped bool) {
+	if window < 1 {
+		window = 1
+	}
+	if m := r.cfg.maxInflight(); window > m {
+		window = m
+	}
+	id = r.seq
+	r.seq++
+	_ = r.Send(id, device, queueLen, size)
+	if r.Pending() < window {
+		return id, Verdict{}, false
+	}
+	_ = r.Flush()
+	got, err := r.Recv()
+	if err != nil {
+		return id, Verdict{}, false
+	}
+	return id, got, true
+}
+
+// Drain flushes and resolves every outstanding decide, appending the
+// verdicts (remote or local fail-open) to dst. It cannot error: a wire
+// failure mid-drain converts the remaining in-flight ids to local admits.
+func (r *ResilientClient) Drain(dst []Verdict) []Verdict {
+	_ = r.Flush()
+	for r.Pending() > 0 {
+		v, err := r.Recv()
+		if err != nil {
+			break // nothing outstanding (Pending raced a compaction)
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
 // Complete reports one finished I/O (buffered until the next Flush, like
 // Client.Complete). Completions are advisory feature updates, so a dead
 // wire drops them — counted, never blocking.

@@ -219,7 +219,10 @@ func TestGracefulDrain(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	m := testModel(t, 33, 4)
-	srv := NewServer(m, Config{})
+	// GroupTimeout far above the test's runtime: the shutdown drain, not the
+	// group-timeout flush, must be what resolves the held members (under
+	// parallel-suite CPU load the 2ms default could win that race).
+	srv := NewServer(m, Config{GroupTimeout: time.Minute})
 	addr := "unix:" + filepath.Join(t.TempDir(), "drain.sock")
 	l, err := Listen(addr)
 	if err != nil {

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -40,6 +39,19 @@ type Config struct {
 	// flushes partial groups; group membership itself is sequence-based and
 	// deterministic.
 	GroupTimeout time.Duration
+
+	// AdaptiveBatch enables the per-shard micro-batch controller: a
+	// decision-count-driven feedback loop that widens the effective batch
+	// window and size (up to BatchWindowMax/MaxBatch) under sustained queue
+	// pressure and narrows them when the queue drains. Shapes change;
+	// verdicts never do.
+	AdaptiveBatch bool
+	// BatchWindowMax caps how far the controller may widen the gather
+	// window (default 8×BatchWindow, or 500µs when BatchWindow is 0).
+	BatchWindowMax time.Duration
+	// AdaptPeriod is how many decisions the controller observes between
+	// steps of its level ladder (default 256).
+	AdaptPeriod int
 
 	// BreakerWindow is the per-shard decision window for shed-rate trip
 	// checks (default 256; negative disables the breaker).
@@ -100,6 +112,23 @@ func (c Config) groupTimeout() time.Duration {
 		return c.GroupTimeout
 	}
 	return 2 * time.Millisecond
+}
+
+func (c Config) batchWindowMax() time.Duration {
+	if c.BatchWindowMax > 0 {
+		return c.BatchWindowMax
+	}
+	if c.BatchWindow > 0 {
+		return 8 * c.BatchWindow
+	}
+	return 500 * time.Microsecond
+}
+
+func (c Config) adaptPeriod() int {
+	if c.AdaptPeriod > 0 {
+		return c.AdaptPeriod
+	}
+	return 256
 }
 
 func (c Config) breakerWindow() int {
@@ -188,9 +217,10 @@ func NewServer(m *core.Model, cfg Config) *Server {
 	for i := 0; i < cfg.shards(); i++ {
 		sh := &shard{
 			srv:  s,
-			q:    make(chan *request, cfg.queueLen()),
+			q:    make(chan request, cfg.queueLen()),
 			devs: make(map[uint32]*deviceState),
 		}
+		sh.ctl.init(cfg)
 		if len(cfg.DriftRef) > 0 {
 			sh.det = drift.NewInputDetector(cfg.DriftRef, cfg.driftBins())
 		}
@@ -348,8 +378,10 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
-// request is one routed message. Pooled: the worker returns it after
-// answering so steady-state traffic allocates nothing per request.
+// request is one routed message. It travels the shard queue by value — the
+// channel send copies the struct — so steady-state traffic needs no pool and
+// no allocation per request, and request lifetime can never depend on
+// sync.Pool's GC-coupled reuse order.
 type request struct {
 	kind uint8 // msgDecide or msgComplete
 	dec  decideRequest
@@ -357,8 +389,6 @@ type request struct {
 	enq  int64 // Server.now() at enqueue
 	out  *connWriter
 }
-
-var reqPool = sync.Pool{New: func() interface{} { return new(request) }}
 
 // device returns the request's routing key.
 func (r *request) device() uint32 {
@@ -394,86 +424,117 @@ func (s *Server) handleConn(c net.Conn) {
 // to the owning shard; stats and swap are answered inline (they are not
 // hot). io.EOF is the clean-close return.
 //
+// The read loop is syscall-frugal: one blocking read pulls whatever the
+// peer has sent into the bufio buffer, then the drain loop parses every
+// fully-buffered frame in place (zero-copy — bodies alias the read buffer
+// and the fixed-width fields are copied out before the buffer is reused)
+// without touching the socket again. Responses produced inline during the
+// drain (queue-full sheds, stats, swap acks) coalesce in the writer and go
+// out in one vectored flush per drain.
+//
 //heimdall:walltime
 func (s *Server) serveConn(c net.Conn) error {
-	br := bufio.NewReader(c)
+	fr := newFrameReader(c)
 	cw := newConnWriter(c, s.cfg.WriteTimeout, &s.writeDrops)
-	buf := make([]byte, 256)
-	nshards := uint32(len(s.shards))
 	rt := s.cfg.ReadTimeout
 	for {
 		if rt > 0 {
 			_ = c.SetReadDeadline(time.Now().Add(rt))
 		}
-		body, err := readFrame(br, buf)
+		body, err := fr.next() // likely one read syscall
 		if err != nil {
 			return err
 		}
-		buf = body[:cap(body)]
-		switch body[0] {
-		case msgDecide:
-			dec, err := parseDecide(body)
-			if err != nil {
+		for {
+			if err := s.dispatch(body, cw); err != nil {
 				return err
 			}
-			sh := s.shards[dec.device%nshards]
-			r := reqPool.Get().(*request)
-			r.kind, r.dec, r.enq, r.out = msgDecide, dec, s.now(), cw
-			select {
-			case sh.q <- r:
-			default:
-				// Queue full: fail open immediately so the I/O proceeds.
-				reqPool.Put(r)
-				sh.cnt.sheds.Add(1)
-				sh.cnt.admits.Add(1)
-				cw.decideResp(dec.id, true, FlagShed, s.model.Load().version)
-				cw.flush()
+			if !fr.buffered() {
+				break
 			}
-		case msgComplete:
-			comp, err := parseComplete(body)
-			if err != nil {
+			if body, err = fr.next(); err != nil {
 				return err
 			}
-			r := reqPool.Get().(*request)
-			r.kind, r.comp, r.out = msgComplete, comp, cw
-			// Completions feed the feature history and are never shed —
-			// dropping one would fork the tracker from the client's view.
-			// The blocking send is backpressure on this connection only.
-			s.shards[comp.device%nshards].q <- r
-		case msgStats:
-			payload, err := json.Marshal(s.Stats())
-			if err != nil {
-				return err
-			}
-			frame := make([]byte, 0, 1+len(payload))
-			frame = append(frame, msgStatsResp)
-			frame = append(frame, payload...)
-			if !cw.frameAndFlush(frame) {
-				return cw.sticky()
-			}
-		case msgSwap:
-			resp := []byte{msgSwapResp, 1, 0, 0, 0, 0}
-			m, err := core.Load(bytes.NewReader(body[1:]))
-			var v uint32
-			if err != nil {
-				resp[1] = 0
-				resp = append(resp, err.Error()...)
-			} else {
-				v = s.Swap(m)
-			}
-			resp[2] = byte(v >> 24)
-			resp[3] = byte(v >> 16)
-			resp[4] = byte(v >> 8)
-			resp[5] = byte(v)
-			if !cw.frameAndFlush(resp) {
-				return cw.sticky()
-			}
-		default:
-			// Unknown message type: protocol error, drop the conn.
-			return fmt.Errorf("%w: unknown message type %#x", ErrFrame, body[0])
 		}
+		cw.flush()
 	}
 }
+
+// dispatch routes one parsed frame body. The body may alias the connection's
+// read buffer: every field a message needs is copied into the value-typed
+// request before dispatch returns, so nothing outlives the buffer's reuse.
+func (s *Server) dispatch(body []byte, cw *connWriter) error {
+	nshards := uint32(len(s.shards))
+	switch body[0] {
+	case msgDecide:
+		dec, err := parseDecide(body)
+		if err != nil {
+			return err
+		}
+		sh := s.shards[dec.device%nshards]
+		select {
+		case sh.q <- request{kind: msgDecide, dec: dec, enq: s.now(), out: cw}:
+		default:
+			// Queue full: fail open immediately so the I/O proceeds. The
+			// response coalesces with the rest of the drain's answers and is
+			// flushed by the read loop.
+			sh.cnt.sheds.Add(1)
+			sh.cnt.admits.Add(1)
+			cw.decideResp(dec.id, true, FlagShed, s.model.Load().version)
+		}
+	case msgComplete:
+		comp, err := parseComplete(body)
+		if err != nil {
+			return err
+		}
+		// Completions feed the feature history and are never shed —
+		// dropping one would fork the tracker from the client's view.
+		// The blocking send is backpressure on this connection only.
+		s.shards[comp.device%nshards].q <- request{kind: msgComplete, comp: comp, out: cw}
+	case msgStats:
+		payload, err := json.Marshal(s.Stats())
+		if err != nil {
+			return err
+		}
+		// The frame itself goes through the pooled encoder: only the JSON
+		// payload allocates, never the framing.
+		if !cw.control(msgStatsResp, payload) {
+			return cw.sticky()
+		}
+	case msgSwap:
+		var scratch [5]byte
+		resp := scratch[:]
+		resp[0] = 1
+		m, err := core.Load(bytes.NewReader(body[1:]))
+		var v uint32
+		if err != nil {
+			resp[0] = 0
+			resp = append(resp, err.Error()...)
+		} else {
+			v = s.Swap(m)
+		}
+		resp[1] = byte(v >> 24)
+		resp[2] = byte(v >> 16)
+		resp[3] = byte(v >> 8)
+		resp[4] = byte(v)
+		if !cw.control(msgSwapResp, resp) {
+			return cw.sticky()
+		}
+	default:
+		// Unknown message type: protocol error, drop the conn.
+		return fmt.Errorf("%w: unknown message type %#x", ErrFrame, body[0])
+	}
+	return nil
+}
+
+// Response-buffer pooling bounds. respBufSize coalesces a whole micro-batch
+// of decide responses (23 bytes each) into one buffer — one Write syscall;
+// only a larger-than-4KiB burst spills into further buffers and a vectored
+// write. respFreeMax caps how many recycled buffers one connection retains.
+const (
+	respBufSize = 4096
+	respFreeMax = 16
+)
 
 // connWriter serializes response writes to one connection. Shard workers
 // and the connection's reader both answer through it; the mutex is the only
@@ -481,18 +542,54 @@ func (s *Server) serveConn(c net.Conn) error {
 // write fails the peer is shed — counted, its socket closed so the reader
 // wakes — and later writes no-op. With a write timeout armed, a worker
 // blocks on a slow peer for at most that long, never indefinitely.
+//
+// Encoding is zero-copy out: responses are encoded directly into recycled
+// coalescing buffers from a per-connection freelist (deterministic LIFO —
+// no sync.Pool, so buffer reuse order never depends on GC timing), and a
+// flush pushes every sealed buffer with one vectored write (net.Buffers →
+// writev on TCP/unix conns) then recycles them.
 type connWriter struct {
 	mu      sync.Mutex
-	c       net.Conn // nil in tests that write to a plain buffer
-	bw      *bufio.Writer
+	c       net.Conn  // nil in tests that write to a plain io.Writer
+	w       io.Writer // flush target when c is nil
+	cur     []byte    // open coalescing buffer; responses append here
+	pend    [][]byte  // sealed buffers awaiting the vectored flush
+	free    [][]byte  // LIFO freelist of recycled buffers
+	vec     net.Buffers
 	timeout time.Duration // per-write deadline; 0 = unbounded
 	drops   *atomic.Uint64
 	err     error
-	buf     [32]byte
 }
 
 func newConnWriter(c net.Conn, timeout time.Duration, drops *atomic.Uint64) *connWriter {
-	return &connWriter{c: c, bw: bufio.NewWriter(c), timeout: timeout, drops: drops}
+	return &connWriter{c: c, cur: make([]byte, 0, respBufSize), timeout: timeout, drops: drops}
+}
+
+// newSinkWriter builds a connWriter draining into w — the test harness
+// constructor (alloc pins, fuzz) where no socket exists.
+func newSinkWriter(w io.Writer) *connWriter {
+	return &connWriter{w: w, cur: make([]byte, 0, respBufSize)}
+}
+
+// ensureLocked makes room for n more bytes in the open buffer, sealing it
+// onto the pending list and recycling (or growing) as needed. n must be
+// ≤ respBufSize. Called with mu held.
+//
+//heimdall:hotpath
+func (w *connWriter) ensureLocked(n int) {
+	if cap(w.cur)-len(w.cur) >= n {
+		return
+	}
+	if len(w.cur) > 0 {
+		w.pend = append(w.pend, w.cur)
+		w.cur = nil
+	}
+	if k := len(w.free); k > 0 {
+		w.cur = w.free[k-1]
+		w.free = w.free[:k-1]
+		return
+	}
+	w.cur = make([]byte, 0, respBufSize)
 }
 
 // arm starts the write-deadline clock for the next write. Called with mu
@@ -523,14 +620,18 @@ func (w *connWriter) sticky() error {
 	return w.err
 }
 
-// decideResp encodes and buffers one decide response. The frame is built in
-// the writer's fixed scratch, so steady state allocates nothing.
+// decideResp encodes and buffers one decide response. The frame is written
+// directly into the open recycled buffer — no intermediate scratch, no copy,
+// no allocation in steady state.
 //
 //heimdall:hotpath
 func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint32) {
 	w.mu.Lock()
 	if w.err == nil {
-		b := &w.buf
+		w.ensureLocked(4 + decideRespLen)
+		off := len(w.cur)
+		w.cur = w.cur[:off+4+decideRespLen]
+		b := w.cur[off:]
 		b[0], b[1], b[2], b[3] = 0, 0, 0, decideRespLen
 		b[4] = msgDecideResp
 		b[5] = byte(id >> 56)
@@ -550,42 +651,101 @@ func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint
 		b[16] = byte(version >> 16)
 		b[17] = byte(version >> 8)
 		b[18] = byte(version)
-		w.arm()
-		_, w.err = w.bw.Write(b[:4+decideRespLen])
-		if w.err != nil {
-			w.shedLocked()
-		}
 	}
 	w.mu.Unlock()
 }
 
-// frameAndFlush writes a full control-plane frame and flushes. Reports
-// whether the writer is still healthy.
-func (w *connWriter) frameAndFlush(body []byte) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.err != nil {
+// control encodes one control-plane frame (type byte + payload) into the
+// recycled buffers and flushes. The payload is copied — it may alias the
+// caller's scratch — chunked across buffers so every pooled buffer keeps its
+// fixed size. Reports whether the writer is still healthy.
+//
+//heimdall:hotpath
+func (w *connWriter) control(typ byte, payload []byte) bool {
+	if 1+len(payload) > MaxFrame {
 		return false
 	}
-	w.arm()
-	w.err = writeFrame(w.bw, body)
-	if w.err == nil {
-		w.err = w.bw.Flush()
-	}
+	w.mu.Lock()
 	if w.err != nil {
-		w.shedLocked()
+		w.mu.Unlock()
+		return false
 	}
-	return w.err == nil
+	n := 1 + len(payload)
+	w.ensureLocked(5)
+	off := len(w.cur)
+	w.cur = w.cur[:off+5]
+	b := w.cur[off:]
+	b[0] = byte(n >> 24)
+	b[1] = byte(n >> 16)
+	b[2] = byte(n >> 8)
+	b[3] = byte(n)
+	b[4] = typ
+	for len(payload) > 0 {
+		w.ensureLocked(1)
+		space := cap(w.cur) - len(w.cur)
+		if space > len(payload) {
+			space = len(payload)
+		}
+		w.cur = append(w.cur, payload[:space]...)
+		payload = payload[space:]
+	}
+	w.flushLocked()
+	ok := w.err == nil
+	w.mu.Unlock()
+	return ok
 }
 
-// flush pushes buffered responses to the socket.
+// flush pushes buffered responses to the socket in one vectored write.
 func (w *connWriter) flush() {
 	w.mu.Lock()
 	if w.err == nil {
-		w.arm()
-		if w.err = w.bw.Flush(); w.err != nil {
-			w.shedLocked()
-		}
+		w.flushLocked()
 	}
 	w.mu.Unlock()
+}
+
+// flushLocked seals the open buffer and writes everything pending with a
+// single vectored write (writev on real conns), then recycles the buffers
+// onto the freelist. Called with mu held.
+//
+//heimdall:hotpath
+func (w *connWriter) flushLocked() {
+	if len(w.cur) > 0 {
+		w.pend = append(w.pend, w.cur)
+		w.cur = nil
+	}
+	if len(w.pend) == 0 {
+		return
+	}
+	w.arm()
+	if w.c != nil {
+		// Build the vectored view in reusable scratch; WriteTo consumes a
+		// copy of the header, so w.vec keeps its capacity across flushes.
+		w.vec = append(w.vec[:0], w.pend...)
+		bufs := w.vec
+		_, w.err = bufs.WriteTo(w.c)
+		w.vec = w.vec[:0]
+	} else {
+		for _, b := range w.pend {
+			if _, w.err = w.w.Write(b); w.err != nil {
+				break
+			}
+		}
+	}
+	if w.err != nil {
+		w.shedLocked()
+		w.pend = w.pend[:0]
+		w.ensureLocked(1)
+		return
+	}
+	// Recycle: sealed buffers return to the LIFO freelist (bounded), and the
+	// open buffer is restocked from it so the next batch starts warm.
+	for i, b := range w.pend {
+		if len(w.free) < respFreeMax {
+			w.free = append(w.free, b[:0])
+		}
+		w.pend[i] = nil
+	}
+	w.pend = w.pend[:0]
+	w.ensureLocked(1)
 }

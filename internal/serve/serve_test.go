@@ -364,12 +364,15 @@ func TestHotSwap(t *testing.T) {
 
 // TestShedAndBreaker forces the degraded paths: an impossible 1ns budget
 // deadline-sheds every queued request, which fails open (admit) and trips
-// the shard breaker into answering without inference.
+// the shard breaker into answering without inference. The queue is deep
+// enough that requests actually reach the worker — the batch-drain reader
+// would otherwise queue-full-shed nearly everything before the breaker gets
+// a decision to answer.
 func TestShedAndBreaker(t *testing.T) {
 	m := testModel(t, 24, 1)
 	m.SetThreshold(-1) // a working forward pass would DECLINE everything
 	srv := NewServer(m, Config{
-		Shards: 1, QueueLen: 8, Budget: time.Nanosecond,
+		Shards: 1, QueueLen: 1024, Budget: time.Nanosecond,
 		BreakerWindow: 8, Cooldown: 16, Probes: 2,
 	})
 	addr := startServer(t, srv)

@@ -44,14 +44,16 @@ type pendingInf struct {
 
 // shard owns a partition of the device space: a bounded queue, the
 // per-device state, one model scratch, and a breaker. All fields except
-// the queue and counters are worker-private.
+// the queue and counters are worker-private. Requests travel the queue by
+// value, so the datapath needs no request pool.
 type shard struct {
 	srv  *Server
-	q    chan *request
+	q    chan request
 	devs map[uint32]*deviceState
 	cnt  counters
+	ctl  batchController
 
-	batch   []*request
+	batch   []request
 	touched []*connWriter
 
 	// Batched-decide staging: requests that survive the breaker and
@@ -96,21 +98,22 @@ func (sh *shard) shedTotal() uint64 {
 	return sh.cnt.sheds.Load() + sh.cnt.deadline.Load()
 }
 
-// run is the shard worker: block for one request, optionally linger
-// BatchWindow, drain up to MaxBatch, then decide the whole batch against
-// one atomic model load. Wall-clock use is audited: the batch window and
-// queue-age deadlines are real serving time, not simulation time.
+// run is the shard worker: block for one request, drain the backlog up to
+// the controller's batch cap, linger the gather window only if that drain
+// came up shallow, then decide the whole batch against one atomic model
+// load. Wall-clock use is
+// audited: the batch window and queue-age deadlines are real serving time,
+// not simulation time — the adaptive controller itself never reads a clock
+// (it is driven purely by decision counts and queue occupancy).
 //
 //heimdall:walltime
 func (sh *shard) run() {
 	defer sh.srv.wgWorkers.Done()
 	cfg := sh.srv.cfg
-	window := cfg.BatchWindow
-	maxBatch := cfg.maxBatch()
 	groupTimeout := int64(cfg.groupTimeout())
 	var timer *time.Timer
 	for {
-		var r *request
+		var r request
 		var ok bool
 		if sh.deferred > 0 {
 			if timer == nil {
@@ -135,37 +138,36 @@ func (sh *shard) run() {
 			sh.shutdown()
 			return
 		}
+		maxBatch := sh.ctl.batchCap()
 		sh.batch = append(sh.batch[:0], r)
-		if window > 0 {
+		sh.gather(maxBatch)
+		// Linger only when the first drain came up shallow: under sustained
+		// load the backlog itself is the batching mechanism, and sleeping
+		// with work queued would cap throughput at one batch per window.
+		// Lingering pays only when arrivals trickle in below the
+		// amortization floor — then one window of patience turns several
+		// wakeups into one forward pass.
+		if window := sh.ctl.window(); window > 0 && len(sh.batch) < sh.ctl.gatherFloor(maxBatch) {
 			time.Sleep(window)
-		}
-	drain:
-		for len(sh.batch) < maxBatch {
-			select {
-			case more, open := <-sh.q:
-				if !open {
-					break drain // next blocking receive triggers shutdown
-				}
-				sh.batch = append(sh.batch, more)
-			default:
-				break drain
-			}
+			sh.gather(maxBatch)
 		}
 		sm := sh.srv.model.Load()
 		if sm != sh.scrFor {
-			sh.scr = sm.m.NewBatchScratch(maxBatch)
+			// Scratch is sized to the configured ceiling, not the adaptive
+			// cap, so narrowing and re-widening never reallocates it.
+			sh.scr = sm.m.NewBatchScratch(cfg.maxBatch())
 			sh.scrFor = sm
 		}
 		now := sh.srv.now()
-		for _, r := range sh.batch {
-			sh.process(sm, r, now)
-			reqPool.Put(r)
+		for i := range sh.batch {
+			sh.process(sm, &sh.batch[i], now)
 		}
 		sh.decideStaged(sm)
 		sh.cnt.observeBatch(len(sh.batch))
 		sh.cnt.held.Store(int64(sh.deferred))
+		sh.adapt(len(sh.batch), maxBatch, len(sh.q))
 		for i := range sh.batch {
-			sh.batch[i] = nil
+			sh.batch[i] = request{} // drop conn references
 		}
 		for i, w := range sh.touched {
 			w.flush()
@@ -177,6 +179,39 @@ func (sh *shard) run() {
 			sh.detPub = sh.detN
 		}
 	}
+}
+
+// gather drains queued requests into the batch, up to maxBatch, without
+// blocking. A closed queue just stops the drain; the next blocking receive
+// in run observes the close and triggers shutdown.
+//
+//heimdall:hotpath
+func (sh *shard) gather(maxBatch int) {
+	for len(sh.batch) < maxBatch {
+		select {
+		case more, open := <-sh.q:
+			if !open {
+				return
+			}
+			sh.batch = append(sh.batch, more)
+		default:
+			return
+		}
+	}
+}
+
+// adapt feeds one drained batch into the controller and publishes any shape
+// change to the counters.
+//
+//heimdall:hotpath
+func (sh *shard) adapt(fill, batchCap, backlog int) {
+	switch sh.ctl.observe(fill, batchCap, backlog) {
+	case adaptWiden:
+		sh.cnt.widens.Add(1)
+	case adaptNarrow:
+		sh.cnt.narrows.Add(1)
+	}
+	sh.cnt.adaptLevel.Store(int64(sh.ctl.level))
 }
 
 // process handles one routed request: completions feed the device history;
@@ -439,8 +474,7 @@ func (sh *shard) shutdown() {
 		if r.kind == msgDecide {
 			sh.srv.drained.Add(1)
 		}
-		sh.process(sm, r, now)
-		reqPool.Put(r)
+		sh.process(sm, &r, now)
 		if len(sh.infs) >= maxBatch {
 			sh.decideStaged(sm)
 		}
@@ -458,4 +492,127 @@ func (sh *shard) shutdown() {
 	}
 	sh.touched = sh.touched[:0]
 	sh.cnt.held.Store(0)
+}
+
+// Controller step outcomes, published to the widens/narrows counters.
+const (
+	adaptHold = iota
+	adaptWiden
+	adaptNarrow
+)
+
+// batchController adapts the shard's effective micro-batch shape to load.
+// It is decision-count-driven: each drained batch reports its fill, the cap
+// it ran under, and the queue backlog left behind; every AdaptPeriod
+// decisions the controller steps a discrete level ladder — up when most
+// batches in the period ran pressured (hit the cap or left a backlog), down
+// when none did. Level L maps to (batch cap minBatch<<L, window interpolated
+// toward BatchWindowMax), so sustained pressure widens the window and batch
+// bound to amortize wakeups and forward passes, and a drained queue narrows
+// them back for latency. No wall-clock reads anywhere (the walltime lint
+// holds): the sleep itself happens in run, an audited site, and how long to
+// sleep is a pure function of the observed decision sequence. Batch shape
+// never affects verdicts — group membership and feature history depend only
+// on per-device message order — so any controller trajectory yields
+// byte-identical decisions (pinned by TestServeDeterminism).
+type batchController struct {
+	enabled            bool
+	level, maxLevel    int
+	minBatch, maxBatch int
+	baseWindow         time.Duration
+	maxWindow          time.Duration
+	period             int // decisions per controller step
+	decided            int // decisions accumulated toward the next step
+	batches            int // batches observed in the current period
+	pressured          int // of those, how many ran pressured
+}
+
+func (bc *batchController) init(cfg Config) {
+	bc.enabled = cfg.AdaptiveBatch
+	bc.maxBatch = cfg.maxBatch()
+	bc.minBatch = adaptMinBatch
+	if bc.minBatch > bc.maxBatch {
+		bc.minBatch = bc.maxBatch
+	}
+	for bc.minBatch<<bc.maxLevel < bc.maxBatch {
+		bc.maxLevel++
+	}
+	bc.baseWindow = cfg.BatchWindow
+	bc.maxWindow = cfg.batchWindowMax()
+	bc.period = cfg.adaptPeriod()
+}
+
+// adaptMinBatch is the level-0 batch cap under the adaptive controller: small
+// enough that an idle shard decides almost immediately, large enough that the
+// first widening step is meaningful.
+const adaptMinBatch = 8
+
+// batchCap returns the effective per-wakeup batch bound.
+//
+//heimdall:hotpath
+func (bc *batchController) batchCap() int {
+	if !bc.enabled {
+		return bc.maxBatch
+	}
+	c := bc.minBatch << bc.level
+	if c > bc.maxBatch {
+		c = bc.maxBatch
+	}
+	return c
+}
+
+// window returns the effective micro-batch gather window.
+//
+//heimdall:hotpath
+func (bc *batchController) window() time.Duration {
+	if !bc.enabled || bc.level == 0 || bc.maxLevel == 0 {
+		return bc.baseWindow
+	}
+	return bc.baseWindow + (bc.maxWindow-bc.baseWindow)*time.Duration(bc.level)/time.Duration(bc.maxLevel)
+}
+
+// gatherFloor is the batch fill below which the worker lingers for the
+// gather window before deciding. A fixed window (controller disabled)
+// lingers whenever the batch isn't full — the window is an explicit
+// latency-for-amortization trade the operator asked for. The adaptive
+// controller lingers only below its level-0 cap: a first drain that already
+// gathered that much has amortized the wakeup, and sleeping on top of a
+// live backlog would throttle the shard to one batch per window.
+//
+//heimdall:hotpath
+func (bc *batchController) gatherFloor(batchCap int) int {
+	if !bc.enabled {
+		return batchCap
+	}
+	return bc.minBatch
+}
+
+// observe feeds one drained batch into the controller and returns the step
+// taken, if any. Pure arithmetic on counts — deterministic given the same
+// observation sequence.
+//
+//heimdall:hotpath
+func (bc *batchController) observe(fill, batchCap, backlog int) int {
+	if !bc.enabled {
+		return adaptHold
+	}
+	bc.batches++
+	bc.decided += fill
+	if fill >= batchCap || backlog > 0 {
+		bc.pressured++
+	}
+	if bc.decided < bc.period {
+		return adaptHold
+	}
+	pressured, batches := bc.pressured, bc.batches
+	bc.decided, bc.batches, bc.pressured = 0, 0, 0
+	switch {
+	case 2*pressured > batches && bc.level < bc.maxLevel:
+		bc.level++
+		return adaptWiden
+	case pressured == 0 && bc.level > 0:
+		bc.level--
+		return adaptNarrow
+	}
+	return adaptHold
 }

@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -112,6 +113,112 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: truncated body (%v)", ErrFrame, err)
 	}
 	return body, nil
+}
+
+// Static frame errors for the zero-copy decode path: frameReader.next is a
+// //heimdall:hotpath function, so its failure returns must not format.
+// Detail-free is the price of format-free; the values carry ErrFrame so
+// callers' errors.Is checks see the same sentinel readFrame wraps.
+var (
+	errFrameLength    = fmt.Errorf("%w: length out of bounds", ErrFrame)
+	errFrameTruncated = fmt.Errorf("%w: truncated body", ErrFrame)
+)
+
+// frameBufSize is the frameReader's bufio buffer: big enough that a full
+// micro-batch of decide frames (tens of bytes each) is parsed out of one
+// read syscall, small enough to keep per-connection memory trivial.
+const frameBufSize = 32 * 1024
+
+// frameReader drains length-prefixed frames straight out of a bufio read
+// buffer. The returned body aliases the reader's internal buffer — no copy
+// into a side buffer — and is valid only until the next call, which first
+// discards the previous frame's bytes. Frames larger than the buffer
+// (model swaps) spill into an owned scratch slice, reused across frames.
+type frameReader struct {
+	br      *bufio.Reader
+	scratch []byte
+	pending int // bytes of the previously returned frame to Discard
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, frameBufSize)}
+}
+
+// next returns the next frame body, zero-copy when it fits the read buffer.
+// The body is invalidated by the following next call. io.EOF between frames
+// is the clean-close return, exactly like readFrame.
+//
+//heimdall:hotpath
+func (fr *frameReader) next() ([]byte, error) {
+	if fr.pending > 0 {
+		if _, err := fr.br.Discard(fr.pending); err != nil {
+			return nil, err
+		}
+		fr.pending = 0
+	}
+	hdr, err := fr.br.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	if n <= 0 || n > MaxFrame {
+		return nil, errFrameLength
+	}
+	if 4+n <= fr.br.Size() {
+		body, err := fr.br.Peek(4 + n)
+		if err != nil {
+			if err == io.EOF {
+				return nil, errFrameTruncated
+			}
+			return nil, err
+		}
+		fr.pending = 4 + n
+		return body[4:], nil
+	}
+	return fr.spill(n)
+}
+
+// spill handles a frame too large for the read buffer: copy it into the
+// reader's own scratch. Cold (only model swaps exceed frameBufSize), so it
+// may use the interface-taking stdlib helpers the hot path avoids.
+func (fr *frameReader) spill(n int) ([]byte, error) {
+	if _, err := fr.br.Discard(4); err != nil {
+		return nil, err
+	}
+	if cap(fr.scratch) < n {
+		fr.scratch = make([]byte, n)
+	}
+	body := fr.scratch[:n]
+	if _, err := io.ReadFull(fr.br, body); err != nil {
+		return nil, errFrameTruncated
+	}
+	return body, nil
+}
+
+// buffered reports whether a complete frame is already sitting in the read
+// buffer, so the caller can parse it without another read syscall. A
+// buffered-but-malformed length also reports true: next() will surface the
+// error. Oversized (spill-path) frames report false — they need a syscall.
+//
+//heimdall:hotpath
+func (fr *frameReader) buffered() bool {
+	avail := fr.br.Buffered() - fr.pending
+	if avail < 4 {
+		return false
+	}
+	// avail >= 4 implies pending+4 <= Buffered() <= Size, so Peek succeeds.
+	hdr, err := fr.br.Peek(fr.pending + 4)
+	if err != nil {
+		return false
+	}
+	n := int(binary.BigEndian.Uint32(hdr[fr.pending:]))
+	if n <= 0 || n > MaxFrame {
+		return true // malformed: report it via next() without blocking
+	}
+	return avail >= 4+n
 }
 
 // decideRequest is the parsed form of a msgDecide body.

@@ -25,6 +25,11 @@ type Server = serve.Server
 // ServeClient speaks the admission wire protocol (one per goroutine).
 type ServeClient = serve.Client
 
+// ServePipeline is the windowed async decide API over a ServeClient: up to
+// N decides in flight on one connection, verdicts reaped as the window
+// recycles. Start one with (*ServeClient).Pipeline(n).
+type ServePipeline = serve.Pipeline
+
 // ServeStats is a snapshot of the server's per-shard counters.
 type ServeStats = serve.Stats
 
