@@ -1,65 +1,162 @@
 // Command heimdall-vet runs the project's custom static-analysis suite
-// over the module: five lints (walltime, globalrand, maporder, hotpath,
-// errdrop) that enforce the determinism, seed-hygiene, and hot-path
-// invariants the compiler cannot see. See internal/analysis and the
-// "Static invariants" section of DESIGN.md.
+// over the module: eight lints that enforce the determinism, seed-hygiene,
+// single-writer, and hot-path invariants the compiler cannot see. Five are
+// per-package and syntactic (walltime, globalrand, maporder, hotpath,
+// errdrop); three ride on the module-wide call graph (hotclosure,
+// ownership, taint). See internal/analysis and the "Static invariants"
+// section of DESIGN.md.
 //
 // Usage:
 //
-//	heimdall-vet [./... | dir]
+//	heimdall-vet [-json] [-lints name,name,...] [./... | dir]
 //
 // With no argument (or "./..."/"." for go-vet muscle-memory) the suite
 // analyzes the whole module containing the working directory. A directory
 // argument analyzes the module rooted at (or above) that directory instead —
 // handy for pointing it at the violation fixtures under
-// internal/analysis/testdata. Findings print as "file:line: [lint] message",
-// sorted; the exit status is 1 when there are findings, 2 on a load or
-// usage error.
+// internal/analysis/testdata.
+//
+// By default findings print as "file:line: [lint] message", sorted. -json
+// switches to a machine-readable report (the schema CI archives): the
+// module root, the lints that ran, and the findings array. -lints runs a
+// subset of the suite by name; unknown names are a usage error.
+//
+// The exit status is the contract CI scripts rely on: 0 with no findings,
+// 1 when there are findings, 2 on a load or usage error.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) > 1 {
-		fmt.Fprintln(os.Stderr, "usage: heimdall-vet [./... | dir]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// say and sayf write diagnostics to the injected streams. A write failure
+// to a console pipe is unactionable here, so the discard is explicit.
+func say(w io.Writer, args ...any) { _, _ = fmt.Fprintln(w, args...) }
+
+func sayf(w io.Writer, format string, args ...any) { _, _ = fmt.Fprintf(w, format, args...) }
+
+// jsonReport is the -json schema. Fields are stable: CI archives this
+// output and the CLI tests pin it.
+type jsonReport struct {
+	Root     string        `json:"root"`
+	Lints    []string      `json:"lints"`
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Lint    string `json:"lint"`
+	Message string `json:"message"`
+}
+
+// run is main with its dependencies injected, so the CLI tests can drive
+// argument parsing, output, and the exit contract in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("heimdall-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report instead of text")
+	lintList := fs.String("lints", "", "comma-separated subset of lints to run (default: all)")
+	fs.Usage = func() {
+		say(stderr, "usage: heimdall-vet [-json] [-lints name,name,...] [./... | dir]")
+		say(stderr, "lints:", strings.Join(analysis.LintNames(), ", "))
 	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *lintList != "" {
+		known := map[string]bool{}
+		for _, name := range analysis.LintNames() {
+			known[name] = true
+		}
+		for _, name := range strings.Split(*lintList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				sayf(stderr, "heimdall-vet: unknown lint %q (have: %s)\n", name, strings.Join(analysis.LintNames(), ", "))
+				return 2
+			}
+			cfg.Lints = append(cfg.Lints, name)
+		}
+	}
+
 	start, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
-		os.Exit(2)
+		say(stderr, "heimdall-vet:", err)
+		return 2
 	}
-	if len(args) == 1 && args[0] != "./..." && args[0] != "." {
-		start = args[0]
+	if fs.NArg() == 1 && fs.Arg(0) != "./..." && fs.Arg(0) != "." {
+		start = fs.Arg(0)
 		if fi, err := os.Stat(start); err != nil || !fi.IsDir() {
-			fmt.Fprintf(os.Stderr, "heimdall-vet: %s is not a directory\n", args[0])
-			os.Exit(2)
+			sayf(stderr, "heimdall-vet: %s is not a directory\n", fs.Arg(0))
+			return 2
 		}
 	}
 	root, err := moduleRoot(start)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
-		os.Exit(2)
+		say(stderr, "heimdall-vet:", err)
+		return 2
 	}
-	diags, err := analysis.Run(root, analysis.DefaultConfig())
+	diags, err := analysis.Run(root, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "heimdall-vet:", err)
-		os.Exit(2)
+		say(stderr, "heimdall-vet:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *jsonOut {
+		ran := cfg.Lints
+		if len(ran) == 0 {
+			ran = analysis.LintNames()
+		}
+		report := jsonReport{
+			Root:     filepath.ToSlash(root),
+			Lints:    ran,
+			Findings: make([]jsonFinding, 0, len(diags)),
+			Count:    len(diags),
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: d.File, Line: d.Line, Col: d.Col, Lint: d.Lint, Message: d.Msg,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			say(stderr, "heimdall-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			say(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "heimdall-vet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		sayf(stderr, "heimdall-vet: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot walks upward from dir to the nearest go.mod.

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// vetmodDir is the violation-fixture module shared with the analysis
+// package's // want tests; cleanDir is a minimal module with nothing to
+// report.
+var (
+	vetmodDir = filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "vetmod")
+	cleanDir  = filepath.Join("testdata", "cleanmod")
+)
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+var lineRE = regexp.MustCompile(`^[^:]+\.go:\d+: \[[a-z]+\] .+$`)
+
+// TestTextOutput pins the text mode: sorted "file:line: [lint] message"
+// lines, exit 1, and the finding count on stderr.
+func TestTextOutput(t *testing.T) {
+	code, out, errOut := runVet(t, vetmodDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixtures have findings); stderr: %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no findings printed")
+	}
+	for _, l := range lines {
+		if !lineRE.MatchString(l) {
+			t.Errorf("line does not match file:line: [lint] message: %q", l)
+		}
+	}
+	if !sort.StringsAreSorted(func() []string {
+		keys := make([]string, len(lines))
+		for i, l := range lines {
+			keys[i] = l[:strings.Index(l, ":")]
+		}
+		return keys
+	}()) {
+		t.Error("findings are not sorted by file")
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr missing finding count: %q", errOut)
+	}
+	// One pinned literal from each interprocedural lint, chain and all.
+	for _, want := range []string{
+		"hotclosure/hotclosure.go:30: [hotclosure] hot chain Decide → stage → growRow: append to a slice not rooted at the receiver or a parameter; growth allocates per call",
+		"[ownership] field gauge.n is owned by reset,step; accessed from rogue",
+		"[taint] value tainted by select nondeterminism flows into //heimdall:nountaint sink emit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+}
+
+// TestTextMatchesLibrary pins that the CLI is a faithful printer: its text
+// output is exactly the library's diagnostics, one String() per line.
+func TestTextMatchesLibrary(t *testing.T) {
+	_, out, _ := runVet(t, vetmodDir)
+	diags, err := analysis.Run(vetmodDir, analysis.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, d := range diags {
+		want.WriteString(d.String())
+		want.WriteByte('\n')
+	}
+	if out != want.String() {
+		t.Errorf("CLI text output diverges from library diagnostics:\n--- cli ---\n%s--- lib ---\n%s", out, want.String())
+	}
+}
+
+// TestJSONOutput validates the -json schema against the fixture module.
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runVet(t, "-json", vetmodDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if rep.Count != len(rep.Findings) || rep.Count == 0 {
+		t.Errorf("count = %d, findings = %d; want equal and nonzero", rep.Count, len(rep.Findings))
+	}
+	if got, want := rep.Lints, analysis.LintNames(); !equalStrings(got, want) {
+		t.Errorf("lints = %v, want %v", got, want)
+	}
+	if !strings.HasSuffix(rep.Root, "vetmod") {
+		t.Errorf("root = %q, want the vetmod module root", rep.Root)
+	}
+	known := map[string]bool{}
+	for _, name := range analysis.LintNames() {
+		known[name] = true
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		if !known[f.Lint] {
+			t.Errorf("finding names unknown lint %q", f.Lint)
+		}
+		if strings.Contains(f.File, "\\") {
+			t.Errorf("file %q is not slash-separated", f.File)
+		}
+	}
+}
+
+// TestExitCodes pins the 0/1/2 contract.
+func TestExitCodes(t *testing.T) {
+	if code, out, errOut := runVet(t, cleanDir); code != 0 || out != "" {
+		t.Errorf("clean module: exit = %d, stdout = %q, stderr = %q; want 0 and empty stdout", code, out, errOut)
+	}
+	if code, _, _ := runVet(t, vetmodDir); code != 1 {
+		t.Errorf("fixture module: exit = %d, want 1", code)
+	}
+	if code, _, errOut := runVet(t, filepath.Join("testdata", "no-such-dir")); code != 2 || errOut == "" {
+		t.Errorf("missing dir: exit = %d, want 2 with a stderr message", code)
+	}
+	if code, _, errOut := runVet(t, "-lints", "nosuchlint", cleanDir); code != 2 || !strings.Contains(errOut, "unknown lint") {
+		t.Errorf("unknown lint: exit = %d, stderr = %q; want 2 and an unknown-lint error", code, errOut)
+	}
+	if code, _, _ := runVet(t, "one", "two"); code != 2 {
+		t.Errorf("extra args: exit = %d, want 2", code)
+	}
+}
+
+// TestLintSubset runs a single lint and requires that only its findings
+// appear (and that the JSON report names exactly that lint).
+func TestLintSubset(t *testing.T) {
+	code, out, _ := runVet(t, "-json", "-lints", "ownership", vetmodDir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (ownership fixtures have findings)", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(rep.Lints, []string{"ownership"}) {
+		t.Errorf("lints = %v, want [ownership]", rep.Lints)
+	}
+	if rep.Count == 0 {
+		t.Error("ownership subset reported no findings")
+	}
+	for _, f := range rep.Findings {
+		if f.Lint != "ownership" {
+			t.Errorf("subset run leaked finding from %q: %+v", f.Lint, f)
+		}
+	}
+}
+
+// TestOutputDeterministic runs both modes twice from scratch: heimdall-vet
+// polices determinism, so its own output must be byte-identical.
+func TestOutputDeterministic(t *testing.T) {
+	for _, args := range [][]string{{vetmodDir}, {"-json", vetmodDir}} {
+		_, a, _ := runVet(t, args...)
+		_, b, _ := runVet(t, args...)
+		if a != b {
+			t.Errorf("two runs with args %v differ", args)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,6 @@
+// Package cleanmod is a minimal violation-free module: the CLI tests pin
+// the exit-0 contract against it.
+package cleanmod
+
+// Add is deterministic, allocation-free, and owns nothing.
+func Add(a, b int) int { return a + b }

@@ -18,6 +18,19 @@
 //   - errdrop: discarded error returns in internal/ and cmd/ are
 //     diagnostics.
 //
+// Three interprocedural lints ride on the module-wide call graph
+// (callgraph.go):
+//
+//   - hotclosure: //heimdall:hotpath is transitive — every function
+//     statically reachable from a hotpath root must be hotpath-clean, and
+//     findings report the offending call chain.
+//   - ownership: struct fields annotated //heimdall:owner may only be
+//     touched by the declared owners and functions provably called only
+//     by them (the single-writer shard/tracker/freelist contract).
+//   - taint: wall-clock, global math/rand, map-iteration order, and
+//     select nondeterminism must not flow into //heimdall:nountaint
+//     sinks (verdict encoders, wire frames, table emitters).
+//
 // Diagnostics are emitted as "file:line: [lint] message", sorted, and are
 // deterministic across runs.
 package analysis
@@ -44,6 +57,9 @@ type Config struct {
 	// ErrDropDirs lists directory prefixes where discarded error returns
 	// are diagnostics.
 	ErrDropDirs []string
+	// Lints selects which lints run, by name. Nil or empty means all of
+	// them (the LintNames list).
+	Lints []string
 }
 
 // DefaultConfig is the repository policy: CLIs may read the wall clock,
@@ -80,13 +96,52 @@ type pass struct {
 
 type reporter func(pos token.Pos, msg string)
 
-// passes is the fixed lint registry, in documentation order.
+// passes is the fixed per-package lint registry, in documentation order.
 var passes = []pass{
 	{"walltime", walltime},
 	{"globalrand", globalrand},
 	{"maporder", maporder},
 	{"hotpath", hotpath},
 	{"errdrop", errdrop},
+}
+
+// A modulePass inspects the whole module at once — the interprocedural
+// lints built on the shared call graph.
+type modulePass struct {
+	name string
+	run  func(cfg Config, mod *Module, report reporter)
+}
+
+var modulePasses = []modulePass{
+	{"hotclosure", hotclosure},
+	{"ownership", ownership},
+	{"taint", taint},
+}
+
+// LintNames returns the names of every registered lint, per-package passes
+// first, in registry order.
+func LintNames() []string {
+	names := make([]string, 0, len(passes)+len(modulePasses))
+	for _, p := range passes {
+		names = append(names, p.name)
+	}
+	for _, p := range modulePasses {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// lintEnabled applies Config.Lints (nil = everything).
+func lintEnabled(cfg Config, name string) bool {
+	if len(cfg.Lints) == 0 {
+		return true
+	}
+	for _, l := range cfg.Lints {
+		if l == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Run loads the module rooted at root and applies every lint, returning
@@ -100,27 +155,39 @@ func Run(root string, cfg Config) ([]Diagnostic, error) {
 	return RunModule(mod, cfg), nil
 }
 
-// RunModule applies every lint to an already-loaded module.
+// RunModule applies every enabled lint to an already-loaded module.
 func RunModule(mod *Module, cfg Config) []Diagnostic {
 	var diags []Diagnostic
-	for _, p := range passes {
-		for _, pkg := range mod.Pkgs {
-			report := func(pos token.Pos, msg string) {
-				position := mod.Fset.Position(pos)
-				rel, err := filepath.Rel(mod.Root, position.Filename)
-				if err != nil {
-					rel = position.Filename
-				}
-				diags = append(diags, Diagnostic{
-					File: filepath.ToSlash(rel),
-					Line: position.Line,
-					Col:  position.Column,
-					Lint: p.name,
-					Msg:  msg,
-				})
+	reporterFor := func(lint string) reporter {
+		return func(pos token.Pos, msg string) {
+			position := mod.Fset.Position(pos)
+			rel, err := filepath.Rel(mod.Root, position.Filename)
+			if err != nil {
+				rel = position.Filename
 			}
+			diags = append(diags, Diagnostic{
+				File: filepath.ToSlash(rel),
+				Line: position.Line,
+				Col:  position.Column,
+				Lint: lint,
+				Msg:  msg,
+			})
+		}
+	}
+	for _, p := range passes {
+		if !lintEnabled(cfg, p.name) {
+			continue
+		}
+		report := reporterFor(p.name)
+		for _, pkg := range mod.Pkgs {
 			p.run(cfg, mod, pkg, report)
 		}
+	}
+	for _, p := range modulePasses {
+		if !lintEnabled(cfg, p.name) {
+			continue
+		}
+		p.run(cfg, mod, reporterFor(p.name))
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

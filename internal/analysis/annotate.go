@@ -8,17 +8,36 @@ import (
 
 // Annotations are pragma-style comments that acknowledge an audited site:
 //
-//	//heimdall:hotpath   on a function: enforce the allocation-free rules
-//	//heimdall:walltime  on a function: audited wall-clock reporting
-//	//heimdall:ordered   on (or directly above) a map-range statement:
-//	                     the fold is commutative or the keys are sorted
+//	//heimdall:hotpath    on a function: enforce the allocation-free rules,
+//	                      and make the function a root of the transitive
+//	                      hotpath-closure lint
+//	//heimdall:coldpath   on a function: audited cold escape — the function
+//	                      is reachable from a hotpath root but runs only
+//	                      behind a cold guard (buffer growth, error paths,
+//	                      oversized-frame spill), so the closure pass does
+//	                      not descend into it
+//	//heimdall:walltime   on a function: audited wall-clock reporting; the
+//	                      taint lint treats its results as clock-tainted
+//	//heimdall:ordered    on (or directly above) a map-range statement:
+//	                      the fold is commutative or the keys are sorted
+//	//heimdall:owner M1,M2 on a struct field: the field may only be read or
+//	                      written by the listed functions (methods of the
+//	                      enclosing type, Type.method, or package
+//	                      functions) and by functions provably called only
+//	                      by them
+//	//heimdall:nountaint  on a function: determinism sink — values tainted
+//	                      by wall-clock, global rand, map order, or select
+//	                      nondeterminism must not reach its arguments
 //
 // They are written without a space after //, like //go:noinline, so gofmt
 // leaves them alone.
 const (
-	annHotpath  = "heimdall:hotpath"
-	annWalltime = "heimdall:walltime"
-	annOrdered  = "heimdall:ordered"
+	annHotpath   = "heimdall:hotpath"
+	annColdpath  = "heimdall:coldpath"
+	annWalltime  = "heimdall:walltime"
+	annOrdered   = "heimdall:ordered"
+	annOwner     = "heimdall:owner"
+	annNountaint = "heimdall:nountaint"
 )
 
 // hasAnnotation reports whether a doc comment carries the given pragma on
@@ -34,6 +53,25 @@ func hasAnnotation(doc *ast.CommentGroup, name string) bool {
 		}
 	}
 	return false
+}
+
+// annotationArg returns the argument of a "//name arg..." pragma in the
+// comment group, and whether it was present. Used for //heimdall:owner,
+// whose argument is the comma-separated owner list.
+func annotationArg(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, name+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+		if text == name {
+			return "", true
+		}
+	}
+	return "", false
 }
 
 // annotationLines returns the set of line numbers in file that carry the

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncInfo is one function or method declared in the module, as a node of
+// the module-wide call graph. Edges are *static* calls only: a call whose
+// callee resolves at type-check time to a module function. Calls through
+// interfaces, function values, and the stdlib do not produce edges — the
+// lints that ride on the graph compensate (the hotpath boxing rule guards
+// the interface boundary, and ownership treats address-taken functions as
+// unprovable).
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Annotations lifted from the doc comment.
+	Hotpath   bool // //heimdall:hotpath — allocation-free contract root
+	Coldpath  bool // //heimdall:coldpath — audited cold escape under a hot root
+	Walltime  bool // //heimdall:walltime — audited wall-clock reporting
+	Nountaint bool // //heimdall:nountaint — determinism sink: args must be untainted
+
+	// Callees are the static out-edges in source order, deduplicated.
+	Callees []*FuncInfo
+	// Callers are the reverse edges, in deterministic (graph) order.
+	Callers []*FuncInfo
+	// AddrTaken reports a reference to the function outside call position
+	// (stored in a variable, passed as a value, used as a method value, or
+	// spawned via go/defer through a value). Such a function can be invoked
+	// from anywhere, so "provably called only by X" claims must exclude it.
+	AddrTaken bool
+}
+
+// Label renders the function for call-chain diagnostics: "shard.decideBatch"
+// for methods, "stage" for package functions, with a "pkg." prefix when the
+// function lives outside the reporting package.
+func (fi *FuncInfo) Label(from *Package) string {
+	name := fi.Fn.Name()
+	if recv := fi.Fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if from != nil && fi.Pkg != from {
+		name = fi.Pkg.Types.Name() + "." + name
+	}
+	return name
+}
+
+// CallGraph indexes every declared function of a loaded module with its
+// static call edges. Construction is deterministic: Funcs is ordered by
+// file position, and edge lists follow source order.
+type CallGraph struct {
+	Funcs  []*FuncInfo
+	byObj  map[*types.Func]*FuncInfo
+	byDecl map[*ast.FuncDecl]*FuncInfo
+}
+
+// FuncOf returns the node for a declared module function, or nil.
+func (g *CallGraph) FuncOf(fn *types.Func) *FuncInfo { return g.byObj[fn] }
+
+// DeclOf returns the node for a declaration, or nil.
+func (g *CallGraph) DeclOf(fd *ast.FuncDecl) *FuncInfo { return g.byDecl[fd] }
+
+// Graph returns the module's call graph, building it on first use.
+func (mod *Module) Graph() *CallGraph {
+	if mod.graph == nil {
+		mod.graph = buildCallGraph(mod)
+	}
+	return mod.graph
+}
+
+func buildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		byObj:  map[*types.Func]*FuncInfo{},
+		byDecl: map[*ast.FuncDecl]*FuncInfo{},
+	}
+	// Pass 1: index every declaration.
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{
+					Fn:        fn,
+					Decl:      fd,
+					Pkg:       pkg,
+					Hotpath:   hasAnnotation(fd.Doc, annHotpath),
+					Coldpath:  hasAnnotation(fd.Doc, annColdpath),
+					Walltime:  hasAnnotation(fd.Doc, annWalltime),
+					Nountaint: hasAnnotation(fd.Doc, annNountaint),
+				}
+				g.Funcs = append(g.Funcs, fi)
+				g.byObj[fn] = fi
+				g.byDecl[fd] = fi
+			}
+		}
+	}
+	sort.Slice(g.Funcs, func(i, j int) bool {
+		pi := mod.Fset.Position(g.Funcs[i].Decl.Pos())
+		pj := mod.Fset.Position(g.Funcs[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	// Pass 2: edges and address-taken references.
+	for _, fi := range g.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		collectEdges(g, fi)
+	}
+	for _, fi := range g.Funcs {
+		for _, callee := range fi.Callees {
+			callee.Callers = append(callee.Callers, fi)
+		}
+	}
+	return g
+}
+
+// collectEdges walks one body recording static call edges and non-call
+// references to module functions. Function literals nested in the body are
+// attributed to the enclosing declaration: a closure's calls happen when
+// the closure runs, but for the conservative analyses built on this graph,
+// charging them to the declaring function is the safe direction.
+func collectEdges(g *CallGraph, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	// callNames are the identifiers consumed as the callee of a CallExpr;
+	// any other use of a module function is an address-taken reference.
+	callNames := map[*ast.Ident]bool{}
+	seen := map[*FuncInfo]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		}
+		if id == nil {
+			return true
+		}
+		callNames[id] = true
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			if callee := g.byObj[fn]; callee != nil && !seen[callee] {
+				seen[callee] = true
+				fi.Callees = append(fi.Callees, callee)
+			}
+		}
+		return true
+	})
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callNames[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			if ref := g.byObj[fn]; ref != nil {
+				ref.AddrTaken = true
+			}
+		}
+		return true
+	})
+}
+
+// ownerClosure computes the set of functions provably called only from the
+// given owners: the least fixed point of "all static callers are already in
+// the set, there is at least one caller, and the function is never
+// address-taken". Owners themselves are members by declaration.
+func ownerClosure(g *CallGraph, owners map[*FuncInfo]bool) map[*FuncInfo]bool {
+	allowed := map[*FuncInfo]bool{}
+	for fi := range owners {
+		allowed[fi] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range g.Funcs {
+			if allowed[fi] || fi.AddrTaken || len(fi.Callers) == 0 {
+				continue
+			}
+			all := true
+			for _, c := range fi.Callers {
+				if !allowed[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				allowed[fi] = true
+				changed = true
+			}
+		}
+	}
+	return allowed
+}
+
+// chainString renders a root-to-callee path for diagnostics.
+func chainString(from *Package, chain []*FuncInfo) string {
+	parts := make([]string, len(chain))
+	for i, fi := range chain {
+		parts[i] = fi.Label(from)
+	}
+	return strings.Join(parts, " → ")
+}

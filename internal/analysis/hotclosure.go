@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// hotclosure makes //heimdall:hotpath transitive: every module function
+// reachable by static calls from a hotpath root must itself be
+// hotpath-clean, so a root can no longer launder an allocation through an
+// innocent-looking helper. Reachable functions are checked with the same
+// rule set as the base hotpath lint, and every finding carries the call
+// chain from the root, e.g.
+//
+//	hot chain shard.decideBatch → stage → growRow: append to a slice not
+//	rooted at the receiver or a parameter; growth allocates per call
+//
+// Traversal rules:
+//
+//   - a callee annotated //heimdall:hotpath is a root of its own and is
+//     not re-checked through the chain;
+//   - a callee annotated //heimdall:coldpath is an audited cold escape
+//     (buffer growth, error paths, oversized-frame spill) — the pass does
+//     not descend into it;
+//   - calls through interfaces and function values produce no edges; the
+//     boxing rule of the base lint guards that boundary instead.
+//
+// Each reachable function is checked once, against the first chain that
+// discovers it (root order and edge order are deterministic, so the
+// reported chain is too).
+func hotclosure(cfg Config, mod *Module, report reporter) {
+	_ = cfg
+	g := mod.Graph()
+	visited := map[*FuncInfo]bool{}
+	for _, root := range g.Funcs {
+		if !root.Hotpath || root.Decl.Body == nil {
+			continue
+		}
+		walkHot(root, []*FuncInfo{root}, visited, report)
+	}
+}
+
+func walkHot(fi *FuncInfo, chain []*FuncInfo, visited map[*FuncInfo]bool, report reporter) {
+	for _, callee := range fi.Callees {
+		if callee.Hotpath || callee.Coldpath || visited[callee] || callee.Decl.Body == nil {
+			continue
+		}
+		visited[callee] = true
+		next := append(chain, callee)
+		prefix := "hot chain " + chainString(chain[0].Pkg, next) + ": "
+		checkHotBody(callee.Pkg, callee.Decl, "in a function reachable from a //heimdall:hotpath root", func(pos token.Pos, msg string) {
+			report(pos, prefix+msg)
+		})
+		walkHot(callee, next, visited, report)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -15,35 +16,65 @@ import (
 //   - conversions of concrete values to interface types, explicit or via
 //     a call argument (interface boxing allocates);
 //   - append whose destination is not rooted at the receiver or a
-//     parameter (growing a local or global slice allocates per call).
+//     parameter (growing a local or global slice allocates per call);
+//   - defer statements (the defer frame and delayed call defeat the fast
+//     path);
+//   - channel sends, receives, ranges, and go statements (channel ops
+//     take locks and may block; spawning a goroutine allocates);
+//   - map iteration (the order is nondeterministic and the hidden
+//     iterator defeats the fast path).
 //
 // The AllocsPerRun tests pin the measured behaviour; this pass pins the
 // code shape, so a regression is caught at vet time rather than when the
-// benchmark next runs.
+// benchmark next runs. The hotclosure pass extends the same rule set
+// transitively to everything a hotpath root calls.
 func hotpath(cfg Config, mod *Module, pkg *Package, report reporter) {
 	_ = cfg
+	_ = mod
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !hasAnnotation(fd.Doc, annHotpath) {
 				continue
 			}
-			checkHotFunc(mod, pkg, fd, report)
+			checkHotBody(pkg, fd, "on a //heimdall:hotpath function", report)
 		}
 	}
 }
 
-func checkHotFunc(mod *Module, pkg *Package, fd *ast.FuncDecl, report reporter) {
-	_ = mod
+// checkHotBody applies the hotpath rule set to one function body. The
+// where clause frames the findings ("on a //heimdall:hotpath function" for
+// the base lint; the hotclosure pass uses a reachability clause and
+// prefixes the call chain).
+func checkHotBody(pkg *Package, fd *ast.FuncDecl, where string, report func(pos token.Pos, msg string)) {
 	info := pkg.Info
 	owned := ownedObjects(info, fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			report(n.Pos(), "closure constructed on a //heimdall:hotpath function; hoist it or pass a named function")
+			report(n.Pos(), "closure constructed "+where+"; hoist it or pass a named function")
 			return false // the literal itself is the violation; don't re-flag its body
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer "+where+"; the defer frame and the delayed call defeat the fast path")
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement "+where+"; spawning a goroutine allocates")
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send "+where+"; channel ops take locks and may block")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive "+where+"; channel ops take locks and may block")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map iteration "+where+"; the order is nondeterministic and the hidden iterator defeats the fast path")
+				case *types.Chan:
+					report(n.Pos(), "range over a channel "+where+"; channel ops take locks and may block")
+				}
+			}
 		case *ast.CallExpr:
-			checkHotCall(info, n, owned, report)
+			checkHotCall(info, n, owned, where, report)
 		}
 		return true
 	})
@@ -71,7 +102,7 @@ func ownedObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	return owned
 }
 
-func checkHotCall(info *types.Info, call *ast.CallExpr, owned map[types.Object]bool, report reporter) {
+func checkHotCall(info *types.Info, call *ast.CallExpr, owned map[types.Object]bool, where string, report func(pos token.Pos, msg string)) {
 	// Explicit conversion T(x)?
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceOrNil(info, call.Args[0]) {
@@ -83,7 +114,7 @@ func checkHotCall(info *types.Info, call *ast.CallExpr, owned map[types.Object]b
 	if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
 		switch fn.Pkg().Path() {
 		case "fmt", "log":
-			report(call.Pos(), fn.Pkg().Path()+"."+fn.Name()+" called on a //heimdall:hotpath function; formatting allocates")
+			report(call.Pos(), fn.Pkg().Path()+"."+fn.Name()+" called "+where+"; formatting allocates")
 			return
 		}
 	}

@@ -22,6 +22,7 @@ type Package struct {
 	Files  []*ast.File
 	Types  *types.Package
 	Info   *types.Info
+	fset   *token.FileSet // the module's shared FileSet
 }
 
 // Module is a fully loaded module: every non-test package parsed and
@@ -32,6 +33,11 @@ type Module struct {
 	Path string // module path from the go.mod module directive
 	Fset *token.FileSet
 	Pkgs []*Package // sorted by import path
+
+	// graph is the lazily built module-wide call graph (see Graph). All
+	// interprocedural passes share this one substrate, so the module is
+	// indexed at most once per load.
+	graph *CallGraph
 }
 
 // LoadModule discovers, parses, and type-checks every non-test package
@@ -207,6 +213,7 @@ func (l *loader) load(importPath string) (*Package, error) {
 		Files:  files,
 		Types:  tpkg,
 		Info:   info,
+		fset:   l.fset,
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ownership enforces single-writer field ownership. A struct field
+// annotated
+//
+//	//heimdall:owner run,shutdown
+//
+// may only be read or written from the declared owners — methods of the
+// enclosing type by bare name, methods of another type in the package as
+// Type.method, or package-level functions — and from functions provably
+// called only by them. "Provably" is the call-graph fixed point
+// ownerClosure: a function joins the owner closure when every static
+// caller is already in it, it has at least one caller, and it is never
+// address-taken (a function value can be invoked from any goroutine, so
+// no claim survives it). Everything else touching the field is a finding:
+// exactly the cross-goroutine access the shard/feature-tracker/freelist
+// single-writer design (DESIGN.md "Serving architecture") relies on never
+// happening.
+func ownership(cfg Config, mod *Module, report reporter) {
+	_ = cfg
+	g := mod.Graph()
+	fields := collectOwnedFields(mod, g)
+	if len(fields) == 0 {
+		return
+	}
+	// Map every use of an owned field to its enclosing function.
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				var encl *FuncInfo
+				if isFunc {
+					encl = g.DeclOf(fd)
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := pkg.Info.Uses[id]
+					if obj == nil {
+						return true
+					}
+					of, owned := fields[obj]
+					if !owned {
+						return true
+					}
+					if encl != nil && of.allowed[encl] {
+						return true
+					}
+					report(id.Pos(), ownershipMsg(of, encl, pkg))
+					return true
+				})
+			}
+		}
+	}
+}
+
+// ownedField is one //heimdall:owner-annotated field with its resolved
+// owner set and closure.
+type ownedField struct {
+	obj     types.Object
+	name    string // Type.field for diagnostics
+	owners  []string
+	allowed map[*FuncInfo]bool
+}
+
+func ownershipMsg(of *ownedField, encl *FuncInfo, pkg *Package) string {
+	who := "package-level code"
+	why := ""
+	if encl != nil {
+		who = encl.Label(pkg)
+		switch {
+		case encl.AddrTaken:
+			why = " (it is address-taken, so its callers cannot be proven)"
+		case len(encl.Callers) == 0:
+			why = " (it has no static callers inside the module)"
+		default:
+			outside := []string{}
+			for _, c := range encl.Callers {
+				if !of.allowed[c] {
+					outside = append(outside, c.Label(pkg))
+				}
+			}
+			if len(outside) > 0 {
+				why = " (also called from " + strings.Join(outside, ", ") + ")"
+			}
+		}
+	}
+	return "field " + of.name + " is owned by " + strings.Join(of.owners, ",") +
+		"; accessed from " + who + ", which is outside the owner closure" + why
+}
+
+// collectOwnedFields finds every annotated struct field in the module and
+// resolves its owner list against the package scope. Closures are shared
+// between fields that declare the same owner set.
+func collectOwnedFields(mod *Module, g *CallGraph) map[types.Object]*ownedField {
+	fields := map[types.Object]*ownedField{}
+	closures := map[string]map[*FuncInfo]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						arg, found := annotationArg(f.Doc, annOwner)
+						if !found {
+							arg, found = annotationArg(f.Comment, annOwner)
+						}
+						if !found {
+							continue
+						}
+						owners := splitOwners(arg)
+						key := pkg.Path + "\x00" + strings.Join(owners, ",")
+						allowed, ok := closures[key]
+						if !ok {
+							allowed = ownerClosure(g, resolveOwners(pkg, g, ts.Name.Name, owners))
+							closures[key] = allowed
+						}
+						for _, name := range f.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil {
+								continue
+							}
+							fields[obj] = &ownedField{
+								obj:     obj,
+								name:    ts.Name.Name + "." + name.Name,
+								owners:  owners,
+								allowed: allowed,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return fields
+}
+
+func splitOwners(arg string) []string {
+	parts := strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	sort.Strings(parts)
+	return parts
+}
+
+// resolveOwners maps owner names to call-graph nodes. A bare name resolves
+// to a method of the enclosing type if one exists, else to a package-level
+// function; "Type.method" names a method of another type in the package.
+// Unresolvable names are ignored (the field then simply has a smaller
+// owner set — a lint misconfiguration surfaces as findings, never as
+// silence about real accesses).
+func resolveOwners(pkg *Package, g *CallGraph, enclosing string, names []string) map[*FuncInfo]bool {
+	owners := map[*FuncInfo]bool{}
+	for _, name := range names {
+		typ, meth := enclosing, name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			typ, meth = name[:i], name[i+1:]
+		} else if fi := lookupFunc(pkg, g, "", name); fi != nil && lookupFunc(pkg, g, enclosing, name) == nil {
+			owners[fi] = true
+			continue
+		}
+		if fi := lookupFunc(pkg, g, typ, meth); fi != nil {
+			owners[fi] = true
+		}
+	}
+	return owners
+}
+
+// lookupFunc finds the package's method typ.name (or package function name
+// when typ is "") in the call graph.
+func lookupFunc(pkg *Package, g *CallGraph, typ, name string) *FuncInfo {
+	for _, fi := range g.Funcs {
+		if fi.Pkg != pkg || fi.Fn.Name() != name {
+			continue
+		}
+		recv := fi.Fn.Type().(*types.Signature).Recv()
+		if typ == "" {
+			if recv == nil {
+				return fi
+			}
+			continue
+		}
+		if recv == nil {
+			continue
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == typ {
+			return fi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taint is the determinism-taint lint. Nondeterminism sources —
+//
+//   - wall-clock reads (time.Now/Since/Until, Unix* methods on a tainted
+//     time.Time, and calls to //heimdall:walltime-audited functions),
+//   - global math/rand state,
+//   - map iteration order (unless the range carries //heimdall:ordered),
+//   - select nondeterminism (values bound in a select with two or more
+//     racing communication clauses),
+//
+// must not flow into functions annotated //heimdall:nountaint: the verdict
+// encoders, wire-frame builders, and table emitters whose outputs the
+// byte-identical contract covers. Propagation is SSA-lite and
+// flow-insensitive: assignments carry taint between locals, writes taint
+// struct fields and package variables module-wide, and a function whose
+// return statement is tainted taints every call site (computed as a fixed
+// point over the call graph) — so laundering a clock read through one
+// assignment, a helper's return value, or a stored field no longer hides
+// it. Select taint stays intra-procedural: which branch won is scheduling
+// nondeterminism, and once the value crosses a function boundary the
+// ownership lint and the determinism tests own that surface. Sorting
+// launders deliberately: a sort.* call over a slice re-establishes a
+// deterministic order and clears the slice's taint (the second half of
+// the sorted-keys idiom maporder recognizes).
+func taint(cfg Config, mod *Module, report reporter) {
+	_ = cfg
+	g := mod.Graph()
+	tt := &taintTracker{
+		g:          g,
+		retTaint:   map[*FuncInfo]string{},
+		fieldTaint: map[types.Object]string{},
+	}
+	// Fixed point over return summaries and field taint.
+	for round := 0; round < 10; round++ {
+		tt.changed = false
+		for _, fi := range g.Funcs {
+			if fi.Decl.Body != nil {
+				tt.analyze(fi, nil)
+			}
+		}
+		if !tt.changed {
+			break
+		}
+	}
+	// Final round: re-derive local taint against the stable summaries and
+	// report flows into //heimdall:nountaint sinks.
+	for _, fi := range g.Funcs {
+		if fi.Decl.Body != nil {
+			tt.analyze(fi, report)
+		}
+	}
+}
+
+type taintTracker struct {
+	g          *CallGraph
+	retTaint   map[*FuncInfo]string    // function → taint description of its results
+	fieldTaint map[types.Object]string // struct fields and package vars → taint description
+	changed    bool
+}
+
+// analyze runs the flow-insensitive local pass over one function. With a
+// nil report it only updates the interprocedural summaries; with a
+// reporter it also checks sink calls.
+func (tt *taintTracker) analyze(fi *FuncInfo, report reporter) {
+	st := &funcTaint{
+		tt:      tt,
+		fi:      fi,
+		info:    fi.Pkg.Info,
+		local:   map[types.Object]string{},
+		ordered: annotationLines(fileFset(fi), fileOf(fi), annOrdered),
+	}
+	// Iterate to a local fixed point: assignments later in the body can
+	// feed taints used earlier (loops).
+	for round := 0; round < 10; round++ {
+		st.localChanged = false
+		st.walk(nil)
+		if !st.localChanged {
+			break
+		}
+	}
+	if report != nil {
+		st.walk(report)
+	}
+}
+
+func fileFset(fi *FuncInfo) *token.FileSet { return fi.Pkg.fset }
+
+// selectTaintDesc marks select-sourced taint, which never escapes the
+// function (see the package comment on taint).
+const selectTaintDesc = "select nondeterminism"
+
+// fileOf returns the file containing the function declaration.
+func fileOf(fi *FuncInfo) *ast.File {
+	for _, f := range fi.Pkg.Files {
+		if f.Pos() <= fi.Decl.Pos() && fi.Decl.Pos() <= f.End() {
+			return f
+		}
+	}
+	return fi.Pkg.Files[0]
+}
+
+// funcTaint is the per-function analysis state.
+type funcTaint struct {
+	tt           *taintTracker
+	fi           *FuncInfo
+	info         *types.Info
+	local        map[types.Object]string
+	ordered      map[int]bool
+	localChanged bool
+}
+
+// walk is one pass over the body: propagate taint through statements, and
+// with a non-nil reporter, flag tainted arguments at sink calls.
+func (st *funcTaint) walk(report reporter) {
+	ast.Inspect(st.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							if desc, ok := st.exprTaint(vs.Values[i]); ok {
+								st.taintObj(st.info.Defs[name], desc)
+							}
+						} else if len(vs.Values) == 1 {
+							if desc, ok := st.exprTaint(vs.Values[0]); ok {
+								st.taintObj(st.info.Defs[name], desc)
+							}
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			st.rangeStmt(n)
+		case *ast.SelectStmt:
+			st.selectStmt(n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if desc, ok := st.exprTaint(res); ok && desc != selectTaintDesc {
+					if _, had := st.tt.retTaint[st.fi]; !had {
+						st.tt.retTaint[st.fi] = desc
+						st.tt.changed = true
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				st.maybeSortLaunder(call)
+			}
+		case *ast.CallExpr:
+			if report != nil {
+				st.checkSink(n, report)
+			}
+		}
+		return true
+	})
+}
+
+// assign propagates right-hand taint into left-hand locals, fields, and
+// package variables.
+func (st *funcTaint) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if desc, ok := st.exprTaint(as.Rhs[i]); ok {
+				st.taintLValue(lhs, desc)
+			}
+		}
+		return
+	}
+	// Tuple assignment from one multi-result expression.
+	if len(as.Rhs) == 1 {
+		if desc, ok := st.exprTaint(as.Rhs[0]); ok {
+			for _, lhs := range as.Lhs {
+				st.taintLValue(lhs, desc)
+			}
+		}
+	}
+}
+
+func (st *funcTaint) rangeStmt(rs *ast.RangeStmt) {
+	tv, ok := st.info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	line := st.fi.Pkg.fset.Position(rs.Pos()).Line
+	if st.ordered[line] || st.ordered[line-1] {
+		return
+	}
+	const desc = "map iteration order"
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		st.taintObj(st.defOrUse(id), desc)
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		st.taintObj(st.defOrUse(id), desc)
+	}
+}
+
+// selectStmt taints values bound by the communications of a racing select:
+// two or more comm clauses means which one fires is scheduler-dependent.
+func (st *funcTaint) selectStmt(sel *ast.SelectStmt) {
+	comms := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms < 2 {
+		return
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				st.taintLValue(lhs, selectTaintDesc)
+			}
+		}
+	}
+}
+
+// maybeSortLaunder clears the taint of a slice passed to a sort.* call:
+// sorting re-establishes a deterministic order, completing the sorted-keys
+// idiom.
+func (st *funcTaint) maybeSortLaunder(call *ast.CallExpr) {
+	obj := calleeObject(st.info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if base := st.baseObject(call.Args[0]); base != nil {
+		delete(st.local, base)
+	}
+}
+
+// checkSink reports tainted arguments reaching //heimdall:nountaint calls.
+func (st *funcTaint) checkSink(call *ast.CallExpr, report reporter) {
+	obj := calleeObject(st.info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	callee := st.tt.g.FuncOf(fn)
+	if callee == nil || !callee.Nountaint {
+		return
+	}
+	for _, arg := range call.Args {
+		if desc, ok := st.exprTaint(arg); ok {
+			report(arg.Pos(), "value tainted by "+desc+
+				" flows into //heimdall:nountaint sink "+callee.Label(st.fi.Pkg)+
+				"; determinism sinks must only see reproducible inputs")
+		}
+	}
+}
+
+// exprTaint reports whether the expression carries taint, and from what.
+func (st *funcTaint) exprTaint(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case nil:
+		return "", false
+	case *ast.Ident:
+		obj := st.defOrUse(e)
+		if obj == nil {
+			return "", false
+		}
+		if desc, ok := st.local[obj]; ok {
+			return desc, true
+		}
+		if desc, ok := st.tt.fieldTaint[obj]; ok {
+			return desc, true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if obj := st.info.Uses[e.Sel]; obj != nil {
+			if desc, ok := st.tt.fieldTaint[obj]; ok {
+				return desc, true
+			}
+		}
+		return st.exprTaint(e.X)
+	case *ast.CallExpr:
+		return st.callTaint(e)
+	case *ast.ParenExpr:
+		return st.exprTaint(e.X)
+	case *ast.StarExpr:
+		return st.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		return st.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		if desc, ok := st.exprTaint(e.X); ok {
+			return desc, true
+		}
+		return st.exprTaint(e.Y)
+	case *ast.IndexExpr:
+		if desc, ok := st.exprTaint(e.X); ok {
+			return desc, true
+		}
+		return st.exprTaint(e.Index)
+	case *ast.SliceExpr:
+		return st.exprTaint(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if desc, ok := st.exprTaint(el); ok {
+				return desc, true
+			}
+		}
+		return "", false
+	case *ast.KeyValueExpr:
+		return st.exprTaint(e.Value)
+	case *ast.TypeAssertExpr:
+		return st.exprTaint(e.X)
+	}
+	return "", false
+}
+
+// callTaint classifies a call expression: module functions contribute only
+// their audited annotation or return summary; everything else (stdlib,
+// interface methods, function values) conservatively forwards taint from
+// receiver and arguments, with the wall-clock and global-rand families as
+// the ground sources.
+func (st *funcTaint) callTaint(call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(st.info, call)
+	if fn, ok := obj.(*types.Func); ok {
+		if fi := st.tt.g.FuncOf(fn); fi != nil {
+			if fi.Walltime {
+				return "audited wall-clock call " + fi.Label(st.fi.Pkg), true
+			}
+			if desc, ok := st.tt.retTaint[fi]; ok {
+				return desc + " (returned by " + fi.Label(st.fi.Pkg) + ")", true
+			}
+			return "", false
+		}
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					return "wall-clock read time." + fn.Name(), true
+				}
+			case "math/rand", "math/rand/v2":
+				if fn.Type().(*types.Signature).Recv() == nil && !globalrandAllowed[fn.Name()] {
+					return "global math/rand state rand." + fn.Name(), true
+				}
+			}
+		}
+	}
+	// Conversions and unresolved/stdlib calls: forward taint.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if desc, ok := st.exprTaint(sel.X); ok {
+			return desc, true
+		}
+	}
+	for _, arg := range call.Args {
+		if desc, ok := st.exprTaint(arg); ok {
+			return desc, true
+		}
+	}
+	return "", false
+}
+
+func (st *funcTaint) taintLValue(lhs ast.Expr, desc string) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		st.taintObj(st.defOrUse(lhs), desc)
+	case *ast.SelectorExpr:
+		if obj := st.info.Uses[lhs.Sel]; obj != nil {
+			st.taintGlobal(obj, desc)
+			return
+		}
+		st.taintLValue(lhs.X, desc)
+	case *ast.IndexExpr:
+		st.taintLValue(lhs.X, desc)
+	case *ast.StarExpr:
+		st.taintLValue(lhs.X, desc)
+	case *ast.ParenExpr:
+		st.taintLValue(lhs.X, desc)
+	}
+}
+
+// taintObj taints a function-scoped object locally, or a package-level
+// object module-wide.
+func (st *funcTaint) taintObj(obj types.Object, desc string) {
+	if obj == nil {
+		return
+	}
+	if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		st.taintGlobal(obj, desc)
+		return
+	}
+	if _, had := st.local[obj]; !had {
+		st.local[obj] = desc
+		st.localChanged = true
+	}
+}
+
+func (st *funcTaint) taintGlobal(obj types.Object, desc string) {
+	if desc == selectTaintDesc {
+		// Select taint is intra-procedural: record it as a local fact so
+		// in-function sink calls still see it, but never poison the field
+		// module-wide.
+		if _, had := st.local[obj]; !had {
+			st.local[obj] = desc
+			st.localChanged = true
+		}
+		return
+	}
+	if _, had := st.tt.fieldTaint[obj]; !had {
+		st.tt.fieldTaint[obj] = desc
+		st.tt.changed = true
+	}
+}
+
+// baseObject walks an expression to its base identifier's object.
+func (st *funcTaint) baseObject(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return st.defOrUse(x)
+		default:
+			return nil
+		}
+	}
+}
+
+func (st *funcTaint) defOrUse(id *ast.Ident) types.Object {
+	if obj := st.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return st.info.Uses[id]
+}

@@ -1,0 +1,63 @@
+// Package hotclosure exercises the transitive hotpath lint: every function
+// statically reachable from a //heimdall:hotpath root must be hotpath-clean,
+// and findings carry the call chain from the root.
+package hotclosure
+
+import (
+	"fmt"
+
+	"vetmod/hotclosure/rowkit"
+)
+
+// Decide is the hotpath root. Its own body is clean; the violations live
+// two hops down (growRow) and across a package boundary (rowkit.Sum).
+//
+//heimdall:hotpath
+func Decide(xs []float64) float64 {
+	row := stage(xs)
+	return row[0] + rowkit.Sum(xs) + scoreFast(xs)
+}
+
+// stage is not annotated, but it is reachable from Decide, so the closure
+// pass checks it (cleanly) and descends into growRow.
+func stage(xs []float64) []float64 {
+	return growRow(nil, xs)
+}
+
+// growRow appends to a local: a violation reported with the full chain.
+func growRow(dst, xs []float64) []float64 {
+	tmp := []float64{}
+	tmp = append(tmp, xs...) // want "hot chain Decide → stage → growRow: append to a slice not rooted"
+	dst = append(dst, tmp...)
+	_ = spill(xs)
+	return dst
+}
+
+// scoreFast carries its own //heimdall:hotpath annotation: it is a root of
+// its own and the closure pass does not re-check it through Decide's chain
+// (its body would double-report otherwise — the base lint already covers
+// it).
+//
+//heimdall:hotpath
+func scoreFast(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// spill is an audited cold escape: the closure pass does not descend into
+// it, so its fmt call is fine.
+//
+//heimdall:coldpath
+func spill(xs []float64) string {
+	return fmt.Sprint(len(xs))
+}
+
+// unreached has hot-dirty shapes but no hotpath root reaches it: clean.
+func unreached(xs []float64) string {
+	tmp := []float64{}
+	tmp = append(tmp, xs...)
+	return fmt.Sprint(tmp)
+}

@@ -1,0 +1,22 @@
+// Package rowkit is the cross-package arm of the hotclosure fixture: its
+// Sum is reachable from hotclosure.Decide, and the chain in the finding
+// carries the package-qualified label.
+package rowkit
+
+import "fmt"
+
+// Sum is hot-reachable from hotclosure.Decide.
+func Sum(xs []float64) float64 {
+	fmt.Sprint(len(xs)) // want "hot chain Decide → rowkit.Sum: fmt.Sprint called in a function reachable from a"
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Helper is not reachable from any root: its allocation is fine.
+func Helper(xs []float64) []float64 {
+	tmp := []float64{}
+	return append(tmp, xs...)
+}

@@ -26,6 +26,32 @@ func Hot(xs []float64) []float64 {
 	return xs
 }
 
+// HotControl exercises the control-flow shapes: defer, goroutine spawn,
+// channel operations, and map/channel iteration are all banned on the hot
+// path.
+//
+//heimdall:hotpath
+func HotControl(ch chan int, m map[int]int, done func()) int {
+	defer done()       // want "defer on a"
+	go done()          // want "go statement on a"
+	ch <- 1            // want "channel send on a"
+	v := <-ch          // want "channel receive on a"
+	for k := range m { // want "map iteration on a"
+		v += k
+	}
+	for r := range ch { // want "range over a channel on a"
+		v += r
+	}
+	return v
+}
+
+// ColdControl has the same shapes with no annotation: fine.
+func ColdControl(ch chan int, done func()) int {
+	defer done()
+	ch <- 1
+	return <-ch
+}
+
 // Cold has the same shapes with no annotation: the lint ignores it.
 func Cold(xs []float64) []float64 {
 	fmt.Println(len(xs))

@@ -1,0 +1,59 @@
+// Package ownership exercises the single-writer ownership lint: a field
+// annotated //heimdall:owner may only be touched by the declared owners and
+// by functions provably called only by them.
+package ownership
+
+// gauge is a single-writer counter in the style of the shard state: n is
+// owned by step and reset, label is free for anyone.
+type gauge struct {
+	//heimdall:owner step,reset
+	n     int
+	label string
+}
+
+// step and reset are the declared owners.
+func (g *gauge) step() {
+	g.n++
+	g.bump()
+	g.shared()
+}
+
+func (g *gauge) reset() { g.n = 0 }
+
+// bump is called only by step, so the fixed point admits it to the owner
+// closure: no finding.
+func (g *gauge) bump() { g.n++ }
+
+// shared is called by step AND by outsider, so it cannot join the closure.
+func (g *gauge) shared() {
+	g.n++ // want "field gauge.n is owned by reset,step; accessed from gauge.shared, which is outside the owner closure (also called from outsider)"
+}
+
+// grab is called only by step's closure-mate outsider as a method value:
+// address-taken functions can be invoked from any goroutine, so no caller
+// claim survives.
+func (g *gauge) grab() {
+	g.n++ // want "it is address-taken, so its callers cannot be proven"
+}
+
+// rogue has no static callers inside the module: outside the closure.
+func rogue(g *gauge) int {
+	return g.n // want "field gauge.n is owned by reset,step; accessed from rogue, which is outside the owner closure (it has no static callers inside the module)"
+}
+
+// outsider never touches n itself — calling owners is always fine — but it
+// keeps shared out of the closure and takes grab's address.
+func outsider(g *gauge) func() {
+	g.label = "outside"
+	g.shared()
+	return g.grab
+}
+
+// sweep only reads the unannotated field: no finding.
+func sweep(gs []*gauge) int {
+	total := 0
+	for _, g := range gs {
+		total += len(g.label)
+	}
+	return total
+}

@@ -1,0 +1,117 @@
+// Package taint exercises the determinism-taint lint: wall-clock reads,
+// global math/rand state, map-iteration order, and select nondeterminism
+// must not flow into //heimdall:nountaint sinks, no matter how many
+// assignments, fields, or helper returns they are laundered through.
+package taint
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// emit stands in for a verdict encoder: a determinism sink.
+//
+//heimdall:nountaint
+func emit(v int64) { _ = v }
+
+//heimdall:nountaint
+func emitStr(s string) { _ = s }
+
+// Direct flow. The function is walltime-audited so the base lint is
+// silent, but auditing a clock read does not make it reproducible: it
+// still must not reach a sink.
+//
+//heimdall:walltime
+func direct() {
+	emit(time.Now().UnixNano()) // want "value tainted by wall-clock read time.Now flows into"
+}
+
+// Laundering through two locals.
+//
+//heimdall:walltime
+func viaLocals() {
+	stamp := time.Now().UnixNano()
+	x := stamp
+	emit(x) // want "value tainted by wall-clock read time.Now flows into"
+}
+
+type record struct {
+	stamp int64
+	val   int64
+}
+
+// Laundering through a struct field: the write in stampIt poisons the
+// field module-wide, and the read in emitRecord is the finding.
+//
+//heimdall:walltime
+func stampIt(r *record) {
+	r.stamp = time.Now().UnixNano()
+}
+
+func emitRecord(r *record) {
+	emit(r.stamp) // want "value tainted by wall-clock read time.Now flows into"
+	emit(r.val)   // clean: val is never written from a source
+}
+
+// Laundering through a helper's return value: nowNanos is not audited, so
+// the base walltime lint fires at the read, and its return summary taints
+// every call site.
+func nowNanos() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func viaReturn() {
+	emit(nowNanos()) // want "value tainted by wall-clock read time.Now (returned by nowNanos) flows into"
+}
+
+// Global math/rand state is a source (and a globalrand finding of its own).
+func viaRand() {
+	id := rand.Int63() // want "rand.Int63 draws from the process-global source"
+	emit(id)           // want "value tainted by global math/rand state rand.Int63 flows into"
+}
+
+// Map iteration order is a source for the bound key.
+func keys(m map[string]int) {
+	for k := range m {
+		emitStr(k) // want "value tainted by map iteration order flows into"
+	}
+}
+
+// Sorting launders: after sort.Strings the order is deterministic again
+// (the second half of the sorted-keys idiom).
+func sortedKeys(m map[string]int) {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	emitStr(ks[0]) // clean: sorted
+}
+
+// An //heimdall:ordered audit on the range clears the source.
+func orderedKeys(m map[string]int) {
+	//heimdall:ordered
+	for k := range m {
+		emitStr(k) // clean: audited ordered iteration
+	}
+}
+
+// A racing select taints what it binds.
+func raced(a, b chan int64) {
+	var v int64
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	emit(v) // want "value tainted by select nondeterminism flows into"
+}
+
+// A single-clause select is deterministic: no source.
+func single(a chan int64) {
+	var v int64
+	select {
+	case v = <-a:
+	}
+	emit(v) // clean: one communication clause
+}

@@ -47,10 +47,22 @@ var (
 // the buffers on demand; undersizing costs a one-time allocation, never
 // correctness.
 type Scratch struct {
-	fa, fb []float64 // float ladder: layer ping-pong buffers
-	qa, qb []int64   // int32 ladder: layer ping-pong buffers
-	a8, b8 []int8    // int8 ladder: batch-major activation planes (width × batch)
-	acc    []int32   // int8 ladder: output-layer accumulators for one row
+	// float ladder: layer ping-pong buffers
+	//
+	//heimdall:owner Network.PredictBatchInto,NewScratch
+	fa, fb []float64
+	// int32 ladder: layer ping-pong buffers
+	//
+	//heimdall:owner QuantNetwork.PredictBatchInto,NewScratch
+	qa, qb []int64
+	// int8 ladder: batch-major activation planes (width × batch)
+	//
+	//heimdall:owner QuantNetwork8.PredictBatchInto,NewScratch
+	a8, b8 []int8
+	// int8 ladder: output-layer accumulators for one row
+	//
+	//heimdall:owner QuantNetwork8.PredictBatchInto,NewScratch
+	acc []int32
 }
 
 // NewScratch sizes a Scratch for p with room for batches of up to maxBatch

@@ -31,6 +31,12 @@ func Workers(n int) int {
 // (workers <= 0 means GOMAXPROCS). It returns after all calls complete. If
 // any fn panics, the first panic value is re-raised on the caller's
 // goroutine once the remaining workers have drained.
+//
+// The fan-out is a determinism sink: its inputs (the bounds and anything
+// the closure captures) must be reproducible, or Workers(1) and Workers(N)
+// diverge. heimdall-vet's taint lint enforces that at every call site.
+//
+//heimdall:nountaint
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -80,6 +86,8 @@ func ForEach(workers, n int, fn func(i int)) {
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
 // returns the results in index order — the parallel shape of a for-append
 // loop whose iterations are independent. Panic behaviour matches ForEach.
+//
+//heimdall:nountaint
 func Map[R any](workers, n int, fn func(i int) R) []R {
 	out := make([]R, n)
 	ForEach(workers, n, func(i int) {
@@ -93,6 +101,8 @@ func Map[R any](workers, n int, fn func(i int) R) []R {
 // buffers across its slice of the work (e.g. one scores buffer per chunk of
 // AutoML trials) while staying deterministic: results are written by index,
 // so chunk boundaries never show in the output.
+//
+//heimdall:nountaint
 func ForEachChunk(workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return

@@ -184,16 +184,29 @@ func (h *eventHeap) pop() event {
 
 // tracker is the client-side observable state of one device.
 type tracker struct {
-	dev     *ssd.Device
-	inj     *fault.Injector
-	hist    *feature.Window
+	dev *ssd.Device
+	inj *fault.Injector
+	//heimdall:owner advance,view,Run
+	hist *feature.Window
+	//heimdall:owner advance,view,record
 	pending completions
+	//heimdall:owner advance,view,Run
 	ewmaLat float64
+	//heimdall:owner advance,view,Run
 	ewmaSvc float64
-	ewmaQ   float64 // EWMA of queue-depth feedback (C3's smoothed q̄s)
-	alpha   float64
-	threads int // client threads: EWMAs sample 1-in-threads completions
-	seen    int
+	// ewmaQ is the EWMA of queue-depth feedback (C3's smoothed q̄s).
+	//
+	//heimdall:owner advance,view
+	ewmaQ float64
+	//heimdall:owner advance,Run
+	alpha float64
+	// threads is the client thread count: EWMAs sample 1-in-threads
+	// completions.
+	//
+	//heimdall:owner advance,Run
+	threads int
+	//heimdall:owner advance
+	seen int
 }
 
 type completion struct {

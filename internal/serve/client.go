@@ -34,6 +34,11 @@ type Client struct {
 	conn net.Conn
 	fr   *frameReader
 	bw   *bufio.Writer
+	// wbuf is the reused encode buffer; Send/Complete rebuild it in place
+	// and writeFrameBuffered patches the length header, so it is strictly
+	// single-writer — Client is not safe for concurrent use by design.
+	//
+	//heimdall:owner Send,Complete,writeFrameBuffered
 	wbuf []byte
 }
 
@@ -162,11 +167,16 @@ func (c *Client) Decide(device uint32, queueLen int, size int32) (Verdict, error
 // Client's own Send/Recv — the Pipeline assumes every response on the wire
 // answers one of its submits.
 type Pipeline struct {
-	c        *Client
-	window   int
-	seq      uint64
+	//heimdall:owner Submit,Drain,Client.Pipeline
+	c *Client
+	//heimdall:owner Submit,Client.Pipeline
+	window int
+	//heimdall:owner Submit,Client.Pipeline
+	seq uint64
+	//heimdall:owner Submit,Drain,Inflight
 	inflight int
-	buf      []Verdict
+	//heimdall:owner Submit,Drain
+	buf []Verdict
 }
 
 // Pipeline starts a windowed async session over the client with the given

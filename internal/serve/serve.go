@@ -622,9 +622,12 @@ func (w *connWriter) sticky() error {
 
 // decideResp encodes and buffers one decide response. The frame is written
 // directly into the open recycled buffer — no intermediate scratch, no copy,
-// no allocation in steady state.
+// no allocation in steady state. It is a determinism sink: everything in a
+// verdict frame (id, admit bit, flags, model version) must be a pure
+// function of the request stream, never of the wall clock or scheduling.
 //
 //heimdall:hotpath
+//heimdall:nountaint
 func (w *connWriter) decideResp(id uint64, admit bool, flags uint8, version uint32) {
 	w.mu.Lock()
 	if w.err == nil {

@@ -14,15 +14,21 @@ import (
 // exactly one shard and is touched only by that shard's worker, so the
 // decide path needs no locks.
 type deviceState struct {
+	//heimdall:owner shard.run
 	win *feature.Window
 	// Joint-group assembly (JointSize P > 1): a device's decide requests
 	// are grouped strictly by arrival sequence — requests P·g .. P·g+P−1
 	// form group g, decided by one forward pass when the last member
 	// arrives. Membership never depends on batch timing, which is what
 	// keeps batched decisions byte-identical to sequential ones.
-	sizes    []int32
-	pend     []pendMember
+	//
+	//heimdall:owner shard.run
+	sizes []int32
+	//heimdall:owner shard.run
+	pend []pendMember
+	//heimdall:owner shard.run
 	headQLen uint32
+	//heimdall:owner shard.run
 	firstEnq int64
 }
 
@@ -47,13 +53,17 @@ type pendingInf struct {
 // the queue and counters are worker-private. Requests travel the queue by
 // value, so the datapath needs no request pool.
 type shard struct {
-	srv  *Server
-	q    chan request
+	srv *Server
+	q   chan request
+	//heimdall:owner run,NewServer
 	devs map[uint32]*deviceState
 	cnt  counters
-	ctl  batchController
+	//heimdall:owner run,NewServer
+	ctl batchController
 
-	batch   []request
+	//heimdall:owner run
+	batch []request
+	//heimdall:owner run
 	touched []*connWriter
 
 	// Batched-decide staging: requests that survive the breaker and
@@ -64,33 +74,53 @@ type shard struct {
 	// out in staging order (phase C). Integer-quantized engines are exact
 	// at any batch shape, so the verdicts are byte-identical to the old
 	// one-forward-pass-per-request path.
-	rowBufs  [][]float64
-	rows     [][]float64
-	infs     []pendingInf
-	members  []pendMember
+	//heimdall:owner run
+	rowBufs [][]float64
+	//heimdall:owner run
+	rows [][]float64
+	//heimdall:owner run
+	infs []pendingInf
+	//heimdall:owner run
+	members []pendMember
+	//heimdall:owner run
 	verdicts []bool
 
 	// scratch is rebuilt when the published model changes (its size
 	// depends on the network architecture and active Predictor).
+	//
+	//heimdall:owner run
 	scrFor *servingModel
-	scr    *core.Scratch
+	//heimdall:owner run
+	scr *core.Scratch
 
 	// deferred counts joint-group members across devices whose responses
 	// are held; when nonzero the worker waits with a timeout so a stalled
 	// group is flushed fail-open after GroupTimeout.
+	//
+	//heimdall:owner run
 	deferred int
 
 	// Breaker: policy.Guarded's decision-count-driven state machine,
 	// retargeted at shed rate. All state is worker-private.
-	bstate   policy.BreakerState
-	bn       int    // closed: decisions in the current window
+	//
+	//heimdall:owner run
+	bstate policy.BreakerState
+	//heimdall:owner run
+	bn int // closed: decisions in the current window
+	//heimdall:owner run
 	shedBase uint64 // sheds+deadline counter at window/half-open start
-	cooldown int    // open: decisions left before half-open
-	probeSeq int    // half-open: decisions since entering
-	probes   int    // half-open: probes performed
+	//heimdall:owner run
+	cooldown int // open: decisions left before half-open
+	//heimdall:owner run
+	probeSeq int // half-open: decisions since entering
+	//heimdall:owner run
+	probes int // half-open: probes performed
 
-	det    *drift.InputDetector
-	detN   int
+	//heimdall:owner run,NewServer
+	det *drift.InputDetector
+	//heimdall:owner run
+	detN int
+	//heimdall:owner run
 	detPub int
 }
 
@@ -183,9 +213,11 @@ func (sh *shard) run() {
 
 // gather drains queued requests into the batch, up to maxBatch, without
 // blocking. A closed queue just stops the drain; the next blocking receive
-// in run observes the close and triggers shutdown.
-//
-//heimdall:hotpath
+// in run observes the close and triggers shutdown. gather is the channel
+// boundary of the worker loop — channel ops are its whole job — so it is
+// deliberately not //heimdall:hotpath (the lint bans channel ops there);
+// its only append is receiver-rooted and the staged decide path that
+// follows carries the zero-alloc contract.
 func (sh *shard) gather(maxBatch int) {
 	for len(sh.batch) < maxBatch {
 		select {
@@ -516,15 +548,28 @@ const (
 // on per-device message order — so any controller trajectory yields
 // byte-identical decisions (pinned by TestServeDeterminism).
 type batchController struct {
-	enabled            bool
-	level, maxLevel    int
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	enabled bool
+	// level is also read by shard.adapt to publish the adapt-level gauge.
+	//
+	//heimdall:owner init,batchCap,window,gatherFloor,observe,shard.adapt
+	level int
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	maxLevel int
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
 	minBatch, maxBatch int
-	baseWindow         time.Duration
-	maxWindow          time.Duration
-	period             int // decisions per controller step
-	decided            int // decisions accumulated toward the next step
-	batches            int // batches observed in the current period
-	pressured          int // of those, how many ran pressured
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	baseWindow time.Duration
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	maxWindow time.Duration
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	period int // decisions per controller step
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	decided int // decisions accumulated toward the next step
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	batches int // batches observed in the current period
+	//heimdall:owner init,batchCap,window,gatherFloor,observe
+	pressured int // of those, how many ran pressured
 }
 
 func (bc *batchController) init(cfg Config) {

@@ -122,6 +122,7 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 var (
 	errFrameLength    = fmt.Errorf("%w: length out of bounds", ErrFrame)
 	errFrameTruncated = fmt.Errorf("%w: truncated body", ErrFrame)
+	errDecideResp     = fmt.Errorf("%w: bad decide response body", ErrFrame)
 )
 
 // frameBufSize is the frameReader's bufio buffer: big enough that a full
@@ -183,7 +184,10 @@ func (fr *frameReader) next() ([]byte, error) {
 
 // spill handles a frame too large for the read buffer: copy it into the
 // reader's own scratch. Cold (only model swaps exceed frameBufSize), so it
-// may use the interface-taking stdlib helpers the hot path avoids.
+// may use the interface-taking stdlib helpers the hot path avoids — the
+// audited escape the coldpath annotation exists for.
+//
+//heimdall:coldpath
 func (fr *frameReader) spill(n int) ([]byte, error) {
 	if _, err := fr.br.Discard(4); err != nil {
 		return nil, err
@@ -262,9 +266,13 @@ type Verdict struct {
 // path rather than a forward pass.
 func (v Verdict) Shed() bool { return v.Flags != 0 }
 
+// parseDecideResp decodes a verdict frame. It sits on the pipelined
+// client's batch-reap path (Client.Recv, a //heimdall:hotpath root), so
+// the malformed-frame return is a static sentinel, not a fmt.Errorf —
+// the same detail-free-for-format-free trade the frameReader errors make.
 func parseDecideResp(body []byte) (Verdict, error) {
 	if len(body) != decideRespLen || body[0] != msgDecideResp {
-		return Verdict{}, fmt.Errorf("%w: decide response body %d bytes", ErrFrame, len(body))
+		return Verdict{}, errDecideResp
 	}
 	return Verdict{
 		ID:           binary.BigEndian.Uint64(body[1:]),
