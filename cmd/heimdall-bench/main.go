@@ -31,7 +31,12 @@
 // and `heimdall-bench int8` measures the int8 batch engine against the
 // int32 reference (ns/op per row, allocs, verdict agreement) and writes
 // BENCH_int8.json, exiting nonzero if the int8 path allocates or agreement
-// regresses (see -help on each).
+// regresses (see -help on each). `heimdall-bench retrain` is the
+// continuous-learning shoot-out: a seeded drifting workload replayed
+// through a train-once baseline and a lifecycle-managed server, scoring
+// per-window accuracy/FNR against ground truth and asserting the managed
+// run's outcomes are byte-identical across reruns and candidate-training
+// worker counts (writes BENCH_retrain.json with -json).
 package main
 
 import (
@@ -92,6 +97,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "int8" {
 		runInt8Bench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "retrain" {
+		runRetrainBench(os.Args[2:])
 		return
 	}
 	scaleName := flag.String("scale", "medium", "experiment scale: small, medium, or full")

@@ -1,0 +1,573 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/lifecycle"
+	"repro/internal/serve"
+	"repro/internal/ssd"
+	"repro/internal/trace"
+)
+
+// runRetrainBench is the `heimdall-bench retrain` subcommand: the
+// continuous-learning shoot-out. A seeded drifting workload — a
+// Tencent-style regime spliced into an MSR-style regime a third of the
+// way in (Fig. 17's long-deployment distribution shift compressed in
+// time) — is replayed through two real servers over the wire:
+//
+//   - baseline: train once on the first window, never touch the model;
+//   - managed: the same champion wrapped in the lifecycle service — live
+//     completions harvested into per-device reservoirs, challenger panels
+//     trained between windows, shadow-judged on held-out live traffic, and
+//     promoted through the atomic hot-swap when they clear the gates, with
+//     PSI alerts shortening the evaluation window.
+//
+// Both runs see byte-identical request streams (one synchronous
+// connection, per-shard fences before every manager tick), so the only
+// difference is the model lifecycle. Verdicts are scored per window
+// against the simulator's ground-truth contention labels. The managed run
+// is executed three times — rerun and a different candidate-training
+// worker count — and the bench exits nonzero if any outcome hash differs:
+// the determinism half of the acceptance criterion.
+func runRetrainBench(args []string) {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "workload seed")
+	windows := fs.Int("windows", 10, "monitoring windows to replay (after the training window)")
+	windowDur := fs.Duration("window", time.Second, "trace-time span of one window")
+	devices := fs.Int("devices", 4, "devices (each with its own drifting trace and simulated SSD)")
+	shards := fs.Int("shards", 2, "server shards")
+	workers := fs.Int("parallel", 0, "candidate-training workers (0 = GOMAXPROCS); determinism is also checked at 1")
+	evalEvery := fs.Int("eval-every", 24000, "harvested completions per evaluation window at urgency 0")
+	jsonOut := fs.Bool("json", false, "write BENCH_retrain.json")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	total := *windowDur * time.Duration(*windows+1)
+	shiftWin := (*windows + 1) / 3
+	if shiftWin < 2 {
+		shiftWin = 2
+	}
+	fmt.Printf("retrain bench: %d windows × %v, %d devices, %d shards, regime shift at window %d\n",
+		*windows, *windowDur, *devices, *shards, shiftWin)
+
+	// Per-device logs, chopped into windows by arrival. The workload is a
+	// crisp regime change, the §7 deployment story: windows [0, shiftWin)
+	// are Tencent-style (constant interarrival, small reads), everything
+	// after is MSR-style (bursty, read-heavy, bigger transfers) — a world
+	// the window-0 champion never saw. Each regime runs through its own
+	// simulated SSD; regime B's arrivals are offset to splice the logs.
+	logs := make([][]iolog.Record, *devices)
+	for d := range logs {
+		dseed := *seed + int64(d)*101
+		durA := *windowDur * time.Duration(shiftWin)
+		genA := trace.TencentStyle(dseed, durA)
+		genB := trace.MSRStyle(dseed+17, total-durA)
+		logA := iolog.Collect(trace.Generate(genA), ssd.New(ssd.Samsung970Pro(), dseed))
+		logB := iolog.Collect(trace.Generate(genB), ssd.New(ssd.Samsung970Pro(), dseed+17))
+		for i := range logB {
+			logB[i].Arrival += int64(durA)
+		}
+		logs[d] = append(logA, logB...)
+	}
+
+	// Window 0 of device 0 is the operator's collected training log — the
+	// train-once world both servers start from.
+	champLog := windowSlice(logs[0], 0, *windowDur)
+	champCfg := core.DefaultConfig(*seed)
+	champCfg.Epochs = 10
+	champCfg.MaxTrainSamples = 10000
+	champion, err := core.Train(champLog, champCfg)
+	if err != nil {
+		fatalRetrain(err)
+	}
+	fmt.Printf("  champion: trained on %d records (window 0), window accuracy %.3f on its own window\n",
+		len(champLog), champion.WindowAccuracy(iolog.Reads(champLog), iolog.GroundTruth(iolog.Reads(champLog))))
+
+	// Merged per-window read streams, arrival-sorted across devices.
+	wins := make([][]devRead, *windows+1)
+	for w := 1; w <= *windows; w++ {
+		var merged []devRead
+		for d := range logs {
+			for _, r := range iolog.Reads(windowSlice(logs[d], w, *windowDur)) {
+				merged = append(merged, devRead{dev: uint32(d), rec: r})
+			}
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].rec.Arrival != merged[j].rec.Arrival {
+				return merged[i].rec.Arrival < merged[j].rec.Arrival
+			}
+			return merged[i].dev < merged[j].dev
+		})
+		wins[w] = merged
+	}
+
+	// Each window replays as a merged event stream: decides at arrival
+	// times, completions at arrival+latency — the same pending-I/O
+	// semantics feature.Extract uses offline, so the serving trackers see
+	// the history a trained model expects. (Completing each I/O right
+	// after its decide would hand the trackers history from I/Os still in
+	// flight at arrival time — a different feature distribution than any
+	// offline-trained model ever saw.)
+	events := make([][]replayEvent, *windows+1)
+	for w := 1; w <= *windows; w++ {
+		evs := make([]replayEvent, 0, 2*len(wins[w]))
+		for i, dr := range wins[w] {
+			evs = append(evs, replayEvent{at: dr.rec.Arrival, idx: i})
+			evs = append(evs, replayEvent{at: dr.rec.Arrival + dr.rec.Latency, complete: true, idx: i})
+		}
+		sort.SliceStable(evs, func(a, b int) bool {
+			if evs[a].at != evs[b].at {
+				return evs[a].at < evs[b].at
+			}
+			// Completions land before decides at the same instant, like the
+			// extractor's pending-heap pop; stable sort keeps the rest in
+			// arrival order.
+			return evs[a].complete && !evs[b].complete
+		})
+		events[w] = evs
+	}
+
+	// The drift reference is the live feature distribution at deployment
+	// time: rows observed while replaying the first monitoring window
+	// through a throwaway server. (Offline-extracted training rows go
+	// through a different arrival reconstruction than the serving trackers,
+	// so using them as the reference would read as permanent drift.)
+	driftRef := observeRef(champion, wins[1], events[1], *shards)
+	fmt.Printf("  drift reference: %d live rows observed replaying window 1\n", len(driftRef))
+
+	mgrCfg := func(w int) lifecycle.Config {
+		train := champCfg
+		// Live retraining labels synthesized-arrival logs. The latency-knee
+		// cutoff labeler ranks well on reservoir-sized samples of this
+		// bursty regime (the period labeler's window reconstruction is too
+		// lossy on synthesized arrivals); its over-eager slow fraction does
+		// not matter because the deployed operating point comes from online
+		// recalibration, not training-time calibration.
+		train.Labeling = core.LabelCutoffSize
+		train.SearchThresholds = false
+		train.Epochs = 8
+		train.MaxTrainSamples = 6000
+		return lifecycle.Config{
+			Seed:               *seed,
+			Train:              train,
+			ReservoirPerDevice: 1024,
+			HoldoutEvery:       4,
+			HoldoutPerDevice:   192,
+			EvalEvery:          *evalEvery,
+			MinTrain:           800,
+			MinHoldout:         64,
+			Candidates:         2,
+			WarmEpochs:         3,
+			Workers:            w,
+			// Under gradual drift the stale champion often keeps a decent
+			// ranking (AUC) long after its threshold calibration has rotted
+			// — by late windows it admits nearly every slow read. Allow AUC
+			// parity within noise and let the FNR gate arbitrate: a
+			// challenger may not admit meaningfully more slow I/Os than the
+			// champion, and the decline-rate guard still rejects degenerate
+			// decliners.
+			AUCMargin: -0.02,
+			// Deployed thresholds come from the shadow tap: training-time
+			// calibration sees offline-extracted rows whose distribution
+			// sits far from the serving trackers' (the PSI detectors agree
+			// — an offline reference reads as drift), so without this a
+			// passing challenger lands at an admit-everything operating
+			// point.
+			OnlineRecalibration: true,
+			TapEvery:            2,
+			TapPerDevice:        256,
+		}
+	}
+
+	w0 := *workers
+	if w0 <= 0 {
+		w0 = runtime.GOMAXPROCS(0)
+	}
+	base := driveRetrain(champion, nil, driftRef, wins, events, *shards)
+	fmt.Println("  baseline (train-once) done")
+	runA := driveManaged(champion, mgrCfg(w0), driftRef, wins, events, *shards)
+	fmt.Printf("  managed run done: %d promotions, %d rounds, %d rejections\n",
+		runA.stats.Promotions, runA.stats.Rounds, runA.stats.Rejections)
+	for _, n := range runA.notes {
+		rep := n.rep
+		switch {
+		case rep.Trained:
+			fmt.Printf("    window %d: trained %d candidates, best holdout AUC %.3f\n",
+				n.win, rep.Candidates, rep.BestAUC)
+		case rep.Promoted:
+			fmt.Printf("    window %d: promoted v%d (AUC %.3f vs %.3f, FNR %.3f vs %.3f, holdout slow %.3f, decline %.3f)\n",
+				n.win, rep.Version, rep.ChallengerAUC, rep.ChampionAUC,
+				rep.ChallengerFNR, rep.ChampionFNR, rep.HoldoutSlow, rep.DeclineRate)
+		case rep.Rejected:
+			note := ""
+			if rep.Recalibrated {
+				note = fmt.Sprintf("; champion recalibrated to v%d", rep.Version)
+			}
+			fmt.Printf("    window %d: rejected — %s (AUC %.3f vs %.3f, FNR %.3f vs %.3f, holdout slow %.3f, decline %.3f)%s\n",
+				n.win, rep.Reason, rep.ChallengerAUC, rep.ChampionAUC,
+				rep.ChallengerFNR, rep.ChampionFNR, rep.HoldoutSlow, rep.DeclineRate, note)
+		}
+	}
+	runB := driveManaged(champion, mgrCfg(w0), driftRef, wins, events, *shards)
+	runC := driveManaged(champion, mgrCfg(1), driftRef, wins, events, *shards)
+	deterministic := runA.hash == runB.hash && runA.hash == runC.hash
+
+	fmt.Printf("\n  %-6s %7s %8s %8s %8s %8s %6s %7s %3s\n",
+		"window", "reads", "baseAcc", "mgdAcc", "baseFNR", "mgdFNR", "promos", "psi", "urg")
+	rows := make([]retrainRow, 0, *windows)
+	for w := 1; w <= *windows; w++ {
+		b, m := base.wins[w], runA.wins[w]
+		row := retrainRow{
+			Window: w, Reads: b.reads, Slow: b.slow,
+			BaseAcc: b.acc(), BaseFNR: b.fnr(),
+			MgdAcc: m.acc(), MgdFNR: m.fnr(),
+			Promotions: m.promos, MaxPSI: m.psi, Urgency: m.urgency,
+		}
+		rows = append(rows, row)
+		fmt.Printf("  %-6d %7d %8.4f %8.4f %8.4f %8.4f %6d %7.3f %3d\n",
+			w, row.Reads, row.BaseAcc, row.MgdAcc, row.BaseFNR, row.MgdFNR,
+			row.Promotions, row.MaxPSI, row.Urgency)
+	}
+
+	last := rows[len(rows)-1]
+	improved := last.MgdAcc > last.BaseAcc && last.MgdFNR <= last.BaseFNR
+	fmt.Printf("\n  final window: accuracy %.4f vs %.4f, FNR %.4f vs %.4f (managed vs train-once)\n",
+		last.MgdAcc, last.BaseAcc, last.MgdFNR, last.BaseFNR)
+	fmt.Printf("  promotions %d, improved=%v, deterministic=%v (hash %016x)\n",
+		runA.stats.Promotions, improved, deterministic, runA.hash)
+
+	if *jsonOut {
+		rec := struct {
+			Experiment    string          `json:"experiment"`
+			Seed          int64           `json:"seed"`
+			Windows       []retrainRow    `json:"windows"`
+			Promotions    uint64          `json:"promotions"`
+			Manager       lifecycle.Stats `json:"manager"`
+			Improved      bool            `json:"improved"`
+			Deterministic bool            `json:"deterministic"`
+			Hash          string          `json:"outcome_hash"`
+			Workers       [2]int          `json:"worker_counts"`
+		}{
+			Experiment: "retrain", Seed: *seed, Windows: rows,
+			Promotions: runA.stats.Promotions, Manager: runA.stats,
+			Improved: improved, Deterministic: deterministic,
+			Hash:    fmt.Sprintf("%016x", runA.hash),
+			Workers: [2]int{w0, 1},
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatalRetrain(err)
+		}
+		if err := os.WriteFile("BENCH_retrain.json", append(buf, '\n'), 0o644); err != nil {
+			fatalRetrain(err)
+		}
+		fmt.Println("  wrote BENCH_retrain.json")
+	}
+	if !deterministic {
+		fmt.Fprintln(os.Stderr, "heimdall-bench retrain: managed outcomes diverged across reruns/worker counts")
+		os.Exit(1)
+	}
+}
+
+type devRead struct {
+	dev uint32
+	rec iolog.Record
+}
+
+// replayEvent is one step of a window's replay: a decide (at the read's
+// arrival) or its completion (at arrival+latency). idx points into the
+// window's devRead slice.
+type replayEvent struct {
+	at       int64
+	complete bool
+	idx      int
+}
+
+type retrainRow struct {
+	Window     int     `json:"window"`
+	Reads      int     `json:"reads"`
+	Slow       int     `json:"slow"`
+	BaseAcc    float64 `json:"base_acc"`
+	BaseFNR    float64 `json:"base_fnr"`
+	MgdAcc     float64 `json:"mgd_acc"`
+	MgdFNR     float64 `json:"mgd_fnr"`
+	Promotions uint64  `json:"promotions"`
+	MaxPSI     float64 `json:"max_psi"`
+	Urgency    int     `json:"urgency"`
+}
+
+// winScore accumulates one window's verdict quality for one run.
+type winScore struct {
+	reads, slow, correct, slowAdmitted int
+	promos                             uint64
+	psi                                float64
+	urgency                            int
+}
+
+func (w winScore) acc() float64 {
+	if w.reads == 0 {
+		return 1
+	}
+	return float64(w.correct) / float64(w.reads)
+}
+
+func (w winScore) fnr() float64 {
+	if w.slow == 0 {
+		return 0
+	}
+	return float64(w.slowAdmitted) / float64(w.slow)
+}
+
+type retrainRun struct {
+	wins  []winScore
+	notes []tickNote
+	hash  uint64
+	stats lifecycle.Stats
+}
+
+// tickNote pairs a manager tick report with the window it ran after.
+type tickNote struct {
+	win int
+	rep lifecycle.TickReport
+}
+
+// windowSlice returns the records of window w (arrival in [w·dur, (w+1)·dur)).
+func windowSlice(log []iolog.Record, w int, dur time.Duration) []iolog.Record {
+	lo, hi := int64(w)*int64(dur), int64(w+1)*int64(dur)
+	start := sort.Search(len(log), func(i int) bool { return log[i].Arrival >= lo })
+	end := sort.Search(len(log), func(i int) bool { return log[i].Arrival >= hi })
+	return log[start:end]
+}
+
+// driveManaged wires a lifecycle manager around a fresh server and replays
+// the workload, ticking the manager at every window boundary.
+func driveManaged(champion *core.Model, cfg lifecycle.Config, driftRef [][]float64, wins [][]devRead, events [][]replayEvent, shards int) retrainRun {
+	mgr, err := lifecycle.New(cfg, champion, nil)
+	if err != nil {
+		fatalRetrain(err)
+	}
+	return driveRetrain(champion, mgr, driftRef, wins, events, shards)
+}
+
+// benchServer starts a fresh server on a unix socket, dials one
+// synchronous client, and returns the client plus a teardown func.
+func benchServer(champion *core.Model, scfg serve.Config) (*serve.Server, *serve.Client, func()) {
+	srv := serve.NewServer(champion, scfg)
+	tmp, err := os.MkdirTemp("", "heimdall-retrain")
+	if err != nil {
+		fatalRetrain(err)
+	}
+	addr := "unix:" + filepath.Join(tmp, "serve.sock")
+	l, err := serve.Listen(addr)
+	if err != nil {
+		fatalRetrain(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			fmt.Fprintln(os.Stderr, "heimdall-bench retrain:", err)
+		}
+	}()
+	c, err := serve.Dial(addr)
+	if err != nil {
+		fatalRetrain(err)
+	}
+	return srv, c, func() {
+		_ = c.Close()
+		if err := srv.Close(); err != nil {
+			fatalRetrain(err)
+		}
+		_ = os.RemoveAll(tmp)
+	}
+}
+
+// refTap records the feature rows the server actually infers on.
+type refTap struct {
+	mu   sync.Mutex
+	rows [][]float64
+}
+
+func (t *refTap) OnDecision(_ uint32, row []float64, _ bool) {
+	t.mu.Lock()
+	t.rows = append(t.rows, append([]float64(nil), row...))
+	t.mu.Unlock()
+}
+
+// observeRef replays one window through a throwaway server and returns the
+// feature rows its shards inferred on — the live distribution the drift
+// detectors should treat as "no drift".
+func observeRef(champion *core.Model, win []devRead, events []replayEvent, shards int) [][]float64 {
+	tap := &refTap{}
+	_, c, stop := benchServer(champion, serve.Config{
+		Shards:        shards,
+		QueueLen:      8192,
+		BreakerWindow: -1,
+		Decisions:     tap,
+	})
+	defer stop()
+	for _, e := range events {
+		dr := win[e.idx]
+		if e.complete {
+			if err := c.Complete(dr.dev, uint64(dr.rec.Latency), dr.rec.QueueLen, dr.rec.Size); err != nil {
+				fatalRetrain(err)
+			}
+			continue
+		}
+		if _, err := c.Decide(dr.dev, dr.rec.QueueLen, dr.rec.Size); err != nil {
+			fatalRetrain(err)
+		}
+	}
+	return tap.rows
+}
+
+// driveRetrain replays every window through a fresh server over one
+// synchronous connection. mgr == nil is the train-once baseline; otherwise
+// the manager's hooks are wired in and Tick runs at each window boundary
+// behind per-shard fences, so its snapshots (and therefore the whole run)
+// are deterministic.
+func driveRetrain(champion *core.Model, mgr *lifecycle.Manager, driftRef [][]float64, wins [][]devRead, events [][]replayEvent, shards int) retrainRun {
+	scfg := serve.Config{
+		Shards:        shards,
+		QueueLen:      8192,
+		BreakerWindow: -1, // fail-open machinery off: verdict quality is the measurand
+		DriftRef:      driftRef,
+	}
+	if mgr != nil {
+		scfg.Completions = mgr.Harvester()
+		scfg.Decisions = mgr.Harvester()
+		scfg.OnDrift = mgr.DriftAlert
+	}
+	srv, c, stop := benchServer(champion, scfg)
+	defer stop()
+	if mgr != nil {
+		mgr.Retarget(srv)
+	}
+
+	h := fnv.New64a()
+	var b [8]byte
+	run := retrainRun{wins: make([]winScore, len(wins))}
+	for w := 1; w < len(wins); w++ {
+		sc := &run.wins[w]
+		for _, e := range events[w] {
+			dr := wins[w][e.idx]
+			if e.complete {
+				if err := c.Complete(dr.dev, uint64(dr.rec.Latency), dr.rec.QueueLen, dr.rec.Size); err != nil {
+					fatalRetrain(err)
+				}
+				continue
+			}
+			v, err := c.Decide(dr.dev, dr.rec.QueueLen, dr.rec.Size)
+			if err != nil {
+				fatalRetrain(err)
+			}
+			slow := dr.rec.Contended
+			sc.reads++
+			if slow {
+				sc.slow++
+			}
+			if v.Admit != slow { // admit fast, decline slow = correct
+				sc.correct++
+			}
+			if slow && v.Admit {
+				sc.slowAdmitted++
+			}
+			b[0] = 0
+			if v.Admit {
+				b[0] = 1
+			}
+			putU32(b[1:], v.ModelVersion)
+			_, _ = h.Write(b[:5])
+		}
+		// Per-shard fences: a decide round trip on device s drains shard
+		// s's queue (FIFO), so every completion above is harvested before
+		// the manager snapshots. Fence verdicts are excluded from scores
+		// but included in the hash — they are served traffic too.
+		for s := 0; s < shards; s++ {
+			v, err := c.Decide(uint32(s), 0, 4096)
+			if err != nil {
+				fatalRetrain(err)
+			}
+			b[0] = 0
+			if v.Admit {
+				b[0] = 1
+			}
+			putU32(b[1:], v.ModelVersion)
+			_, _ = h.Write(b[:5])
+		}
+		if mgr != nil {
+			rep := mgr.Tick()
+			run.notes = append(run.notes, tickNote{win: w, rep: rep})
+			hashTick(h, rep)
+			if rep.Judged {
+				// A second immediate tick lets a window that both judged
+				// and refilled start the next round without waiting a
+				// full window — the service is count-paced, not tick-paced.
+				rep = mgr.Tick()
+				run.notes = append(run.notes, tickNote{win: w, rep: rep})
+				hashTick(h, rep)
+			}
+			st := mgr.Stats()
+			sc.promos = st.Promotions
+			sc.urgency = st.Urgency
+		}
+		if stats, err := c.Stats(); err == nil {
+			sc.psi = stats.MaxPSI
+		}
+	}
+	if mgr != nil {
+		run.stats = mgr.Stats()
+		putU64(b[:], run.stats.Promotions)
+		_, _ = h.Write(b[:8])
+		putU64(b[:], run.stats.Rounds)
+		_, _ = h.Write(b[:8])
+		putU64(b[:], run.stats.Rejections)
+		_, _ = h.Write(b[:8])
+	}
+	run.hash = h.Sum64()
+	return run
+}
+
+// hashTick folds a tick report's outcome into the determinism hash.
+func hashTick(h hash.Hash64, rep lifecycle.TickReport) {
+	var b [13]byte
+	flags := byte(0)
+	for i, on := range []bool{rep.Trained, rep.Judged, rep.Promoted, rep.Rejected, rep.Recalibrated} {
+		if on {
+			flags |= 1 << i
+		}
+	}
+	b[0] = flags
+	putU32(b[1:], uint32(rep.Candidates))
+	putU64(b[5:], math.Float64bits(rep.BestAUC))
+	_, _ = h.Write(b[:])
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func fatalRetrain(err error) {
+	fmt.Fprintln(os.Stderr, "heimdall-bench retrain:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,13 @@
 // model can be hot-swapped at any time with the client Swap call without
 // pausing admission.
 //
+// With -managed the server runs the continuous-learning lifecycle
+// (internal/lifecycle): live completions are harvested into per-device
+// reservoirs, challenger panels retrain in the background, shadow-score
+// against the champion on held-out live traffic, and auto-promote through
+// the atomic hot-swap when they clear the accuracy and FNR gates. PSI
+// drift alerts shorten the evaluation window. See the -managed-* flags.
+//
 // SIGINT/SIGTERM shut down cleanly: listeners stop, queued requests are
 // answered (joint-group stragglers fail open), and the final counter
 // snapshot is printed.
@@ -30,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/iolog"
+	"repro/internal/lifecycle"
 	"repro/internal/serve"
 	"repro/internal/ssd"
 	"repro/internal/trace"
@@ -54,6 +62,13 @@ func main() {
 	budget := flag.Duration("budget", 0, "queue-age deadline; older decides fail open (0 = off)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-connection idle read deadline; silent peers are dropped (0 = off)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-response write deadline; slow peers are shed (0 = off)")
+	managed := flag.Bool("managed", false, "run the continuous-learning lifecycle: harvest live completions, train challengers in the background, auto-promote when they clear the gates")
+	managedInterval := flag.Duration("managed-interval", time.Second, "lifecycle tick cadence (rounds themselves are completion-count paced)")
+	managedEvalEvery := flag.Int("managed-eval-every", 0, "harvested completions per retrain round at urgency 0 (0 = default 4096)")
+	managedReservoir := flag.Int("managed-reservoir", 0, "per-device training reservoir size (0 = default 512)")
+	managedCandidates := flag.Int("managed-candidates", 0, "cold-retrain candidates per round (0 = default 2)")
+	managedWorkers := flag.Int("managed-parallel", 0, "candidate-training workers (0 = GOMAXPROCS)")
+	managedRecal := flag.Bool("managed-recal", true, "re-pin decision thresholds on live tapped rows (challengers before judging, the champion on rejection rounds)")
 	flag.Parse()
 
 	var (
@@ -122,7 +137,7 @@ func main() {
 		ref = feature.Extract(iolog.Reads(log), model.Spec())
 	}
 
-	srv := serve.NewServer(model, serve.Config{
+	scfg := serve.Config{
 		Shards:         *shards,
 		QueueLen:       *queueLen,
 		BatchWindow:    *window,
@@ -134,7 +149,35 @@ func main() {
 		ReadTimeout:    *readTimeout,
 		WriteTimeout:   *writeTimeout,
 		DriftRef:       ref,
-	})
+	}
+	var mgr *lifecycle.Manager
+	if *managed {
+		train := core.DefaultConfig(*seed)
+		// Harvested samples carry latency, queue depth, and size but only
+		// reconstructed arrivals, so live retraining labels with the
+		// per-size-class latency knee instead of period search.
+		train.Labeling = core.LabelCutoffSize
+		train.SearchThresholds = false
+		train.Quantize8 = *int8Flag
+		var err error
+		mgr, err = lifecycle.New(lifecycle.Config{
+			Seed:                *seed,
+			Train:               train,
+			ReservoirPerDevice:  *managedReservoir,
+			EvalEvery:           *managedEvalEvery,
+			Candidates:          *managedCandidates,
+			Workers:             *managedWorkers,
+			OnlineRecalibration: *managedRecal,
+		}, model, nil)
+		if err != nil {
+			fatal(err)
+		}
+		scfg.Completions = mgr.Harvester()
+		scfg.Decisions = mgr.Harvester()
+		scfg.OnDrift = mgr.DriftAlert
+	}
+
+	srv := serve.NewServer(model, scfg)
 	l, err := serve.Listen(*listen)
 	if err != nil {
 		fatal(err)
@@ -146,9 +189,31 @@ func main() {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
+	tickerDone := make(chan struct{})
+	if mgr != nil {
+		// Promotions hot-swap straight into the running server.
+		mgr.Retarget(srv)
+		ticker := time.NewTicker(*managedInterval)
+		go func() {
+			defer close(tickerDone)
+			for {
+				select {
+				case <-ticker.C:
+					logTick(mgr.Tick())
+				case <-tickerDone:
+					return
+				}
+			}
+		}()
+		fmt.Printf("lifecycle: managed mode on (tick %v)\n", *managedInterval)
+	}
+
 	select {
 	case sig := <-sigs:
 		fmt.Printf("%v: shutting down\n", sig)
+		if mgr != nil {
+			tickerDone <- struct{}{}
+		}
 		if err := srv.Close(); err != nil {
 			fatal(err)
 		}
@@ -161,6 +226,29 @@ func main() {
 		}
 	}
 	fmt.Printf("final: %s\n", srv.Stats())
+	if mgr != nil {
+		st := mgr.Stats()
+		fmt.Printf("lifecycle: harvested %d, rounds %d, promotions %d, rejections %d, recalibrations %d, model v%d, urgency %d\n",
+			st.Harvested, st.Rounds, st.Promotions, st.Rejections, st.Recalibrations, st.Version, st.Urgency)
+	}
+}
+
+// logTick prints the lifecycle events worth a log line; quiet ticks (the
+// vast majority) print nothing.
+func logTick(rep lifecycle.TickReport) {
+	switch {
+	case rep.Trained:
+		fmt.Printf("lifecycle: trained %d candidates, best holdout AUC %.3f\n", rep.Candidates, rep.BestAUC)
+	case rep.Promoted:
+		fmt.Printf("lifecycle: promoted v%d (AUC %.3f vs %.3f, FNR %.3f vs %.3f)\n",
+			rep.Version, rep.ChallengerAUC, rep.ChampionAUC, rep.ChallengerFNR, rep.ChampionFNR)
+	case rep.Rejected:
+		extra := ""
+		if rep.Recalibrated {
+			extra = fmt.Sprintf("; champion recalibrated to v%d", rep.Version)
+		}
+		fmt.Printf("lifecycle: challenger rejected — %s%s\n", rep.Reason, extra)
+	}
 }
 
 func deviceByName(name string) (ssd.Config, error) {

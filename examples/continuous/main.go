@@ -1,0 +1,163 @@
+// Continuous learning: the champion/challenger lifecycle end to end —
+// train a champion, stand it up behind the wire protocol with the
+// lifecycle manager harvesting live completions, shift the workload, and
+// watch the service train challenger panels in the background,
+// shadow-score them on held-out live traffic, and hot-swap a winner into
+// the running server without pausing admission (§7's retraining loop run
+// continuously instead of on a schedule).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	heimdall "repro"
+)
+
+func main() {
+	seed := int64(21)
+	const window = 3 * time.Second
+
+	// Train the champion on a Tencent-style window and keep its feature
+	// rows as the drift reference.
+	fmt.Println("training the champion on a Tencent-style window...")
+	trainTrace := heimdall.Generate(heimdall.TencentStyle(seed, window))
+	trainLog := heimdall.Collect(trainTrace, heimdall.NewDevice(heimdall.Samsung970Pro(), seed))
+	cfg := heimdall.DefaultConfig(seed)
+	cfg.Epochs = 8
+	cfg.MaxTrainSamples = 8000
+	champion, err := heimdall.Train(trainLog, cfg)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	ref := heimdall.ExtractFeatures(heimdall.Reads(trainLog), champion)
+
+	// The lifecycle manager: harvested completions land in per-device
+	// reservoirs, every 4th in a held-out ring the challengers are judged
+	// on, and a shadow tap samples decide-time rows for recalibration.
+	train := heimdall.DefaultConfig(seed)
+	train.SearchThresholds = false
+	train.Epochs = 8
+	mgr, err := heimdall.NewLifecycle(heimdall.LifecycleConfig{
+		Seed:                seed,
+		Train:               train,
+		ReservoirPerDevice:  1024,
+		EvalEvery:           6000,
+		MinTrain:            600,
+		MinHoldout:          48,
+		Candidates:          2,
+		WarmEpochs:          2,
+		OnlineRecalibration: true,
+		TapEvery:            2,
+		TapPerDevice:        256,
+	}, champion, nil)
+	if err != nil {
+		log.Fatalf("lifecycle: %v", err)
+	}
+
+	// Serve with the manager's hooks wired in: the harvester consumes
+	// completions and tapped decisions, drift alerts raise retrain urgency.
+	srv := heimdall.NewServer(champion, heimdall.ServeConfig{
+		DriftRef:    ref,
+		Completions: mgr.Harvester(),
+		Decisions:   mgr.Harvester(),
+		OnDrift:     mgr.DriftAlert,
+	})
+	mgr.Retarget(srv) // promotions hot-swap straight into the server
+	tmp, err := os.MkdirTemp("", "heimdall-continuous")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	addr := "unix:" + filepath.Join(tmp, "admit.sock")
+	l, err := heimdall.ListenAdmission(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("serving on %s (managed)\n\n", addr)
+
+	client, err := heimdall.DialAdmission(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Phase 1: in-distribution traffic. The manager harvests but has no
+	// reason to move — the champion was trained on this world.
+	fmt.Println("phase 1: in-distribution (Tencent-style) traffic")
+	drive(client, mgr, heimdall.Generate(heimdall.TencentStyle(seed+1, window)), seed+1)
+
+	// Phase 2: the workload shifts to an MSR-style read-mostly mix. PSI
+	// climbs, urgency shortens the evaluation window, challengers train on
+	// the harvested reservoir, and one clears the gates.
+	fmt.Println("phase 2: regime shift (MSR-style) traffic")
+	for i := int64(0); i < 3; i++ {
+		drive(client, mgr, heimdall.Generate(heimdall.MSRStyle(seed+2+i, window)), seed+2+i)
+	}
+
+	v, err := client.Decide(7, 0, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mgr.Stats()
+	fmt.Printf("\nlifecycle: harvested %d, rounds %d, promotions %d, rejections %d, recalibrations %d\n",
+		st.Harvested, st.Rounds, st.Promotions, st.Rejections, st.Recalibrations)
+	fmt.Printf("now serving model v%d (verdict echoed v%d)\n", st.Version, v.ModelVersion)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: %s\n", srv.Stats())
+}
+
+// drive replays a trace in shadow mode — every read asks for a verdict,
+// runs on the simulated SSD regardless, and reports its completion back —
+// ticking the lifecycle at deterministic points instead of on a clock.
+func drive(client *heimdall.ServeClient, mgr *heimdall.LifecycleManager, tr *heimdall.Trace, seed int64) {
+	dev := heimdall.NewDevice(heimdall.Samsung970Pro(), seed)
+	queue, asked, admitted := 0, 0, 0
+	for _, req := range tr.Reqs {
+		if req.Op == heimdall.OpRead {
+			v, err := client.Decide(7, queue, req.Size)
+			if err != nil {
+				log.Fatalf("decide: %v", err)
+			}
+			asked++
+			if v.Admit {
+				admitted++
+			}
+		}
+		r := dev.Submit(req.Arrival, req.Op, req.Size)
+		queue = r.QueueLen
+		if req.Op == heimdall.OpRead {
+			if err := client.Complete(7, uint64(r.Latency(req.Arrival)), r.QueueLen, req.Size); err != nil {
+				log.Fatalf("complete: %v", err)
+			}
+			if asked%2000 == 0 {
+				report(mgr.Tick())
+			}
+		}
+	}
+	report(mgr.Tick())
+	fmt.Printf("  drove %d reads, %d admitted\n", asked, admitted)
+}
+
+// report prints the lifecycle events worth a line; quiet ticks say nothing.
+func report(rep heimdall.LifecycleTick) {
+	switch {
+	case rep.Trained:
+		fmt.Printf("  lifecycle: trained %d candidates, best holdout AUC %.3f\n", rep.Candidates, rep.BestAUC)
+	case rep.Promoted:
+		fmt.Printf("  lifecycle: PROMOTED v%d (AUC %.3f vs %.3f, FNR %.3f vs %.3f)\n",
+			rep.Version, rep.ChallengerAUC, rep.ChampionAUC, rep.ChallengerFNR, rep.ChampionFNR)
+	case rep.Rejected:
+		fmt.Printf("  lifecycle: challenger rejected — %s\n", rep.Reason)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/iolog"
+)
+
+// liveSamples synthesizes a harvested reservoir with alternating calm and
+// busy phases, the pattern period labeling keys on. Deterministic in seed.
+func liveSamples(seed int64, n int, devices uint32) []LiveSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LiveSample, 0, n)
+	seqs := make([]uint64, devices)
+	for i := 0; i < n; i++ {
+		dev := uint32(i) % devices
+		busy := (i/200)%2 == 1
+		var s LiveSample
+		s.Device = dev
+		s.Seq = seqs[dev]
+		seqs[dev]++
+		if busy {
+			s.LatencyNs = uint64(1_500_000 + rng.Intn(2_000_000))
+			s.QueueLen = uint32(8 + rng.Intn(24))
+			s.Size = uint32(64 << 10)
+		} else {
+			s.LatencyNs = uint64(60_000 + rng.Intn(60_000))
+			s.QueueLen = uint32(rng.Intn(3))
+			s.Size = uint32(4 << 10)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func liveTestConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Labeling = LabelCutoff
+	cfg.SearchThresholds = false
+	cfg.Epochs = 6
+	cfg.MaxTrainSamples = 4000
+	cfg.Quantize = false
+	return cfg
+}
+
+func TestLiveRecordsOrderIndependent(t *testing.T) {
+	samples := liveSamples(1, 600, 3)
+	recs := LiveRecords(samples)
+	if len(recs) != len(samples) {
+		t.Fatalf("got %d records for %d samples", len(recs), len(samples))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Arrival <= recs[i-1].Arrival {
+			t.Fatalf("arrival clock not strictly increasing at %d: %d then %d", i, recs[i-1].Arrival, recs[i].Arrival)
+		}
+	}
+	// Shuffle the input: identical records must come out — harvest
+	// interleaving across shards must not matter.
+	shuffled := append([]LiveSample(nil), samples...)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if !reflect.DeepEqual(recs, LiveRecords(shuffled)) {
+		t.Fatal("LiveRecords depends on input order")
+	}
+}
+
+func TestTrainLiveDeterministic(t *testing.T) {
+	samples := liveSamples(2, 1200, 2)
+	cfg := liveTestConfig(11)
+	m1, err := TrainLive(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainLive(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Threshold() != m2.Threshold() {
+		t.Fatalf("thresholds diverge: %v vs %v", m1.Threshold(), m2.Threshold())
+	}
+	recs := LiveRecords(samples)
+	reads := iolog.Reads(recs)
+	labels, _ := Label(reads, cfg)
+	r1 := m1.Evaluate(reads, labels)
+	r2 := m2.Evaluate(reads, labels)
+	if r1 != r2 {
+		t.Fatalf("evaluations diverge: %+v vs %+v", r1, r2)
+	}
+	if r1.ROCAUC < 0.7 {
+		t.Fatalf("live-trained model barely better than chance: AUC %v", r1.ROCAUC)
+	}
+}
+
+func TestFinetuneLiveLeavesChampionUntouched(t *testing.T) {
+	cfg := liveTestConfig(21)
+	champ, err := TrainLive(liveSamples(3, 1200, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := liveSamples(4, 1200, 2)
+	recs := LiveRecords(fresh)
+	reads := iolog.Reads(recs)
+	labels, _ := Label(reads, cfg)
+
+	beforeTh := champ.Threshold()
+	before := champ.Evaluate(reads, labels)
+
+	tuned, err := champ.FinetuneLive(fresh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if champ.Threshold() != beforeTh {
+		t.Fatal("finetune mutated champion threshold")
+	}
+	if after := champ.Evaluate(reads, labels); after != before {
+		t.Fatalf("finetune mutated champion network: %+v vs %+v", after, before)
+	}
+	if tuned.Spec().Width() != champ.Spec().Width() {
+		t.Fatal("finetuned model changed feature space")
+	}
+	if got := tuned.Evaluate(reads, labels); got.ROCAUC < 0.6 {
+		t.Fatalf("finetuned model degenerate: AUC %v", got.ROCAUC)
+	}
+
+	// Determinism: a second identical fine-tune yields the same model.
+	tuned2, err := champ.FinetuneLive(fresh, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Threshold() != tuned2.Threshold() {
+		t.Fatalf("finetune thresholds diverge: %v vs %v", tuned.Threshold(), tuned2.Threshold())
+	}
+	if e1, e2 := tuned.Evaluate(reads, labels), tuned2.Evaluate(reads, labels); e1 != e2 {
+		t.Fatalf("finetune runs diverge: %+v vs %+v", e1, e2)
+	}
+}

@@ -33,14 +33,23 @@ const (
 	LabelPeriod LabelingKind = iota
 	// LabelCutoff is the latency-cutoff labeling of prior work (Fig. 3a).
 	LabelCutoff
+	// LabelCutoffSize is the latency knee per size class: slow means slow
+	// for your own transfer size. It removes plain Cutoff's size confound
+	// (Fig. 3b) without the arrival timestamps period labeling needs —
+	// the labeler live retraining uses on harvested completions.
+	LabelCutoffSize
 )
 
 // String names the labeling kind.
 func (k LabelingKind) String() string {
-	if k == LabelCutoff {
+	switch k {
+	case LabelCutoff:
 		return "cutoff"
+	case LabelCutoffSize:
+		return "cutoff-size"
+	default:
+		return "period"
 	}
-	return "period"
 }
 
 // Config parameterizes the pipeline. DefaultConfig gives the paper's final
@@ -285,6 +294,8 @@ func Label(reads []iolog.Record, cfg Config) ([]int, label.Thresholds) {
 	switch cfg.Labeling {
 	case LabelCutoff:
 		return label.Cutoff(reads, label.CutoffValue(reads)), label.Thresholds{}
+	case LabelCutoffSize:
+		return label.CutoffPerSize(reads), label.Thresholds{}
 	default:
 		th := label.DefaultThresholds()
 		if cfg.SearchThresholds {
@@ -552,6 +563,19 @@ func (m *Model) Threshold() float64 { return m.threshold }
 // decline the I/O, so SetThreshold(2) always admits and SetThreshold(-1)
 // never does. Not safe to call concurrently with inference.
 func (m *Model) SetThreshold(t float64) { m.threshold = t }
+
+// WithThreshold returns a copy of the model carrying a different decision
+// threshold. The copy shares the (read-only at decision time) networks,
+// scaler, and predictor but owns its internal scratch, so the original
+// can keep serving while the copy is published — the safe way to move a
+// deployed model's operating point (SetThreshold on a served model races
+// with inference).
+func (m *Model) WithThreshold(t float64) *Model {
+	out := *m
+	out.iscr, out.rowBuf, out.fcur, out.fnext = nil, nil, nil, nil
+	out.threshold = t
+	return &out
+}
 
 // Scratch holds the per-caller buffers AdmitInto needs, making concurrent
 // inference possible on one shared *Model: the model's weights, scaler, and

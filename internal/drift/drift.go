@@ -127,6 +127,14 @@ type InputDetector struct {
 	Threshold float64
 	// MinSamples before Drifted reports anything (default 200).
 	MinSamples int
+
+	subs []subscriber
+}
+
+// subscriber is one registered drift-threshold callback.
+type subscriber struct {
+	threshold float64
+	fn        func(maxPSI float64)
 }
 
 // NewInputDetector builds the detector from the training feature matrix.
@@ -178,6 +186,45 @@ func (d *InputDetector) MaxPSI() float64 {
 		}
 	}
 	return worst
+}
+
+// Subscribe registers fn to be invoked by Publish whenever the window's
+// MaxPSI reaches threshold. A threshold <= 0 falls back to the detector's
+// Threshold. Multiple subscribers may be registered; they fire in
+// registration order. Subscribe is not safe to call concurrently with
+// Publish — register everything before the detector goes live (the serve
+// layer does this in NewServer, before any shard goroutine starts).
+//
+// This is the push half of the drift API: consumers that used to poll
+// per-shard MaxPSI out of stats snapshots can instead be called back at
+// the detector's own publish cadence. fn must be safe for concurrent
+// invocation when the same fn is subscribed to several detectors (one per
+// shard in the serving layer).
+func (d *InputDetector) Subscribe(threshold float64, fn func(maxPSI float64)) {
+	if fn == nil {
+		return
+	}
+	if threshold <= 0 {
+		threshold = d.Threshold
+	}
+	d.subs = append(d.subs, subscriber{threshold: threshold, fn: fn})
+}
+
+// Publish computes the window's MaxPSI, fires every subscriber whose
+// threshold it reaches (provided MinSamples rows have been observed), and
+// returns it. The window is NOT reset — Publish is a read-out, like
+// MaxPSI; pair it with Drifted when windowed semantics are wanted.
+func (d *InputDetector) Publish() float64 {
+	psi := d.MaxPSI()
+	if d.Samples() < float64(d.MinSamples) {
+		return psi
+	}
+	for _, s := range d.subs {
+		if psi >= s.threshold {
+			s.fn(psi)
+		}
+	}
+	return psi
 }
 
 // Drifted reports whether the current window has drifted, and resets the

@@ -131,6 +131,55 @@ func TestInputDetectorEmptyTraining(t *testing.T) {
 	}
 }
 
+func TestSubscribePublish(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := genRows(rng, 2000, 0)
+	d := NewInputDetector(train, 10)
+
+	var moderate, major []float64
+	d.Subscribe(0.1, func(psi float64) { moderate = append(moderate, psi) })
+	d.Subscribe(0, func(psi float64) { major = append(major, psi) }) // 0 => Threshold (0.25)
+
+	// Below MinSamples: Publish must stay silent however shifted.
+	for _, r := range genRows(rng, 50, 10) {
+		d.Observe(r)
+	}
+	d.Publish()
+	if len(moderate) != 0 || len(major) != 0 {
+		t.Fatalf("subscribers fired below MinSamples: moderate=%d major=%d", len(moderate), len(major))
+	}
+
+	// Stable window: still silent.
+	for _, h := range d.hist {
+		h.Reset()
+	}
+	for _, r := range genRows(rng, 1000, 0) {
+		d.Observe(r)
+	}
+	if psi := d.Publish(); len(moderate) != 0 || len(major) != 0 {
+		t.Fatalf("subscribers fired on stable window (psi=%v)", psi)
+	}
+
+	// Major shift: both thresholds cross, in registration order, with the
+	// same PSI value Publish returns.
+	for _, r := range genRows(rng, 1000, 4) {
+		d.Observe(r)
+	}
+	got := d.Publish()
+	if len(moderate) != 1 || len(major) != 1 {
+		t.Fatalf("want both subscribers once, got moderate=%d major=%d (psi=%v)", len(moderate), len(major), got)
+	}
+	if moderate[0] != got || major[0] != got {
+		t.Fatalf("subscriber psi %v/%v != returned %v", moderate[0], major[0], got)
+	}
+
+	// nil fn is ignored rather than stored.
+	d.Subscribe(0.1, nil)
+	if len(d.subs) != 2 {
+		t.Fatalf("nil subscriber stored: %d subs", len(d.subs))
+	}
+}
+
 func TestStrategies(t *testing.T) {
 	if (Never{}).ShouldRetrain(5, 0.1, true) {
 		t.Error("never retrained")

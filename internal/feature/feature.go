@@ -185,6 +185,10 @@ func (w *Window) At(i int) Hist {
 // Len returns the number of completions recorded, up to the capacity.
 func (w *Window) Len() int { return w.n }
 
+// Reset empties the window without releasing its buffer, so a scratch
+// window can replay a different history slice allocation-free.
+func (w *Window) Reset() { w.head, w.n = 0, 0 }
+
 // Online assembles a feature vector from live values, used at deployment
 // time by the admission policy. The layout matches Extract exactly.
 func (s Spec) Online(queueLen int, size int32, arrival, offset int64, hist *Window) []float64 {

@@ -249,6 +249,17 @@ func kneeCutoff(sorted []float64) float64 {
 	return v
 }
 
+// kneeCutoffAt is kneeCutoff with a configurable percentile floor: the
+// knee never dips below the floorPct latency, so the slow share per call
+// is bounded by (100 - floorPct)%.
+func kneeCutoffAt(sorted []float64, floorPct float64) float64 {
+	v := kneeCutoff(sorted)
+	if floor := trace.Percentile(sorted, floorPct); v < floor {
+		v = floor
+	}
+	return v
+}
+
 // CutoffValue finds the latency cutoff the baseline labeler uses (Fig. 3a).
 func CutoffValue(recs []iolog.Record) float64 {
 	lats := make([]float64, len(recs))
@@ -257,6 +268,68 @@ func CutoffValue(recs []iolog.Record) float64 {
 	}
 	sort.Float64s(lats)
 	return kneeCutoff(lats)
+}
+
+// cutoffSizeMinGroup is the smallest size class that gets its own knee;
+// smaller classes fall back to the global cutoff.
+const cutoffSizeMinGroup = 32
+
+// CutoffPerSize labels records against a per-size-class latency knee: an
+// I/O is slow only when its latency is high for its own transfer size.
+// This removes the size confound that plain Cutoff suffers (Fig. 3b —
+// large I/Os are slow purely because they move more bytes), without
+// needing the arrival timestamps period labeling wants. It is the labeler
+// of choice for live retraining, where harvested samples carry latency,
+// queue depth, and size but only reconstructed arrivals.
+func CutoffPerSize(recs []iolog.Record) []int {
+	return CutoffPerSizeTail(recs, cutoffSizeTailPct)
+}
+
+// cutoffSizeTailPct is CutoffPerSize's percentile floor. Live retraining
+// wants tail labeling: "slow" should mean the contended tail of a size
+// class, not merely "above the elbow" — the plain p75 floor over-marks
+// bursty regimes by 2-3x, and threshold calibration inherits whatever
+// slow share labeling reports, so an inflated share deploys as an
+// over-declining operating point.
+const cutoffSizeTailPct = 90
+
+// CutoffPerSizeTail is CutoffPerSize with an explicit percentile floor on
+// every knee (per size class and the small-group global fallback).
+func CutoffPerSizeTail(recs []iolog.Record, floorPct float64) []int {
+	labels := make([]int, len(recs))
+	groups := make(map[int32][]int)
+	for i, r := range recs {
+		groups[r.Size] = append(groups[r.Size], i)
+	}
+	sizes := make([]int32, 0, len(groups))
+	for s := range groups {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	all := make([]float64, len(recs))
+	for i, r := range recs {
+		all[i] = float64(r.Latency)
+	}
+	sort.Float64s(all)
+	global := kneeCutoffAt(all, floorPct)
+	for _, s := range sizes {
+		idx := groups[s]
+		cut := global
+		if len(idx) >= cutoffSizeMinGroup {
+			lats := make([]float64, len(idx))
+			for k, i := range idx {
+				lats[k] = float64(recs[i].Latency)
+			}
+			sort.Float64s(lats)
+			cut = kneeCutoffAt(lats, floorPct)
+		}
+		for _, i := range idx {
+			if float64(recs[i].Latency) > cut {
+				labels[i] = 1
+			}
+		}
+	}
+	return labels
 }
 
 // Cutoff labels records with the baseline latency-cutoff algorithm: every

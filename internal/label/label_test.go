@@ -262,3 +262,72 @@ func TestLabelKindConventions(t *testing.T) {
 		}
 	}
 }
+
+func TestCutoffPerSizeRemovesSizeConfound(t *testing.T) {
+	// Same Fig. 3b scenario as TestCutoffLabelsBySizeBias: big I/Os on an
+	// idle device are slow in absolute terms purely from transfer size.
+	// Plain Cutoff mislabels them; per-size-class knees must not, because
+	// within the 2MiB class that latency is the norm, not the tail.
+	recs, gt := synthLog(4, 3000)
+	rng := rand.New(rand.NewSource(5))
+	bigIdx := []int{}
+	for k := 0; k < 150; k++ {
+		i := rng.Intn(len(recs))
+		if gt[i] == 0 {
+			recs[i].Size = 2 << 20
+			recs[i].Latency = 4_200_000 + int64(rng.Intn(600_000))
+			bigIdx = append(bigIdx, i)
+		}
+	}
+	cut := Cutoff(recs, CutoffValue(recs))
+	cutWrong := 0
+	for _, i := range bigIdx {
+		if cut[i] == 1 {
+			cutWrong++
+		}
+	}
+	if cutWrong < len(bigIdx)/2 {
+		t.Skipf("cutoff landed above big-I/O latency; bias scenario not triggered (%d/%d)", cutWrong, len(bigIdx))
+	}
+	per := CutoffPerSize(recs)
+	perWrong := 0
+	for _, i := range bigIdx {
+		if per[i] == 1 {
+			perWrong++
+		}
+	}
+	if perWrong >= cutWrong/2 {
+		t.Fatalf("per-size cutoff mislabeled %d/%d big I/Os (plain cutoff: %d)", perWrong, len(bigIdx), cutWrong)
+	}
+	// Genuinely contended small I/Os must still be caught.
+	caught, slow := 0, 0
+	for i, g := range gt {
+		if g == 1 && recs[i].Size == 4096 {
+			slow++
+			if per[i] == 1 {
+				caught++
+			}
+		}
+	}
+	if caught < slow/4 {
+		t.Fatalf("per-size cutoff caught only %d/%d contended small I/Os", caught, slow)
+	}
+}
+
+func TestCutoffPerSizeDeterministic(t *testing.T) {
+	// The grouping map must not leak iteration order into labels.
+	recs, _ := synthLog(9, 2000)
+	rng := rand.New(rand.NewSource(10))
+	for i := range recs {
+		recs[i].Size = []int32{4096, 8192, 65536, 2 << 20}[rng.Intn(4)]
+	}
+	a := CutoffPerSize(recs)
+	for trial := 0; trial < 3; trial++ {
+		b := CutoffPerSize(recs)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: label %d differs (%d vs %d)", trial, i, a[i], b[i])
+			}
+		}
+	}
+}

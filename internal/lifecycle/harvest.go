@@ -1,0 +1,348 @@
+package lifecycle
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+// stripes spreads devices over independent locks so shard workers on
+// different devices rarely contend. 16 is plenty: the critical sections are
+// a few dozen nanoseconds.
+const stripes = 16
+
+// deviceBuf is the per-device harvest state. Per-device everything is the
+// determinism trick: a device's completions arrive in completion order
+// whatever the shard count (single-writer shards), and every decision here
+// — holdout split, reservoir eviction, tap sampling — depends only on the
+// device's own counters and its own seeded PRNG. Reservoir contents are
+// therefore byte-identical however devices were sharded or interleaved.
+type deviceBuf struct {
+	// seq counts completions seen for this device (the per-device clock).
+	//heimdall:owner Harvester.OnCompletion
+	seq uint64
+	// resSeen counts completions offered to the reservoir (seq minus the
+	// holdout split) — the denominator of Algorithm R.
+	//heimdall:owner Harvester.OnCompletion
+	resSeen uint64
+	// res is the bounded uniform reservoir (Algorithm R over resSeen).
+	//heimdall:owner Harvester.OnCompletion,Harvester.device,Harvester.SnapshotReservoir
+	res []core.LiveSample
+	// rng is a per-device xorshift64* stream seeded from (harvester seed,
+	// device), so eviction choices are independent of any global state.
+	//heimdall:owner Harvester.OnCompletion,Harvester.device
+	rng uint64
+	// hold is the held-out ring: every HoldoutEvery-th completion lands
+	// here instead of the reservoir, keeping the judge's data disjoint
+	// from training data. Overwrites oldest, so it is always the most
+	// recent live window.
+	//heimdall:owner Harvester.OnCompletion,Harvester.device,Harvester.SnapshotHoldout
+	hold []core.LiveSample
+	//heimdall:owner Harvester.OnCompletion
+	holdN uint64
+
+	// Decision tap: a 1-in-TapEvery sample of (raw feature row, verdict)
+	// pairs in a small ring, copied out of the decide hot path.
+	//heimdall:owner Harvester.OnDecision
+	tapSeen uint64
+	//heimdall:owner Harvester.OnDecision,Harvester.SnapshotTap
+	tapRows [][]float64
+	//heimdall:owner Harvester.OnDecision,Harvester.SnapshotTap
+	tapAdmit []bool
+	//heimdall:owner Harvester.OnDecision
+	tapN uint64
+
+	// Live-row reconstruction: the harvester mirrors the serving shard's
+	// per-device history tracker over the full completion stream (it sees
+	// every completion, in order, even though it stores only a sample), so
+	// each harvested sample can carry the feature row the model saw at
+	// decide time. ring holds the most recent completion observations;
+	// swin and rowScratch are reused scratch, so steady-state harvesting
+	// allocates nothing.
+	//heimdall:owner Harvester.OnCompletion,Harvester.device
+	ring []feature.Hist
+	//heimdall:owner Harvester.OnCompletion
+	ringN uint64
+	//heimdall:owner Harvester.OnCompletion,Harvester.device
+	swin *feature.Window
+	//heimdall:owner Harvester.OnCompletion,Harvester.device
+	rowScratch []float64
+}
+
+// liveRingLag bounds how many completions back the row reconstruction can
+// reach — the deepest queue it can compensate for.
+const liveRingLag = 128
+
+// liveRow rebuilds the feature row the serving shard computed for this
+// I/O at decide time. The shard's window held the completions that had
+// finished before the I/O *arrived*; by the time the completion reaches
+// the harvester, the I/Os that were in flight ahead of it — queueLen of
+// them — have also finished and entered the ring. Replaying the ring
+// lagged by queueLen therefore reproduces the decide-time window (clamped
+// to the ring capacity for pathological queue depths). The returned slice
+// is scratch: callers copy it into an owned buffer if they keep the
+// sample.
+func (d *deviceBuf) liveRow(spec feature.Spec, queueLen, size uint32) []float64 {
+	depth := uint64(spec.Depth)
+	lag := uint64(queueLen)
+	if max := uint64(len(d.ring)) - depth; lag > max {
+		lag = max
+	}
+	if lag > d.ringN {
+		lag = d.ringN
+	}
+	end := d.ringN - lag
+	start := uint64(0)
+	if end > depth {
+		start = end - depth
+	}
+	if oldest := d.ringN - min(d.ringN, uint64(len(d.ring))); start < oldest {
+		start = oldest
+	}
+	d.swin.Reset()
+	for k := start; k < end; k++ {
+		d.swin.Push(d.ring[k%uint64(len(d.ring))])
+	}
+	d.rowScratch = spec.OnlineInto(d.rowScratch[:0], int(queueLen), int32(size), 0, 0, d.swin)
+	return d.rowScratch
+}
+
+// push advances the mirror tracker with one completion, exactly as the
+// serving shard feeds its own window (same throughput formula).
+func (d *deviceBuf) push(latencyNs uint64, queueLen, size uint32) {
+	thpt := 0.0
+	if latencyNs > 0 {
+		thpt = float64(size) / (1 << 20) / (float64(latencyNs) / 1e9)
+	}
+	d.ring[d.ringN%uint64(len(d.ring))] = feature.Hist{
+		Latency:  float64(latencyNs),
+		QueueLen: float64(queueLen),
+		Thpt:     thpt,
+	}
+	d.ringN++
+}
+
+type stripe struct {
+	mu   sync.Mutex
+	devs map[uint32]*deviceBuf
+}
+
+// Harvester collects live completions and tapped decisions from the
+// serving layer. It implements serve.CompletionSink and serve.DecisionTap
+// structurally (lifecycle deliberately does not import serve). All methods
+// are safe for concurrent use from shard workers; per-device streams must
+// arrive in order, which the single-writer shards guarantee.
+type Harvester struct {
+	cfg Config
+	// spec is the serving feature spec rows are reconstructed under — the
+	// champion model's, so harvested rows live in the exact feature space
+	// challengers train and deploy in.
+	spec feature.Spec
+
+	str [stripes]stripe
+
+	// harvested counts completions across all devices (approximate
+	// ordering across devices is fine — it only paces retrain rounds).
+	harvested atomic.Uint64
+	heldOut   atomic.Uint64
+	tapped    atomic.Uint64
+}
+
+// NewHarvester builds an empty harvester for the given (defaulted) config.
+// spec is the serving feature spec live rows are reconstructed under; a
+// zero spec falls back to the default.
+func NewHarvester(cfg Config, spec feature.Spec) *Harvester {
+	if spec.Depth == 0 {
+		spec = feature.DefaultSpec()
+	}
+	h := &Harvester{cfg: cfg.withDefaults(), spec: spec}
+	for i := range h.str {
+		h.str[i].devs = make(map[uint32]*deviceBuf)
+	}
+	return h
+}
+
+// splitmix64 turns (seed, device) into a well-mixed nonzero PRNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next steps the device's xorshift64* stream.
+func (d *deviceBuf) next() uint64 {
+	x := d.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	d.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (h *Harvester) stripeFor(device uint32) *stripe {
+	return &h.str[device%stripes]
+}
+
+func (h *Harvester) device(st *stripe, device uint32) *deviceBuf {
+	d := st.devs[device]
+	if d == nil {
+		d = &deviceBuf{
+			res:        make([]core.LiveSample, 0, h.cfg.ReservoirPerDevice),
+			hold:       make([]core.LiveSample, 0, h.cfg.HoldoutPerDevice),
+			rng:        splitmix64(uint64(h.cfg.Seed)<<32 ^ uint64(device) ^ 0x6c657665),
+			ring:       make([]feature.Hist, liveRingLag+h.spec.Depth),
+			swin:       feature.NewWindow(h.spec.Depth),
+			rowScratch: make([]float64, 0, h.spec.Width()),
+		}
+		st.devs[device] = d
+	}
+	return d
+}
+
+// OnCompletion implements the completion sink: reconstruct the I/O's
+// decide-time feature row from the device's completion stream, advance
+// the mirror tracker, and route the (row, latency) sample into the
+// device's holdout ring (every HoldoutEvery-th) or its uniform reservoir.
+// Kept samples copy the scratch row into the slot they land in, reusing
+// the evicted sample's buffer — zero allocations once a device's buffers
+// are grown.
+func (h *Harvester) OnCompletion(device uint32, latencyNs uint64, queueLen, size uint32) {
+	st := h.stripeFor(device)
+	st.mu.Lock()
+	d := h.device(st, device)
+	row := d.liveRow(h.spec, queueLen, size)
+	d.push(latencyNs, queueLen, size)
+	s := core.LiveSample{Device: device, Seq: d.seq, LatencyNs: latencyNs, QueueLen: queueLen, Size: size}
+	d.seq++
+	if e := uint64(h.cfg.HoldoutEvery); e > 0 && s.Seq%e == e-1 {
+		if len(d.hold) < cap(d.hold) {
+			s.Row = append([]float64(nil), row...)
+			d.hold = append(d.hold, s)
+		} else {
+			slot := d.holdN % uint64(cap(d.hold))
+			s.Row = append(d.hold[slot].Row[:0], row...)
+			d.hold[slot] = s
+		}
+		d.holdN++
+		st.mu.Unlock()
+		h.heldOut.Add(1)
+		h.harvested.Add(1)
+		return
+	}
+	d.resSeen++
+	if len(d.res) < cap(d.res) {
+		s.Row = append([]float64(nil), row...)
+		d.res = append(d.res, s)
+	} else if j := d.next() % d.resSeen; j < uint64(cap(d.res)) {
+		s.Row = append(d.res[j].Row[:0], row...)
+		d.res[j] = s
+	}
+	st.mu.Unlock()
+	h.harvested.Add(1)
+}
+
+// OnDecision implements the decision tap: keep a 1-in-TapEvery per-device
+// sample of raw rows and served verdicts in a bounded ring. Rows are copied
+// into preallocated slots — the decide hot path stays alloc-free.
+func (h *Harvester) OnDecision(device uint32, row []float64, admit bool) {
+	st := h.stripeFor(device)
+	st.mu.Lock()
+	d := h.device(st, device)
+	d.tapSeen++
+	if e := uint64(h.cfg.TapEvery); e > 1 && d.tapSeen%e != 0 {
+		st.mu.Unlock()
+		return
+	}
+	if len(d.tapRows) < h.cfg.TapPerDevice {
+		d.tapRows = append(d.tapRows, make([]float64, 0, len(row)))
+		d.tapAdmit = append(d.tapAdmit, false)
+	}
+	slot := int(d.tapN % uint64(h.cfg.TapPerDevice))
+	d.tapRows[slot] = append(d.tapRows[slot][:0], row...)
+	d.tapAdmit[slot] = admit
+	d.tapN++
+	st.mu.Unlock()
+	h.tapped.Add(1)
+}
+
+// Harvested returns the total completions observed (reservoir + holdout) —
+// the count that paces retrain rounds.
+func (h *Harvester) Harvested() uint64 { return h.harvested.Load() }
+
+// devicesSorted snapshots the device ids present across all stripes in
+// ascending order, so every aggregate below is iteration-order free.
+func (h *Harvester) devicesSorted() []uint32 {
+	var ids []uint32
+	for i := range h.str {
+		st := &h.str[i]
+		st.mu.Lock()
+		for id := range st.devs {
+			ids = append(ids, id)
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SnapshotReservoir copies the training reservoir: all devices ascending,
+// each device's samples in ascending Seq, rows deep-copied (the live
+// buffers are recycled in place on eviction). The result is
+// byte-identical for identical per-device completion streams, independent
+// of shard count or cross-device interleaving.
+func (h *Harvester) SnapshotReservoir() []core.LiveSample {
+	var out []core.LiveSample
+	for _, id := range h.devicesSorted() {
+		st := h.stripeFor(id)
+		st.mu.Lock()
+		d := st.devs[id]
+		start := len(out)
+		out = append(out, d.res...)
+		for i := start; i < len(out); i++ {
+			out[i].Row = append([]float64(nil), out[i].Row...)
+		}
+		st.mu.Unlock()
+		part := out[start:]
+		sort.Slice(part, func(i, j int) bool { return part[i].Seq < part[j].Seq })
+	}
+	return out
+}
+
+// SnapshotHoldout copies the held-out ring in the same canonical order.
+func (h *Harvester) SnapshotHoldout() []core.LiveSample {
+	var out []core.LiveSample
+	for _, id := range h.devicesSorted() {
+		st := h.stripeFor(id)
+		st.mu.Lock()
+		d := st.devs[id]
+		start := len(out)
+		out = append(out, d.hold...)
+		for i := start; i < len(out); i++ {
+			out[i].Row = append([]float64(nil), out[i].Row...)
+		}
+		st.mu.Unlock()
+		part := out[start:]
+		sort.Slice(part, func(i, j int) bool { return part[i].Seq < part[j].Seq })
+	}
+	return out
+}
+
+// SnapshotTap copies the tapped (row, admit) pairs, devices ascending,
+// ring order within a device.
+func (h *Harvester) SnapshotTap() (rows [][]float64, admits []bool) {
+	for _, id := range h.devicesSorted() {
+		st := h.stripeFor(id)
+		st.mu.Lock()
+		d := st.devs[id]
+		for i, r := range d.tapRows {
+			rows = append(rows, append([]float64(nil), r...))
+			admits = append(admits, d.tapAdmit[i])
+		}
+		st.mu.Unlock()
+	}
+	return rows, admits
+}

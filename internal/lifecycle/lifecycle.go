@@ -1,0 +1,632 @@
+// Package lifecycle closes the learning loop around the serving layer: an
+// always-on champion/challenger retraining service in the KML
+// continuous-learning shape (PAPERS.md) the paper's §7 monitoring policy
+// points at.
+//
+// The loop has four stages:
+//
+//  1. Harvest — live completions flow from the serve shards' CompletionSink
+//     into a bounded per-device uniform reservoir (Algorithm R) plus a
+//     disjoint held-out ring. The harvester mirrors each device's history
+//     tracker over the full completion stream, so every stored sample is a
+//     (feature-row, latency) pair in the serving feature distribution; a
+//     DecisionTap additionally keeps a small sample of (raw feature row,
+//     served verdict) pairs for shadow scoring.
+//  2. Train — when enough new completions have accumulated, Tick trains a
+//     panel of challenger candidates directly on the reservoir's rows
+//     (core.TrainLiveRows / FinetuneLiveRows, labels from the
+//     size-normalized latency cutoff) with internal/parallel: pre-drawn
+//     seeds, one warm-start fine-tune of the champion plus cold retrains,
+//     byte-identical at any worker count.
+//  3. Shadow — the best candidate becomes the challenger and waits one
+//     evaluation window; the next Tick judges champion and challenger on
+//     the held-out live rows collected meanwhile, plus a sanity check of
+//     the challenger's decline rate on the tapped rows. Served verdicts
+//     are never affected.
+//  4. Promote — a challenger that clears the accuracy gate (holdout
+//     ROC-AUC at least the champion's plus a margin) and the FNR gate
+//     (no worse than the champion's plus a slack) is published through the
+//     server's atomic hot-swap; in-flight batches finish on the model they
+//     loaded, so no request ever sees a half-promoted challenger.
+//
+// Drift-triggered urgency: wire Manager.DriftAlert as serve.Config.OnDrift
+// and a published PSI at or above the moderate/major thresholds halves or
+// quarters the evaluation window until the next completed round.
+//
+// The manager itself never reads a clock and draws no global randomness —
+// Tick is driven by harvest counts, so identical completion streams and
+// Tick points reproduce identical promotions at any worker count.
+package lifecycle
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// Config tunes the retraining service. The zero value of every field gets
+// a usable default; Train (the pipeline configuration for challengers,
+// usually the champion's own) and Seed should be set deliberately.
+type Config struct {
+	// Seed drives per-device reservoir eviction and candidate seeds.
+	Seed int64
+	// Train is the core pipeline configuration challengers train under.
+	Train core.Config
+
+	// ReservoirPerDevice bounds each device's training reservoir
+	// (default 512 samples).
+	ReservoirPerDevice int
+	// HoldoutEvery routes every e-th completion per device to the held-out
+	// ring instead of the reservoir (default 4; ≤0 disables holdout).
+	HoldoutEvery int
+	// HoldoutPerDevice bounds the held-out ring (default 128).
+	HoldoutPerDevice int
+	// TapEvery samples every e-th inferred verdict per device into the
+	// shadow tap (default 4; 1 taps everything).
+	TapEvery int
+	// TapPerDevice bounds the tap ring (default 64).
+	TapPerDevice int
+
+	// EvalEvery is how many harvested completions must accumulate between
+	// retrain rounds at urgency 0 (default 4096). Urgency shifts it right:
+	// moderate drift halves it, major drift quarters it.
+	EvalEvery int
+	// MinTrain is the smallest reservoir that may train (default 1024).
+	MinTrain int
+	// MinHoldout is the smallest held-out set that may judge (default 96).
+	MinHoldout int
+
+	// Candidates is the number of cold full-pipeline retrains per round
+	// (default 2). Each draws its own deterministic seed.
+	Candidates int
+	// WarmEpochs adds a warm-start candidate: the champion cloned and
+	// fine-tuned for this many epochs (default 4; negative disables).
+	WarmEpochs int
+	// Workers bounds the candidate-training pool (default GOMAXPROCS).
+	Workers int
+
+	// AUCMargin is how much the challenger's holdout ROC-AUC must exceed
+	// the champion's to promote (default 0.005).
+	AUCMargin float64
+	// FNRSlack is how much worse the challenger's holdout FNR may be and
+	// still promote (default 0.02) — admitting slow I/Os is the expensive
+	// mistake, so it is gated separately from AUC.
+	FNRSlack float64
+	// MaxDeclineRate rejects challengers that would decline more than this
+	// fraction of the tapped live rows (default 0.9) — a cheap guard
+	// against a degenerate decline-everything challenger that can look
+	// fine on a skewed holdout.
+	MaxDeclineRate float64
+	// MaxShadowRounds discards a challenger still unjudgeable (holdout too
+	// small or single-class) after this many attempts (default 4).
+	MaxShadowRounds int
+
+	// OnlineRecalibration, when set, re-pins a passing challenger's
+	// decision threshold on the shadow-tapped serving rows before
+	// promotion: the threshold moves to the (1 - slow-fraction) quantile
+	// of the challenger's scores on live rows, where the slow fraction is
+	// measured on the held-out completions. Training-time calibration sees
+	// offline-extracted feature rows, whose distribution can sit far from
+	// what the serving trackers produce for the same traffic — without
+	// this, a well-ranked challenger can deploy at an operating point that
+	// declines (nearly) nothing. Needs at least 32 tapped rows; promotion
+	// proceeds uncalibrated below that.
+	OnlineRecalibration bool
+
+	// PSIModerate and PSIMajor are the urgency ladder's PSI steps
+	// (defaults 0.1 and 0.25, the conventional moderate/major readings).
+	PSIModerate float64
+	PSIMajor    float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReservoirPerDevice <= 0 {
+		c.ReservoirPerDevice = 512
+	}
+	if c.HoldoutEvery == 0 {
+		c.HoldoutEvery = 4
+	}
+	if c.HoldoutPerDevice <= 0 {
+		c.HoldoutPerDevice = 128
+	}
+	if c.TapEvery <= 0 {
+		c.TapEvery = 4
+	}
+	if c.TapPerDevice <= 0 {
+		c.TapPerDevice = 64
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 4096
+	}
+	if c.MinTrain <= 0 {
+		c.MinTrain = 1024
+	}
+	if c.MinHoldout <= 0 {
+		c.MinHoldout = 96
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 2
+	}
+	if c.WarmEpochs == 0 {
+		c.WarmEpochs = 4
+	}
+	if c.AUCMargin == 0 {
+		c.AUCMargin = 0.005
+	}
+	if c.FNRSlack == 0 {
+		c.FNRSlack = 0.02
+	}
+	if c.MaxDeclineRate == 0 {
+		c.MaxDeclineRate = 0.9
+	}
+	if c.MaxShadowRounds <= 0 {
+		c.MaxShadowRounds = 4
+	}
+	if c.PSIModerate == 0 {
+		c.PSIModerate = 0.1
+	}
+	if c.PSIMajor == 0 {
+		c.PSIMajor = 0.25
+	}
+	return c
+}
+
+// Target is where promotions land — satisfied by *serve.Server (its atomic
+// hot-swap). Kept as a local interface so lifecycle stays below serve in
+// the package graph and tests can interpose.
+type Target interface {
+	Swap(m *core.Model) uint32
+}
+
+// ErrNoChampion is returned by New when no initial champion is supplied.
+var ErrNoChampion = errors.New("lifecycle: initial champion model required")
+
+// Manager runs the champion/challenger state machine. Tick (and Promote,
+// when driven manually) are meant to be called from one goroutine — the
+// manager loop; Harvester methods and DriftAlert are concurrency-safe and
+// called from shard workers.
+type Manager struct {
+	cfg Config
+	h   *Harvester
+	t   Target
+
+	// urgency is the drift ladder level (0 none, 1 moderate, 2 major),
+	// written by DriftAlert from shard goroutines.
+	urgency atomic.Int32
+
+	mu             sync.Mutex
+	champion       *core.Model
+	challenger     *core.Model
+	chalAUC        float64 // challenger's training-time holdout AUC
+	shadowWait     int     // judge attempts for the current challenger
+	round          uint64  // training rounds started
+	lastRoundAt    uint64  // Harvested() when the last round started/settled
+	version        uint32  // last version returned by the target's Swap
+	promotions     uint64
+	rejections     uint64
+	discards       uint64
+	recalibrations uint64
+}
+
+// New builds a manager around an initial champion and a promotion target.
+// Wire Harvester() into serve.Config.Completions/Decisions and DriftAlert
+// into serve.Config.OnDrift, then call Tick on whatever cadence suits the
+// deployment (cmd/heimdall-serve uses a wall-clock ticker; benches call it
+// at deterministic workload points).
+func New(cfg Config, champion *core.Model, target Target) (*Manager, error) {
+	if champion == nil {
+		return nil, ErrNoChampion
+	}
+	cfg = cfg.withDefaults()
+	// Challengers must live in the serving feature space: harvested rows
+	// are reconstructed under the champion's spec, so the training config
+	// is pinned to it regardless of what the caller set.
+	cfg.Train.Feature = champion.Spec()
+	return &Manager{cfg: cfg, h: NewHarvester(cfg, champion.Spec()), t: target, champion: champion}, nil
+}
+
+// Harvester returns the completion sink / decision tap to wire into the
+// serving layer.
+func (m *Manager) Harvester() *Harvester { return m.h }
+
+// Retarget points promotions at a (new) target. The usual wiring order is
+// New(cfg, champion, nil) → serve.NewServer(champion, {Completions: ...})
+// → Retarget(srv), because the server wants the manager's hooks at
+// construction and the manager wants the server as its target.
+func (m *Manager) Retarget(t Target) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = t
+}
+
+// DriftAlert is the drift.InputDetector callback: raise the urgency ladder
+// according to the published PSI. Safe from any goroutine; never lowers
+// urgency (rounds reset it on completion).
+func (m *Manager) DriftAlert(maxPSI float64) {
+	level := int32(0)
+	if maxPSI >= m.cfg.PSIMajor {
+		level = 2
+	} else if maxPSI >= m.cfg.PSIModerate {
+		level = 1
+	}
+	for {
+		cur := m.urgency.Load()
+		if level <= cur || m.urgency.CompareAndSwap(cur, level) {
+			return
+		}
+	}
+}
+
+// Urgency returns the current drift ladder level (0, 1, or 2).
+func (m *Manager) Urgency() int { return int(m.urgency.Load()) }
+
+// effInterval is the evaluation window after urgency shortening.
+func (m *Manager) effInterval() uint64 {
+	return uint64(m.cfg.EvalEvery) >> uint(m.urgency.Load())
+}
+
+// TickReport describes what one Tick did.
+type TickReport struct {
+	// Trained is true when a candidate panel was trained this Tick; the
+	// winner (if any candidate succeeded) is now the shadow challenger.
+	Trained    bool
+	Candidates int     // candidates attempted
+	BestAUC    float64 // winner's training-time holdout AUC
+
+	// Judged is true when a pending challenger was gated this Tick.
+	Judged        bool
+	Promoted      bool
+	Rejected      bool
+	ChampionAUC   float64
+	ChallengerAUC float64
+	ChampionFNR   float64
+	ChallengerFNR float64
+	DeclineRate   float64 // challenger's decline rate on tapped rows
+	HoldoutSlow   float64 // labeled slow fraction of the judged holdout
+	// Recalibrated is true when a rejection kept the champion but re-pinned
+	// its decision threshold on fresh tapped rows and republished it —
+	// threshold maintenance between promotions (OnlineRecalibration only).
+	Recalibrated bool
+	Version      uint32 // new model version when Promoted or Recalibrated
+	// Reason says why nothing happened or why a judge failed — for logs.
+	Reason string
+}
+
+// Tick advances the state machine one step: judge a pending challenger
+// against freshly held-out traffic, or start a training round when the
+// evaluation window has filled. Deterministic in the harvest state at the
+// call point.
+func (m *Manager) Tick() TickReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.challenger != nil {
+		return m.judgeLocked()
+	}
+	harvested := m.h.Harvested()
+	if harvested-m.lastRoundAt < m.effInterval() {
+		return TickReport{Reason: "window not filled"}
+	}
+	return m.trainLocked()
+}
+
+// candResult is one candidate's training outcome.
+type candResult struct {
+	model *core.Model
+	auc   float64
+	fnr   float64
+	err   error
+}
+
+// holdoutEval labels a held-out sample set from its (size, latency) pairs
+// and returns the live feature rows to judge models on. Returns ok=false
+// when the holdout cannot support a comparison (too small, or labeling
+// collapses to one class).
+func (m *Manager) holdoutEval(samples []core.LiveSample) (rows [][]float64, labels []int, ok bool) {
+	kept := make([]core.LiveSample, 0, len(samples))
+	rows = make([][]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.Row == nil {
+			continue
+		}
+		kept = append(kept, s)
+		rows = append(rows, s.Row)
+	}
+	if len(rows) < m.cfg.MinHoldout {
+		return nil, nil, false
+	}
+	labels = core.LiveLabels(kept, m.cfg.Train)
+	pos := 0
+	for _, l := range labels {
+		pos += l
+	}
+	if pos == 0 || pos == len(labels) {
+		return nil, nil, false
+	}
+	return rows, labels, true
+}
+
+// evalRows scores a model on raw serving rows at its deployed threshold —
+// the row-space counterpart of Model.Evaluate, so champion and challenger
+// are judged on exactly the feature distribution they serve.
+func evalRows(mod *core.Model, rows [][]float64, labels []int) metrics.Report {
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		scores[i] = mod.Score(r)
+	}
+	return metrics.EvaluateAt(scores, labels, mod.Threshold())
+}
+
+// trainLocked runs one candidate panel on the reservoir snapshot. The
+// fan-out is a determinism sink: inputs (snapshot, seeds) are fixed before
+// the parallel region and collection is index-ordered, so the winner is
+// the same at any worker count.
+//
+//heimdall:nountaint
+func (m *Manager) trainLocked() TickReport {
+	snap := m.h.SnapshotReservoir()
+	if len(snap) < m.cfg.MinTrain {
+		return TickReport{Reason: "reservoir below MinTrain"}
+	}
+	holdRows, holdLabels, ok := m.holdoutEval(m.h.SnapshotHoldout())
+	if !ok {
+		return TickReport{Reason: "holdout not judgeable"}
+	}
+	m.round++
+	m.lastRoundAt = m.h.Harvested()
+
+	warm := 0
+	if m.cfg.WarmEpochs > 0 {
+		warm = 1
+	}
+	n := warm + m.cfg.Candidates
+	champ := m.champion
+	cfgs := make([]core.Config, n)
+	for i := warm; i < n; i++ {
+		cfgs[i] = m.cfg.Train
+		// Pre-drawn per-candidate seed: mixed from (service seed, round,
+		// slot) so rounds and slots never share an RNG stream.
+		cfgs[i].Seed = int64(splitmix64(uint64(m.cfg.Seed)*0x9e37 + m.round*64 + uint64(i)))
+	}
+	results := parallel.Map(m.cfg.Workers, n, func(i int) candResult {
+		var mod *core.Model
+		var err error
+		if i < warm {
+			mod, err = champ.FinetuneLiveRows(snap, m.cfg.WarmEpochs)
+		} else {
+			mod, err = core.TrainLiveRows(snap, cfgs[i])
+		}
+		if err != nil {
+			return candResult{err: err}
+		}
+		ev := evalRows(mod, holdRows, holdLabels)
+		return candResult{model: mod, auc: ev.ROCAUC, fnr: ev.FNR}
+	})
+
+	rep := TickReport{Trained: true, Candidates: n}
+	best := -1
+	for i, r := range results {
+		if r.err != nil || r.model == nil {
+			continue
+		}
+		if best < 0 || r.auc > results[best].auc {
+			best = i
+		}
+	}
+	if best < 0 {
+		rep.Reason = "every candidate failed to train"
+		return rep
+	}
+	m.challenger = results[best].model
+	m.chalAUC = results[best].auc
+	m.shadowWait = 0
+	rep.BestAUC = results[best].auc
+	return rep
+}
+
+// judgeLocked gates the pending challenger on the current holdout and tap.
+func (m *Manager) judgeLocked() TickReport {
+	rep := TickReport{Judged: true}
+	holdRows, holdLabels, ok := m.holdoutEval(m.h.SnapshotHoldout())
+	if !ok {
+		m.shadowWait++
+		if m.shadowWait >= m.cfg.MaxShadowRounds {
+			m.challenger = nil
+			m.discards++
+			rep.Rejected = true
+			rep.Reason = "challenger discarded: holdout never judgeable"
+			return rep
+		}
+		rep.Judged = false
+		rep.Reason = "holdout not judgeable yet"
+		return rep
+	}
+
+	// Recalibrate before the gates so the FNR and decline-rate gates judge
+	// the model that would actually be deployed: the challenger's
+	// training-time threshold was pinned on offline-extracted rows, which
+	// sit on a different feature distribution than the serving trackers
+	// produce. (The AUC gate is threshold-independent, so the order only
+	// matters for the calibrated gates.)
+	rep.HoldoutSlow = slowFraction(holdLabels)
+	rows, _ := m.h.SnapshotTap()
+	if m.cfg.OnlineRecalibration && len(rows) >= minTapRecal {
+		recalibrateOnline(m.challenger, rows, rep.HoldoutSlow)
+	}
+
+	evC := evalRows(m.champion, holdRows, holdLabels)
+	evX := evalRows(m.challenger, holdRows, holdLabels)
+	rep.ChampionAUC, rep.ChampionFNR = evC.ROCAUC, evC.FNR
+	rep.ChallengerAUC, rep.ChallengerFNR = evX.ROCAUC, evX.FNR
+
+	declines := 0
+	for _, r := range rows {
+		if !m.challenger.Admit(r) {
+			declines++
+		}
+	}
+	if len(rows) > 0 {
+		rep.DeclineRate = float64(declines) / float64(len(rows))
+	}
+
+	switch {
+	case evX.ROCAUC < evC.ROCAUC+m.cfg.AUCMargin:
+		rep.Rejected = true
+		rep.Reason = "accuracy gate: challenger AUC below champion + margin"
+	case evX.FNR > evC.FNR+m.cfg.FNRSlack:
+		rep.Rejected = true
+		rep.Reason = "FNR gate: challenger admits too many slow I/Os"
+	case len(rows) > 0 && rep.DeclineRate > m.cfg.MaxDeclineRate:
+		rep.Rejected = true
+		rep.Reason = "shadow gate: degenerate decline rate on live rows"
+	default:
+		rep.Promoted = true
+	}
+
+	if rep.Rejected {
+		m.challenger = nil
+		m.rejections++
+		m.lastRoundAt = m.h.Harvested() // full window before retrying
+		// Threshold maintenance: the champion won the round, but under
+		// drift its operating point rots even while its ranking holds —
+		// the score distribution moves and a fixed threshold slides toward
+		// admit-all or decline-all. Re-pin the surviving champion's
+		// threshold on the freshest tapped rows and republish it through
+		// the same atomic swap a promotion uses (SetThreshold on the
+		// served model would race with inference).
+		if m.cfg.OnlineRecalibration && len(rows) >= minTapRecal {
+			if t := thresholdAt(m.champion, rows, rep.HoldoutSlow); t != m.champion.Threshold() {
+				m.champion = m.champion.WithThreshold(t)
+				if m.t != nil {
+					m.version = m.t.Swap(m.champion)
+				}
+				m.recalibrations++
+				rep.Recalibrated = true
+				rep.Version = m.version
+			}
+		}
+		return rep
+	}
+	rep.Version = m.promoteLocked(m.challenger)
+	m.challenger = nil
+	rep.Reason = "promoted"
+	return rep
+}
+
+// minTapRecal is the smallest tapped-row sample online recalibration will
+// re-pin a threshold on.
+const minTapRecal = 32
+
+// slowFraction is the share of positive labels.
+func slowFraction(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, l := range labels {
+		pos += l
+	}
+	return float64(pos) / float64(len(labels))
+}
+
+// thresholdAt returns the decision threshold that puts mod's decline rate
+// on the given live serving rows at slowFrac — the (1 - slowFrac)
+// quantile of its scores. The same policy as training-time calibration,
+// but measured on the serving feature distribution instead of any
+// reconstructed one. The decline count is clamped to [1, half the rows]:
+// never admit-all, never a majority decliner.
+func thresholdAt(mod *core.Model, rows [][]float64, slowFrac float64) float64 {
+	scores := make([]float64, len(rows))
+	for i, r := range rows {
+		scores[i] = mod.Score(r)
+	}
+	sort.Float64s(scores)
+	declines := int(slowFrac*float64(len(scores)) + 0.5)
+	if declines < 1 {
+		declines = 1
+	}
+	if max := len(scores) / 2; declines > max {
+		declines = max
+	}
+	return scores[len(scores)-declines]
+}
+
+// recalibrateOnline re-pins mod's threshold to thresholdAt in place; only
+// safe on a model not yet serving (the pending challenger).
+func recalibrateOnline(mod *core.Model, rows [][]float64, slowFrac float64) {
+	mod.SetThreshold(thresholdAt(mod, rows, slowFrac))
+}
+
+// promoteLocked publishes a new champion through the target's atomic swap
+// and resets the urgency ladder. Callers hold m.mu.
+func (m *Manager) promoteLocked(mod *core.Model) uint32 {
+	if m.t != nil {
+		m.version = m.t.Swap(mod)
+	}
+	m.champion = mod
+	m.promotions++
+	m.urgency.Store(0)
+	m.lastRoundAt = m.h.Harvested()
+	return m.version
+}
+
+// Promote force-publishes a model through the same path auto-promotion
+// uses — the operator's manual rollout/rollback lever. Any pending
+// challenger is discarded (the world just changed under it).
+func (m *Manager) Promote(mod *core.Model) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.challenger != nil {
+		m.challenger = nil
+		m.discards++
+	}
+	return m.promoteLocked(mod)
+}
+
+// Champion returns the current champion model.
+func (m *Manager) Champion() *core.Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.champion
+}
+
+// Stats is a snapshot of the service's counters.
+type Stats struct {
+	Harvested uint64 `json:"harvested"`
+	HeldOut   uint64 `json:"held_out"`
+	Tapped    uint64 `json:"tapped"`
+	Reservoir int    `json:"reservoir"`
+
+	Rounds         uint64 `json:"rounds"`
+	Promotions     uint64 `json:"promotions"`
+	Rejections     uint64 `json:"rejections"`
+	Discards       uint64 `json:"discards"`
+	Recalibrations uint64 `json:"recalibrations"`
+	Urgency        int    `json:"urgency"`
+	ShadowOpen     bool   `json:"shadow_open"` // a challenger is pending
+	Version        uint32 `json:"version"`     // last promoted version (0 = never)
+}
+
+// Stats snapshots the manager and harvester counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Harvested:      m.h.harvested.Load(),
+		HeldOut:        m.h.heldOut.Load(),
+		Tapped:         m.h.tapped.Load(),
+		Reservoir:      len(m.h.SnapshotReservoir()),
+		Rounds:         m.round,
+		Promotions:     m.promotions,
+		Rejections:     m.rejections,
+		Discards:       m.discards,
+		Recalibrations: m.recalibrations,
+		Urgency:        int(m.urgency.Load()),
+		ShadowOpen:     m.challenger != nil,
+		Version:        m.version,
+	}
+}

@@ -1,0 +1,276 @@
+package lifecycle
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+)
+
+// devStream scripts device dev's completion sequence deterministically.
+func devStream(seed int64, dev uint32, n int) []core.LiveSample {
+	rng := rand.New(rand.NewSource(seed + int64(dev)*7919))
+	out := make([]core.LiveSample, n)
+	for i := range out {
+		busy := (i/100)%2 == 1
+		s := &out[i]
+		s.Device = dev
+		s.Seq = uint64(i) // informational; the harvester assigns its own
+		if busy {
+			s.LatencyNs = uint64(1_000_000 + rng.Intn(2_500_000))
+			s.QueueLen = uint32(8 + rng.Intn(24))
+			s.Size = 64 << 10
+		} else {
+			s.LatencyNs = uint64(50_000 + rng.Intn(100_000))
+			s.QueueLen = uint32(rng.Intn(4))
+			s.Size = 4 << 10
+		}
+	}
+	return out
+}
+
+func harvestCfg() Config {
+	return Config{
+		Seed:               42,
+		ReservoirPerDevice: 64,
+		HoldoutEvery:       4,
+		HoldoutPerDevice:   16,
+		TapEvery:           2,
+		TapPerDevice:       8,
+	}
+}
+
+// TestReservoirDeterminism is the satellite guarantee: the same seed and
+// the same per-device completion streams produce byte-identical reservoir,
+// holdout, and tap contents no matter how the devices' streams were
+// interleaved or how many goroutines (shards) delivered them.
+func TestReservoirDeterminism(t *testing.T) {
+	const devices, perDev = 5, 1000
+	streams := make([][]core.LiveSample, devices)
+	for d := range streams {
+		streams[d] = devStream(1, uint32(d), perDev)
+	}
+
+	feedSequential := func(h *Harvester) {
+		for _, st := range streams {
+			for _, s := range st {
+				h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+			}
+		}
+	}
+	feedRoundRobin := func(h *Harvester) {
+		for i := 0; i < perDev; i++ {
+			for d := devices - 1; d >= 0; d-- {
+				s := streams[d][i]
+				h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+			}
+		}
+	}
+	feedConcurrent := func(h *Harvester) {
+		var wg sync.WaitGroup
+		for d := 0; d < devices; d++ {
+			wg.Add(1)
+			go func(st []core.LiveSample) {
+				defer wg.Done()
+				for _, s := range st {
+					h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+				}
+			}(streams[d])
+		}
+		wg.Wait()
+	}
+
+	var want, wantHold []core.LiveSample
+	for i, feed := range []func(*Harvester){feedSequential, feedRoundRobin, feedConcurrent, feedConcurrent} {
+		h := NewHarvester(harvestCfg(), feature.DefaultSpec())
+		feed(h)
+		res := h.SnapshotReservoir()
+		hold := h.SnapshotHoldout()
+		if i == 0 {
+			want, wantHold = res, hold
+			if len(want) != devices*64 {
+				t.Fatalf("reservoir size %d, want %d", len(want), devices*64)
+			}
+			if len(wantHold) != devices*16 {
+				t.Fatalf("holdout size %d, want %d", len(wantHold), devices*16)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("feed order %d changed reservoir contents", i)
+		}
+		if !reflect.DeepEqual(hold, wantHold) {
+			t.Fatalf("feed order %d changed holdout contents", i)
+		}
+	}
+}
+
+// TestReservoirSeedMatters guards against an accidentally unseeded PRNG:
+// a different service seed must pick a different uniform sample.
+func TestReservoirSeedMatters(t *testing.T) {
+	stream := devStream(3, 0, 1000)
+	snap := func(seed int64) []core.LiveSample {
+		cfg := harvestCfg()
+		cfg.Seed = seed
+		h := NewHarvester(cfg, feature.DefaultSpec())
+		for _, s := range stream {
+			h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+		}
+		return h.SnapshotReservoir()
+	}
+	if reflect.DeepEqual(snap(1), snap(2)) {
+		t.Fatal("different seeds picked identical reservoirs")
+	}
+	if !reflect.DeepEqual(snap(5), snap(5)) {
+		t.Fatal("same seed diverged")
+	}
+}
+
+// TestHoldoutDisjoint: the judge's data never appears in training data —
+// holdout slots are exactly the every-HoldoutEvery-th per-device sequence
+// numbers and the reservoir holds the rest.
+func TestHoldoutDisjoint(t *testing.T) {
+	h := NewHarvester(harvestCfg(), feature.DefaultSpec())
+	for _, s := range devStream(7, 9, 600) {
+		h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+	}
+	for _, s := range h.SnapshotHoldout() {
+		if s.Seq%4 != 3 {
+			t.Fatalf("holdout contains non-holdout seq %d", s.Seq)
+		}
+	}
+	for _, s := range h.SnapshotReservoir() {
+		if s.Seq%4 == 3 {
+			t.Fatalf("reservoir contains holdout seq %d", s.Seq)
+		}
+	}
+}
+
+// TestReservoirUniform sanity-checks Algorithm R: over a long stream the
+// kept samples span the whole sequence range, not just a prefix or suffix.
+func TestReservoirUniform(t *testing.T) {
+	h := NewHarvester(harvestCfg(), feature.DefaultSpec())
+	const n = 4000
+	for _, s := range devStream(11, 2, n) {
+		h.OnCompletion(s.Device, s.LatencyNs, s.QueueLen, s.Size)
+	}
+	snap := h.SnapshotReservoir()
+	if len(snap) != 64 {
+		t.Fatalf("reservoir size %d", len(snap))
+	}
+	early, late := 0, 0
+	for _, s := range snap {
+		if s.Seq < n/4 {
+			early++
+		}
+		if s.Seq >= 3*n/4 {
+			late++
+		}
+	}
+	// A uniform 64-sample draw has ~16 in each quarter; zero in either
+	// tail quarter would be a broken sampler.
+	if early == 0 || late == 0 {
+		t.Fatalf("reservoir not uniform: %d early, %d late of %d", early, late, len(snap))
+	}
+}
+
+// TestTapRing: every TapEvery-th verdict is kept, rows are copied (not
+// aliased), and the ring stays bounded.
+func TestTapRing(t *testing.T) {
+	h := NewHarvester(harvestCfg(), feature.DefaultSpec())
+	row := make([]float64, 8)
+	for i := 0; i < 100; i++ {
+		for j := range row {
+			row[j] = float64(i*10 + j)
+		}
+		h.OnDecision(3, row, i%3 == 0)
+	}
+	rows, admits := h.SnapshotTap()
+	if len(rows) != 8 || len(admits) != 8 {
+		t.Fatalf("tap ring %d/%d, want 8", len(rows), len(admits))
+	}
+	// The caller's buffer was reused for every call: if the tap aliased it,
+	// every kept row would equal the last write.
+	distinct := false
+	for _, r := range rows {
+		if r[0] != rows[0][0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("tap rows alias the caller's row buffer")
+	}
+}
+
+// TestHarvestZeroAllocSteadyState pins the hooks themselves: once a
+// device's buffers are grown, neither OnCompletion nor OnDecision
+// allocates — the serve-side pin (TestStagedDecideZeroAllocHarvesting in
+// internal/serve) depends on it.
+func TestHarvestZeroAllocSteadyState(t *testing.T) {
+	h := NewHarvester(harvestCfg(), feature.DefaultSpec())
+	row := make([]float64, 12)
+	for i := 0; i < 2000; i++ {
+		h.OnCompletion(1, 100_000, 4, 8192)
+		h.OnDecision(1, row, true)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		h.OnCompletion(1, 100_000, 4, 8192)
+	}); a != 0 {
+		t.Errorf("OnCompletion allocates %.2f per op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		h.OnDecision(1, row, false)
+	}); a != 0 {
+		t.Errorf("OnDecision allocates %.2f per op", a)
+	}
+}
+
+// TestLiveRowMatchesTracker checks row-reconstruction fidelity: the row a
+// harvested sample carries must equal the row a serving-shard tracker
+// computed at decide time — a window over the completions that finished
+// before the I/O arrived (everything observed so far minus the queueLen
+// I/Os still in flight ahead of it), same throughput formula.
+func TestLiveRowMatchesTracker(t *testing.T) {
+	spec := feature.DefaultSpec()
+	cfg := Config{Seed: 7, ReservoirPerDevice: 256, HoldoutEvery: 4, HoldoutPerDevice: 64}
+	h := NewHarvester(cfg, spec)
+	rng := rand.New(rand.NewSource(11))
+	const n = 200
+	hist := make([]feature.Hist, 0, n)
+	want := make([][]float64, 0, n)
+	win := feature.NewWindow(spec.Depth)
+	for i := 0; i < n; i++ {
+		lat := uint64(50_000 + rng.Intn(2_000_000))
+		q := uint32(rng.Intn(5))
+		size := uint32(4096 << rng.Intn(4))
+		end := i - int(q)
+		if end < 0 {
+			end = 0
+		}
+		start := end - spec.Depth
+		if start < 0 {
+			start = 0
+		}
+		win.Reset()
+		for k := start; k < end; k++ {
+			win.Push(hist[k])
+		}
+		want = append(want, spec.OnlineInto(nil, int(q), int32(size), 0, 0, win))
+		thpt := float64(size) / (1 << 20) / (float64(lat) / 1e9)
+		hist = append(hist, feature.Hist{Latency: float64(lat), QueueLen: float64(q), Thpt: thpt})
+		h.OnCompletion(3, lat, q, size)
+	}
+	snap := h.SnapshotReservoir()
+	snap = append(snap, h.SnapshotHoldout()...)
+	if len(snap) != n {
+		t.Fatalf("expected all %d samples retained, got %d", n, len(snap))
+	}
+	for _, s := range snap {
+		if !reflect.DeepEqual(s.Row, want[s.Seq]) {
+			t.Fatalf("seq %d: harvested row %v != tracker row %v", s.Seq, s.Row, want[s.Seq])
+		}
+	}
+}

@@ -272,6 +272,44 @@ func New(cfg Config) (*Network, error) {
 // Config returns the configuration the network was built with.
 func (n *Network) Config() Config { return n.cfg }
 
+// Clone returns an independent deep copy of the network: weights, biases,
+// optimizer state, and the Adam timestep. The clone can be trained further
+// without disturbing the original — the warm-start half of continuous
+// retraining (clone the champion, fine-tune on fresh data, compare). Train
+// on a clone continues from the copied weights because New is the only
+// place weights are initialized.
+func (n *Network) Clone() *Network {
+	c := &Network{cfg: n.cfg, step: n.step}
+	c.cfg.Layers = append([]LayerSpec(nil), n.cfg.Layers...)
+	for _, l := range n.layers {
+		cl := &layer{in: l.in, out: l.out, act: l.act}
+		cl.w = append([]float64(nil), l.w...)
+		cl.b = append([]float64(nil), l.b...)
+		cl.z = make([]float64, l.out)
+		cl.a = make([]float64, l.out)
+		cl.gw = make([]float64, len(l.w))
+		cl.gb = make([]float64, len(l.b))
+		cl.mw = append([]float64(nil), l.mw...)
+		cl.vw = append([]float64(nil), l.vw...)
+		cl.mb = append([]float64(nil), l.mb...)
+		cl.vb = append([]float64(nil), l.vb...)
+		c.layers = append(c.layers, cl)
+	}
+	return c
+}
+
+// Retune adjusts the training hyperparameters for a subsequent Train call —
+// the knob a warm-start fine-tune turns (few epochs, smaller step) without
+// rebuilding the network. Non-positive arguments keep the current value.
+func (n *Network) Retune(epochs int, lr float64) {
+	if epochs > 0 {
+		n.cfg.Epochs = epochs
+	}
+	if lr > 0 {
+		n.cfg.LR = lr
+	}
+}
+
 // Outputs returns the width of the output layer.
 func (n *Network) Outputs() int { return n.layers[len(n.layers)-1].out }
 

@@ -64,6 +64,70 @@ func TestLearnsXORSoftmax(t *testing.T) {
 	}
 }
 
+func TestCloneIndependence(t *testing.T) {
+	net, err := New(Config{
+		Inputs: 2,
+		Layers: []LayerSpec{{8, ReLU}, {1, Sigmoid}},
+		Seed:   7, Loss: BCE, Optimizer: Adam, LR: 0.02, Epochs: 40, Batch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y := xorData()
+	if _, err := net.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.5, 0.5}}
+	before := make([]float64, len(probe))
+	for i, x := range probe {
+		before[i] = net.Predict(x)
+	}
+
+	clone := net.Clone()
+	for i, x := range probe {
+		if got := clone.Predict(x); got != before[i] {
+			t.Fatalf("clone diverges before training: probe %d %v vs %v", i, got, before[i])
+		}
+	}
+
+	// Fine-tune the clone: the original must be untouched, and the clone's
+	// continued training must be deterministic (two identical clones stay
+	// byte-identical).
+	clone2 := net.Clone()
+	clone.Retune(10, 0.01)
+	clone2.Retune(10, 0.01)
+	if _, err := clone.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone2.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i, x := range probe {
+		if got := net.Predict(x); got != before[i] {
+			t.Fatalf("training a clone mutated the original: probe %d %v vs %v", i, got, before[i])
+		}
+		c1, c2 := clone.Predict(x), clone2.Predict(x)
+		if c1 != c2 {
+			t.Fatalf("identical clones diverged after identical training: %v vs %v", c1, c2)
+		}
+		if c1 != before[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("fine-tuning the clone changed nothing")
+	}
+
+	// Retune with non-positive args keeps current settings.
+	cfg := clone.Config()
+	clone.Retune(0, -1)
+	if got := clone.Config(); got.Epochs != cfg.Epochs || got.LR != cfg.LR {
+		t.Fatalf("Retune(0,-1) changed config: %+v vs %+v", got, cfg)
+	}
+}
+
 // TestGradientCheck verifies backprop against finite differences on a tiny
 // network with smooth activations.
 func TestGradientCheck(t *testing.T) {

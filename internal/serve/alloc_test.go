@@ -21,7 +21,7 @@ func TestStagedDecideZeroAlloc(t *testing.T) {
 		// published model, so no worker goroutine is needed (or wanted —
 		// the pin must measure only the decide path itself).
 		sm := &servingModel{m: m, version: 1}
-		sh := &shard{scr: m.NewBatchScratch(batch), scrFor: sm}
+		sh := &shard{srv: &Server{}, scr: m.NewBatchScratch(batch), scrFor: sm}
 		st := &deviceState{win: feature.NewWindow(m.Spec().Depth)}
 		st.win.Push(feature.Hist{Latency: 120_000, QueueLen: 3, Thpt: 55})
 		out := newSinkWriter(io.Discard)
@@ -50,6 +50,75 @@ func TestStagedDecideZeroAlloc(t *testing.T) {
 		}); a != 0 {
 			t.Errorf("joint=%d: staged decide cycle allocates %.2f per op", joint, a)
 		}
+	}
+}
+
+// fixedTap is a zero-alloc DecisionTap/CompletionSink for the harvest pin:
+// it copies every tapped row into a preallocated ring, the same shape the
+// lifecycle harvester uses.
+type fixedTap struct {
+	rows  [][]float64
+	n     int
+	comps int
+}
+
+func (f *fixedTap) OnDecision(device uint32, row []float64, admit bool) {
+	slot := f.rows[f.n%len(f.rows)]
+	f.rows[f.n%len(f.rows)] = append(slot[:0], row...)
+	f.n++
+}
+
+func (f *fixedTap) OnCompletion(device uint32, latencyNs uint64, queueLen, size uint32) {
+	f.comps++
+}
+
+// TestStagedDecideZeroAllocHarvesting re-pins the staged decide cycle with
+// the continuous-learning hooks attached: a CompletionSink on the complete
+// path and a DecisionTap on the decide path. Harvesting must not cost the
+// hot path a single allocation — the acceptance criterion for the managed
+// server.
+func TestStagedDecideZeroAllocHarvesting(t *testing.T) {
+	const batch = 4
+	m := testModel(t, 33, 1)
+	sm := &servingModel{m: m, version: 1}
+	tap := &fixedTap{rows: make([][]float64, 8)}
+	for i := range tap.rows {
+		tap.rows[i] = make([]float64, 0, m.Spec().Width()+4)
+	}
+	srv := &Server{cfg: Config{Completions: tap, Decisions: tap}}
+	sh := &shard{srv: srv, scr: m.NewBatchScratch(batch), scrFor: sm}
+	st := &deviceState{win: feature.NewWindow(m.Spec().Depth)}
+	st.win.Push(feature.Hist{Latency: 120_000, QueueLen: 3, Thpt: 55})
+	out := newSinkWriter(io.Discard)
+	sh.devs = map[uint32]*deviceState{1: st}
+
+	var seq uint64
+	comp := request{kind: msgComplete, comp: completion{device: 1, latency: 250_000, queueLen: 4, size: 8192}}
+	for i := 0; i < 4*batch; i++ {
+		sh.process(sm, &comp, 0)
+		sh.stageDecide(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
+		seq++
+		if len(sh.infs) >= batch {
+			sh.decideStaged(sm)
+		}
+	}
+	sh.decideStaged(sm)
+	sh.touched = sh.touched[:0]
+	out.flush()
+	if a := testing.AllocsPerRun(400, func() {
+		for k := 0; k < batch; k++ {
+			sh.process(sm, &comp, 0)
+			sh.stageDecide(sm, st, decideRequest{id: seq, device: 1, queueLen: 4, size: 8192}, 0, out)
+			seq++
+		}
+		sh.decideStaged(sm)
+		sh.touched = sh.touched[:0]
+		out.flush()
+	}); a != 0 {
+		t.Errorf("staged decide cycle with harvesting allocates %.2f per op", a)
+	}
+	if tap.n == 0 || tap.comps == 0 {
+		t.Fatalf("hooks never fired: taps=%d comps=%d", tap.n, tap.comps)
 	}
 }
 

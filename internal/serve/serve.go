@@ -84,6 +84,48 @@ type Config struct {
 	DriftRef [][]float64
 	// DriftBins is the detector's histogram resolution (default 10).
 	DriftBins int
+	// OnDrift, when set together with DriftRef, is registered on every
+	// shard's detector: it is called back (with the window's MaxPSI) each
+	// time a shard publishes a PSI at or above DriftThreshold — the push
+	// alternative to polling MaxPSI out of Stats. The callback runs on
+	// shard worker goroutines, possibly concurrently from several shards;
+	// it must be fast and concurrency-safe.
+	OnDrift func(maxPSI float64)
+	// DriftThreshold is the PSI that triggers OnDrift (default 0.1, the
+	// conventional "moderate shift" floor).
+	DriftThreshold float64
+
+	// Completions, when set, receives every completion observation after
+	// it updates the device's feature trackers — the harvest hook
+	// continuous learning feeds on. Before this hook, the measured
+	// latencies were simply dropped. The sink is called on shard worker
+	// goroutines (concurrently across shards, in completion order within a
+	// device) and must not block; nil costs the decide/complete paths
+	// nothing.
+	Completions CompletionSink
+	// Decisions, when set, observes a sample of served verdicts together
+	// with the raw feature rows they were inferred on — the shadow-scoring
+	// tap. Called inside the zero-alloc decide hot path, so implementations
+	// must not allocate in steady state, must not retain row beyond the
+	// call, and must not block.
+	Decisions DecisionTap
+}
+
+// CompletionSink consumes completion-side latency observations the shards
+// would otherwise discard after updating per-device feature trackers.
+// Implementations are invoked from shard worker goroutines: concurrently
+// across devices on different shards, strictly in completion order within
+// one device.
+type CompletionSink interface {
+	OnCompletion(device uint32, latencyNs uint64, queueLen, size uint32)
+}
+
+// DecisionTap observes inferred verdicts on the decide hot path. row is the
+// raw (unscaled) feature row the model scored, valid only for the duration
+// of the call; implementations copy what they keep and return quickly.
+// Shed/breaker/partial verdicts never reach the tap — only real inferences.
+type DecisionTap interface {
+	OnDecision(device uint32, row []float64, admit bool)
 }
 
 func (c Config) shards() int {
@@ -169,6 +211,13 @@ func (c Config) driftBins() int {
 	return 10
 }
 
+func (c Config) driftThreshold() float64 {
+	if c.DriftThreshold > 0 {
+		return c.DriftThreshold
+	}
+	return 0.1
+}
+
 // servingModel is one immutable published model. Workers load the pointer
 // once per batch, so every decision in a batch comes from one consistent
 // (model, version) pair — a swap can never produce a torn read.
@@ -223,6 +272,9 @@ func NewServer(m *core.Model, cfg Config) *Server {
 		sh.ctl.init(cfg)
 		if len(cfg.DriftRef) > 0 {
 			sh.det = drift.NewInputDetector(cfg.DriftRef, cfg.driftBins())
+			if cfg.OnDrift != nil {
+				sh.det.Subscribe(cfg.driftThreshold(), cfg.OnDrift)
+			}
 		}
 		s.shards = append(s.shards, sh)
 		s.wgWorkers.Add(1)

@@ -45,6 +45,7 @@ type pendMember struct {
 type pendingInf struct {
 	id         uint64
 	out        *connWriter
+	dev        uint32
 	mOff, mLen int
 }
 
@@ -205,7 +206,9 @@ func (sh *shard) run() {
 		}
 		sh.touched = sh.touched[:0]
 		if sh.det != nil && sh.detN-sh.detPub >= 256 {
-			sh.cnt.maxPSI.Store(math.Float64bits(sh.det.MaxPSI()))
+			// Publish both ways: the stats snapshot (pull) and any drift
+			// subscribers registered via Config.OnDrift (push).
+			sh.cnt.maxPSI.Store(math.Float64bits(sh.det.Publish()))
 			sh.detPub = sh.detN
 		}
 	}
@@ -269,6 +272,13 @@ func (sh *shard) process(sm *servingModel, r *request, now int64) {
 			QueueLen: float64(c.queueLen),
 			Thpt:     thpt,
 		})
+		// The trackers only keep a bounded window; hand the observation to
+		// the harvest sink (continuous learning) before it is lost. Within
+		// one device this runs in completion order — the sink can count on
+		// a deterministic per-device stream.
+		if sink := sh.srv.cfg.Completions; sink != nil {
+			sink.OnCompletion(c.device, c.latency, c.queueLen, c.size)
+		}
 		return
 	}
 
@@ -383,7 +393,7 @@ func (sh *shard) stageDecide(sm *servingModel, st *deviceState, dec decideReques
 			sh.det.Observe(sh.rowBufs[slot])
 			sh.detN++
 		}
-		sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out})
+		sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out, dev: dec.device})
 		return
 	}
 	if len(st.sizes) == 0 {
@@ -411,7 +421,7 @@ func (sh *shard) stageDecide(sm *servingModel, st *deviceState, dec decideReques
 	}
 	mOff := len(sh.members)
 	sh.members = append(sh.members, st.pend...)
-	sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out, mOff: mOff, mLen: len(st.pend)})
+	sh.infs = append(sh.infs, pendingInf{id: dec.id, out: out, dev: dec.device, mOff: mOff, mLen: len(st.pend)})
 	sh.deferred -= len(st.pend)
 	st.pend = st.pend[:0]
 	st.sizes = st.sizes[:0]
@@ -438,9 +448,16 @@ func (sh *shard) decideStaged(sm *servingModel) {
 		sh.verdicts = make([]bool, n)
 	}
 	sm.m.AdmitBatchInto(sh.rows, sh.verdicts[:n], sh.scr)
+	tap := sh.srv.cfg.Decisions
 	for i := 0; i < n; i++ {
 		inf := &sh.infs[i]
 		admit := sh.verdicts[i]
+		if tap != nil {
+			// Shadow-scoring tap: the raw row the verdict was inferred on,
+			// before the slot buffer is recycled. Scalar/slice args only —
+			// no boxing — and the tap contract forbids retaining row.
+			tap.OnDecision(inf.dev, sh.rowBufs[i], admit)
+		}
 		if admit {
 			sh.cnt.admits.Add(uint64(inf.mLen) + 1)
 		} else {

@@ -1,0 +1,58 @@
+package heimdall
+
+// Façade exports for the continuous-learning lifecycle
+// (internal/lifecycle): an always-on champion/challenger retraining
+// service that harvests (feature-row, latency) pairs from live
+// completions into bounded per-device reservoirs, trains challenger
+// panels in the background, shadow-scores them against the champion on
+// held-out live traffic, and auto-promotes through the serving layer's
+// atomic hot-swap when the accuracy and FNR gates clear. PSI drift
+// alerts shorten the evaluation window (§7's retraining loop run
+// continuously instead of on a schedule).
+
+import (
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+// LifecycleConfig tunes the retraining service: reservoir and holdout
+// bounds, round pacing, candidate count, promotion gates, and the online
+// recalibration switch.
+type LifecycleConfig = lifecycle.Config
+
+// LifecycleManager is the champion/challenger state machine. Drive it
+// with Tick on any cadence; rounds themselves are completion-count paced.
+type LifecycleManager = lifecycle.Manager
+
+// LifecycleStats is a point-in-time snapshot of the service's counters.
+type LifecycleStats = lifecycle.Stats
+
+// LifecycleTick reports what one Tick did: trained, judged, promoted,
+// rejected, recalibrated, and the evidence behind the verdict.
+type LifecycleTick = lifecycle.TickReport
+
+// Harvester is the completion sink / decision tap the manager wires into
+// ServeConfig.Completions and ServeConfig.Decisions.
+type Harvester = lifecycle.Harvester
+
+// PromotionTarget receives promoted models; *Server satisfies it.
+type PromotionTarget = lifecycle.Target
+
+// LiveSample is one harvested completion: identity, outcome, and the
+// decide-time feature row the serving tracker produced for it.
+type LiveSample = core.LiveSample
+
+// NewLifecycle builds the retraining service around an initial champion.
+// The usual wiring is NewLifecycle(cfg, model, nil) → NewServer with the
+// manager's Harvester as Completions/Decisions and DriftAlert as OnDrift
+// → Retarget(srv); see examples/continuous.
+func NewLifecycle(cfg LifecycleConfig, champion *Model, target PromotionTarget) (*LifecycleManager, error) {
+	return lifecycle.New(cfg, champion, target)
+}
+
+// TrainLiveRows trains a model from harvested live samples, using each
+// sample's stored decide-time feature row (no offline re-extraction) and
+// per-size-class latency-knee labels.
+func TrainLiveRows(samples []LiveSample, cfg Config) (*Model, error) {
+	return core.TrainLiveRows(samples, cfg)
+}
